@@ -1,0 +1,179 @@
+//! A floating-point comparator: Durand–Kerner (Weierstrass) simultaneous
+//! iteration in complex `f64`.
+//!
+//! The paper's conclusion claims its exact method "does not suffer from
+//! problems of stability that characterize many other implementations".
+//! This module is the counterpart needed to *demonstrate* that claim: a
+//! standard double-precision all-roots iteration which is fast but loses
+//! accuracy on ill-conditioned inputs (Wilkinson-style clustered integer
+//! roots), while the exact algorithm's output is correct to the last bit
+//! by construction. See the `stability_study` harness.
+//!
+//! Complex arithmetic is inlined on `(f64, f64)` pairs — no dependencies.
+
+use rr_poly::Poly;
+
+/// A complex number as `(re, im)`.
+pub type Cpx = (f64, f64);
+
+fn cadd(a: Cpx, b: Cpx) -> Cpx {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: Cpx, b: Cpx) -> Cpx {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn cmul(a: Cpx, b: Cpx) -> Cpx {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cdiv(a: Cpx, b: Cpx) -> Cpx {
+    let d = b.0 * b.0 + b.1 * b.1;
+    ((a.0 * b.0 + a.1 * b.1) / d, (a.1 * b.0 - a.0 * b.1) / d)
+}
+
+fn cabs(a: Cpx) -> f64 {
+    a.0.hypot(a.1)
+}
+
+/// Evaluates `p` at the complex point `z` in `f64` (Horner).
+pub fn eval_f64(coeffs: &[f64], z: Cpx) -> Cpx {
+    let mut acc = (0.0, 0.0);
+    for &c in coeffs.iter().rev() {
+        acc = cadd(cmul(acc, z), (c, 0.0));
+    }
+    acc
+}
+
+/// Result of a Durand–Kerner run.
+#[derive(Debug, Clone)]
+pub struct DkResult {
+    /// All approximated roots (complex).
+    pub roots: Vec<Cpx>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the iteration met its tolerance before the cap.
+    pub converged: bool,
+}
+
+/// Runs Durand–Kerner on `p` (degree ≥ 1) in double precision.
+///
+/// This faithfully represents what a generic floating-point all-roots
+/// solver produces: excellent on well-conditioned inputs, visibly wrong on
+/// ill-conditioned ones — the contrast the stability study measures.
+pub fn durand_kerner(p: &Poly, max_iter: usize) -> DkResult {
+    let n = p.deg();
+    assert!(n >= 1);
+    // monic f64 coefficients (normalize by the leading coefficient)
+    let lc = p.lc().to_f64();
+    let coeffs: Vec<f64> = p.coeffs().iter().map(|c| c.to_f64() / lc).collect();
+
+    // Initial guesses on a circle of the Fujiwara root-bound radius
+    // (2·max |c_{n−i}|^{1/i}) — unlike the Cauchy bound this stays sane
+    // when coefficients are astronomically large (Wilkinson).
+    let radius = 2.0
+        * (1..=n)
+            .map(|i| coeffs[n - i].abs().powf(1.0 / i as f64))
+            .fold(f64::MIN_POSITIVE, f64::max);
+    let mut roots: Vec<Cpx> = (0..n)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.25) / n as f64;
+            (0.7 * radius * theta.cos(), 0.7 * radius * theta.sin())
+        })
+        .collect();
+
+    let tol = 1e-13 * radius;
+    for iter in 0..max_iter {
+        let mut max_step = 0.0f64;
+        for i in 0..n {
+            let zi = roots[i];
+            let mut denom = (1.0, 0.0);
+            for (j, &zj) in roots.iter().enumerate() {
+                if j != i {
+                    denom = cmul(denom, csub(zi, zj));
+                }
+            }
+            let step = cdiv(eval_f64(&coeffs, zi), denom);
+            roots[i] = csub(zi, step);
+            max_step = max_step.max(cabs(step));
+        }
+        if max_step < tol {
+            roots.sort_by(|a, b| a.0.total_cmp(&b.0));
+            return DkResult { roots, iterations: iter + 1, converged: true };
+        }
+    }
+    roots.sort_by(|a, b| a.0.total_cmp(&b.0));
+    DkResult { roots, iterations: max_iter, converged: false }
+}
+
+/// The real parts of the (near-)real roots found by [`durand_kerner`]:
+/// roots whose imaginary part is below `im_tol` relative to the radius.
+pub fn real_roots_f64(p: &Poly, max_iter: usize, im_tol: f64) -> Vec<f64> {
+    let dk = durand_kerner(p, max_iter);
+    dk.roots
+        .into_iter()
+        .filter(|z| z.1.abs() <= im_tol)
+        .map(|z| z.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_mp::Int;
+
+    #[test]
+    fn well_conditioned_roots_accurate() {
+        // (x+2)(x-1)(x-5): easy for f64
+        let p = Poly::from_roots(&[Int::from(-2), Int::from(1), Int::from(5)]);
+        let r = durand_kerner(&p, 200);
+        assert!(r.converged);
+        let expect = [-2.0, 1.0, 5.0];
+        for (z, e) in r.roots.iter().zip(expect) {
+            assert!((z.0 - e).abs() < 1e-9 && z.1.abs() < 1e-9, "{z:?} vs {e}");
+        }
+    }
+
+    #[test]
+    fn complex_roots_found() {
+        // x^2 + 1: roots ±i
+        let p = Poly::from_i64(&[1, 0, 1]);
+        let r = durand_kerner(&p, 200);
+        assert!(r.converged);
+        for z in &r.roots {
+            assert!(z.0.abs() < 1e-9 && (z.1.abs() - 1.0).abs() < 1e-9, "{z:?}");
+        }
+    }
+
+    #[test]
+    fn wilkinson_20_shows_instability() {
+        // The point of this module: double precision visibly degrades on
+        // Wilkinson-20 while the exact algorithm does not.
+        let roots: Vec<Int> = (1..=20i64).map(Int::from).collect();
+        let p = Poly::from_roots(&roots);
+        let r = durand_kerner(&p, 2000);
+        // worst-case error against the true integer roots (pair greedily)
+        let mut worst = 0.0f64;
+        for k in 1..=20 {
+            let best = r
+                .roots
+                .iter()
+                .map(|z| (z.0 - k as f64).hypot(z.1))
+                .fold(f64::INFINITY, f64::min);
+            worst = worst.max(best);
+        }
+        assert!(
+            worst > 1e-6,
+            "f64 should visibly err on Wilkinson-20 (worst {worst:.3e})"
+        );
+    }
+
+    #[test]
+    fn real_filter() {
+        let p = &Poly::from_i64(&[1, 0, 1]) * &Poly::from_roots(&[Int::from(3)]);
+        let reals = real_roots_f64(&p, 500, 1e-6);
+        assert_eq!(reals.len(), 1);
+        assert!((reals[0] - 3.0).abs() < 1e-8);
+    }
+}

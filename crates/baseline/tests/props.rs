@@ -1,0 +1,70 @@
+//! Property tests for the Sturm baseline, including the bit-for-bit
+//! agreement contract with the main algorithm (the basis of the Figure 8
+//! comparison being apples-to-apples).
+
+use proptest::prelude::*;
+use rr_baseline::{find_real_roots, BaselineConfig};
+use rr_core::{RootApproximator, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn integer_roots_exact(roots in prop::collection::btree_set(-40i64..40, 1..8), mu in 0u64..14) {
+        let ints: Vec<Int> = roots.iter().map(|&r| Int::from(r)).collect();
+        let p = Poly::from_roots(&ints);
+        let got = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+        let expect: Vec<Int> = ints.iter().map(|r| r << mu).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn agrees_bitwise_with_tree_algorithm(
+        roots in prop::collection::btree_set(-25i64..25, 2..7),
+        mu in 0u64..12,
+    ) {
+        let ints: Vec<Int> = roots.iter().map(|&r| Int::from(r)).collect();
+        let p = Poly::from_roots(&ints);
+        let base = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+        let tree = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        let tree: Vec<Int> = tree.roots.into_iter().map(|d| d.num).collect();
+        prop_assert_eq!(base, tree);
+    }
+
+    #[test]
+    fn only_real_roots_of_mixed_inputs(
+        real_roots in prop::collection::btree_set(-20i64..20, 1..5),
+        complex_pairs in 0usize..3,
+    ) {
+        // (x²+1)^k times a real-rooted polynomial
+        let ints: Vec<Int> = real_roots.iter().map(|&r| Int::from(r)).collect();
+        let mut p = Poly::from_roots(&ints);
+        for _ in 0..complex_pairs {
+            p = &p * &Poly::from_i64(&[1, 0, 1]);
+        }
+        let mu = 6;
+        let got = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+        let expect: Vec<Int> = ints.iter().map(|r| r << mu).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fixed_precision_changes_cost_not_answer(
+        roots in prop::collection::btree_set(-15i64..15, 2..5),
+        mu in 1u64..10,
+    ) {
+        let ints: Vec<Int> = roots.iter().map(|&r| Int::from(r)).collect();
+        let p = Poly::from_roots(&ints);
+        let a = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+        let b = find_real_roots(
+            &p,
+            &BaselineConfig { mu, fixed_internal_precision: Some(mu + 40) },
+        )
+        .unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the substrate kernels: multiprecision
+//! arithmetic, polynomial evaluation, remainder sequences, and the tree
+//! matrix combine — the building blocks whose costs Section 4 models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_mp::Int;
+use rr_poly::eval::ScaledPoly;
+use rr_poly::remainder::remainder_sequence;
+use rr_poly::Poly;
+use std::hint::black_box;
+
+fn big(bits: u64, seed: u64) -> Int {
+    // deterministic pseudo-random integer of the given bit length
+    let mut x = Int::from(seed | 1);
+    let mult = Int::from(6364136223846793005u64);
+    while x.bit_len() < bits {
+        x = x * &mult + Int::from(1442695040888963407u64);
+    }
+    x.shr_floor(x.bit_len() - bits)
+}
+
+fn bench_mp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mp");
+    for bits in [64u64, 512, 4096] {
+        let a = big(bits, 7);
+        let b = big(bits, 13);
+        g.bench_with_input(BenchmarkId::new("mul_schoolbook", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a) * black_box(&b))
+        });
+        let p = &a * &b;
+        g.bench_with_input(BenchmarkId::new("div_knuth_d", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&p).div_rem(black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poly");
+    for n in [10usize, 30, 70] {
+        let roots: Vec<Int> = (1..=n as i64).map(Int::from).collect();
+        let p = Poly::from_roots(&roots);
+        let sp = ScaledPoly::new(&p, 107);
+        let x = big(107, 3);
+        g.bench_with_input(BenchmarkId::new("scaled_horner_eval", n), &n, |bench, _| {
+            bench.iter(|| sp.eval(black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("remainder_sequence", n), &n, |bench, _| {
+            bench.iter(|| remainder_sequence(black_box(&p)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treepoly");
+    for n in [16usize, 32, 64] {
+        let p = rr_workload::charpoly_input(n, 0);
+        let rs = remainder_sequence(&p).unwrap();
+        // combine the two largest available leaf-level matrices repeatedly
+        let t1 = rr_core::treepoly::leaf_tmat(&rs, 1);
+        let t3 = rr_core::treepoly::leaf_tmat(&rs, 3);
+        let s2 = rr_core::treepoly::s_hat(&rs, 2);
+        let div = rr_core::treepoly::combine_divisor(&rs, 2);
+        g.bench_with_input(BenchmarkId::new("combine_leaf_level", n), &n, |bench, _| {
+            bench.iter(|| rr_core::treepoly::combine_tmat(black_box(&t1), black_box(&t3), &s2, &div))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mp, bench_poly, bench_tree_combine);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Renders the paper's figures as SVG files from the harness JSON in
+//! `results/` (run the other binaries with `--json` first):
+//!
+//! * `fig2.svg` … `fig5.svg` — predicted vs observed multiplication
+//!   counts (from `figs2_5.json`);
+//! * `fig6.svg` / `fig7.svg` — bisection-phase counts and bit complexity
+//!   (from `figs6_7.json`);
+//! * `fig8.svg` — tree algorithm vs the Sturm baseline (from `fig8.json`);
+//! * `fig9.svg` … `fig13.svg` — execution time vs processors per µ
+//!   (from `speedups.json`), with the simulated-speedup companion curves
+//!   `speedup_mu*.svg`.
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin render_figures -- \
+//!     [--results results] [--out results]
+//! ```
+
+use rr_bench::plot::{Chart, Scale, Series};
+use rr_bench::Args;
+use serde_json::Value;
+
+const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+fn load(dir: &str, name: &str) -> Option<Vec<Value>> {
+    let path = format!("{dir}/{name}");
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str::<Vec<Value>>(&text).ok()
+}
+
+fn save(out: &str, name: &str, chart: &Chart) {
+    let path = format!("{out}/{name}");
+    std::fs::write(&path, chart.to_svg()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v[key].as_f64().unwrap_or(0.0)
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir: String = args.get("results").unwrap_or_else(|| "results".into());
+    let out: String = args.get("out").unwrap_or_else(|| dir.clone());
+
+    // Figures 2–5: predicted vs observed counts per µ.
+    if let Some(rows) = load(&dir, "figs2_5.json") {
+        for (fig, digits) in [(2u32, 8u64), (3, 16), (4, 24), (5, 32)] {
+            let sel: Vec<&Value> = rows
+                .iter()
+                .filter(|r| r["mu_digits"].as_u64() == Some(digits))
+                .collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let chart = Chart {
+                title: format!("Figure {fig}: multiplication counts (µ = {digits} digits)"),
+                x_label: "degree n".into(),
+                y_label: "multiplications".into(),
+                x_scale: Scale::Linear,
+                y_scale: Scale::Log10,
+                series: vec![
+                    Series {
+                        label: "observed".into(),
+                        points: sel.iter().map(|r| (f(r, "n"), f(r, "observed_total"))).collect(),
+                        color: COLORS[0].into(),
+                        dashed: false,
+                    },
+                    Series {
+                        label: "predicted".into(),
+                        points: sel.iter().map(|r| (f(r, "n"), f(r, "predicted_total"))).collect(),
+                        color: COLORS[1].into(),
+                        dashed: true,
+                    },
+                ],
+            };
+            save(&out, &format!("fig{fig}.svg"), &chart);
+        }
+    }
+
+    // Figures 6–7.
+    if let Some(rows) = load(&dir, "figs6_7.json") {
+        let mk = |title: &str, obs: &str, pred: &str, pred_label: &str| Chart {
+            title: title.into(),
+            x_label: "degree n".into(),
+            y_label: "count".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log10,
+            series: vec![
+                Series {
+                    label: "observed".into(),
+                    points: rows.iter().map(|r| (f(r, "n"), f(r, obs))).collect(),
+                    color: COLORS[0].into(),
+                    dashed: false,
+                },
+                Series {
+                    label: pred_label.into(),
+                    points: rows.iter().map(|r| (f(r, "n"), f(r, pred))).collect(),
+                    color: COLORS[1].into(),
+                    dashed: true,
+                },
+            ],
+        };
+        save(
+            &out,
+            "fig6.svg",
+            &mk("Figure 6: bisection-phase multiplications (µ = 32 digits)", "observed_count", "predicted_count", "predicted"),
+        );
+        save(
+            &out,
+            "fig7.svg",
+            &mk("Figure 7: bisection-phase bit complexity (µ = 32 digits)", "observed_bits", "predicted_bits_bound", "Collins bound"),
+        );
+    }
+
+    // Figure 8.
+    if let Some(rows) = load(&dir, "fig8.json") {
+        let chart = Chart {
+            title: "Figure 8: vs sequential Sturm baseline (µ = 30 digits)".into(),
+            x_label: "degree n".into(),
+            y_label: "seconds".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log10,
+            series: vec![
+                Series {
+                    label: "this algorithm (1 proc)".into(),
+                    points: rows.iter().map(|r| (f(r, "n"), f(r, "tree_secs"))).collect(),
+                    color: COLORS[0].into(),
+                    dashed: false,
+                },
+                Series {
+                    label: "Sturm baseline (PARI stand-in)".into(),
+                    points: rows.iter().map(|r| (f(r, "n"), f(r, "baseline_secs"))).collect(),
+                    color: COLORS[1].into(),
+                    dashed: false,
+                },
+            ],
+        };
+        save(&out, "fig8.svg", &chart);
+    }
+
+    // Figures 9–13 + speedup companions.
+    if let Some(cells) = load(&dir, "speedups.json") {
+        for (fig, digits) in [(9u32, 4u64), (10, 8), (11, 16), (12, 24), (13, 32)] {
+            let mut time_series = Vec::new();
+            let mut speed_series = Vec::new();
+            for (ci, &procs) in [1usize, 2, 4, 8, 16].iter().enumerate() {
+                let pts: Vec<(f64, f64)> = cells
+                    .iter()
+                    .filter(|c| {
+                        c["mu_digits"].as_u64() == Some(digits)
+                            && c["procs"].as_u64() == Some(procs as u64)
+                    })
+                    .map(|c| (f(c, "n"), f(c, "measured_secs")))
+                    .collect();
+                let spts: Vec<(f64, f64)> = cells
+                    .iter()
+                    .filter(|c| {
+                        c["mu_digits"].as_u64() == Some(digits)
+                            && c["procs"].as_u64() == Some(procs as u64)
+                    })
+                    .map(|c| (f(c, "n"), f(c, "simulated_speedup")))
+                    .collect();
+                if pts.is_empty() {
+                    continue;
+                }
+                time_series.push(Series {
+                    label: format!("P = {procs} (measured wall)"),
+                    points: pts,
+                    color: COLORS[ci % COLORS.len()].into(),
+                    dashed: false,
+                });
+                speed_series.push(Series {
+                    label: format!("P = {procs} (simulated)"),
+                    points: spts,
+                    color: COLORS[ci % COLORS.len()].into(),
+                    dashed: false,
+                });
+            }
+            if time_series.is_empty() {
+                continue;
+            }
+            save(
+                &out,
+                &format!("fig{fig}.svg"),
+                &Chart {
+                    title: format!("Figure {fig}: execution time vs degree (µ = {digits} digits)"),
+                    x_label: "degree n".into(),
+                    y_label: "seconds".into(),
+                    x_scale: Scale::Linear,
+                    y_scale: Scale::Log10,
+                    series: time_series,
+                },
+            );
+            save(
+                &out,
+                &format!("speedup_mu{digits}.svg"),
+                &Chart {
+                    title: format!("Simulated speedups (µ = {digits} digits)"),
+                    x_label: "degree n".into(),
+                    y_label: "speedup vs 1 processor".into(),
+                    x_scale: Scale::Linear,
+                    y_scale: Scale::Linear,
+                    series: speed_series,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! **The paper's stability claim**, demonstrated: *"this version of the
+//! algorithm … does not suffer from problems of stability that
+//! characterize many other implementations."*
+//!
+//! The study pits the exact algorithm against a standard double-precision
+//! all-roots solver (Durand–Kerner, `rr-baseline::float`) on inputs of
+//! increasing conditioning difficulty:
+//!
+//! * Wilkinson polynomials `∏(x−k)` — the canonical ill-conditioned
+//!   family (tiny coefficient perturbations move roots wildly, and plain
+//!   `f64` coefficient representation *is* such a perturbation for
+//!   n ≳ 20);
+//! * one-ulp root clusters (`rr-workload::families::clustered_roots`).
+//!
+//! For every input the exact algorithm's output is verified to be the
+//! correctly-rounded ceiling by independent sign checks, and the `f64`
+//! solver's worst root error is reported.
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin stability_study
+//! ```
+
+use rr_baseline::float::durand_kerner;
+use rr_bench::Args;
+use rr_core::{RootApproximator, SolverConfig};
+use rr_mp::Int;
+use rr_poly::eval::ScaledPoly;
+use rr_poly::Poly;
+use rr_workload::families::{clustered_roots, wilkinson};
+
+/// Verifies each reported scaled root is the exact ceiling (sign change
+/// or exact zero across its ulp). Returns the count verified.
+fn verify_exact(p: &Poly, roots: &[Int], mu: u64) -> usize {
+    let sp = ScaledPoly::new(p, mu);
+    roots
+        .iter()
+        .filter(|r| {
+            let at = sp.sign_at(r);
+            let below = sp.sign_at(&(*r - Int::one()));
+            at == 0 || below == 0 || at != below
+        })
+        .count()
+}
+
+fn main() {
+    let args = Args::parse();
+    let mu: u64 = args.get("mu").unwrap_or(53); // f64-mantissa-equivalent
+    println!("Stability study (exact algorithm vs f64 Durand-Kerner), µ = {mu} bits\n");
+    println!("input            | f64 worst |err| | f64 converged | exact roots verified");
+    println!("-----------------+-----------------+---------------+---------------------");
+
+    // Wilkinson family — errors grow explosively with n.
+    for n in [10usize, 15, 20, 22] {
+        let p = wilkinson(n);
+        let dk = durand_kerner(&p, 5000);
+        let mut worst = 0.0f64;
+        for k in 1..=n {
+            let best = dk
+                .roots
+                .iter()
+                .map(|z| (z.0 - k as f64).hypot(z.1))
+                .fold(f64::INFINITY, f64::min);
+            worst = worst.max(best);
+        }
+        let exact = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        let scaled: Vec<Int> = exact.roots.iter().map(|d| d.num.clone()).collect();
+        let verified = verify_exact(&p, &scaled, mu);
+        println!(
+            "wilkinson({n:<2})    | {worst:>15.3e} | {:>13} | {verified}/{n} exact ceilings",
+            dk.converged
+        );
+    }
+
+    // One-ulp clusters.
+    for (k, gap) in [(4usize, 20u64), (6, 26)] {
+        let p = clustered_roots(k, gap, 1);
+        let dk = durand_kerner(&p, 5000);
+        let mut worst = 0.0f64;
+        for i in 0..k {
+            let true_root = 1.0 + i as f64 / (gap as f64).exp2();
+            let best = dk
+                .roots
+                .iter()
+                .map(|z| (z.0 - true_root).hypot(z.1))
+                .fold(f64::INFINITY, f64::min);
+            worst = worst.max(best);
+        }
+        let solve_mu = gap + 8;
+        let exact = RootApproximator::new(SolverConfig::sequential(solve_mu))
+            .approximate_roots(&p)
+            .unwrap();
+        let scaled: Vec<Int> = exact.roots.iter().map(|d| d.num.clone()).collect();
+        let verified = verify_exact(&p, &scaled, solve_mu);
+        println!(
+            "cluster({k},2^-{gap:<2}) | {worst:>15.3e} | {:>13} | {verified}/{k} exact ceilings",
+            dk.converged
+        );
+    }
+
+    println!("\n(the f64 column degrades by many orders of magnitude on the hard inputs;");
+    println!(" the exact column stays at 100% by construction — the paper's claim that");
+    println!(" the method \"does not suffer from problems of stability\")");
+}

@@ -1,0 +1,90 @@
+//! **Table 2**: single-processor running times for degrees 10, 15, …, 70
+//! and µ ∈ {4, 8, 16, 24, 32} decimal digits, on the paper's workload
+//! (characteristic polynomials of random symmetric 0–1 matrices, several
+//! per degree, times averaged).
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin table2_seq_times -- \
+//!     [--max-n 70] [--polys 3] [--reps 1] [--json table2.json]
+//! ```
+
+use rr_bench::{digits_to_bits, maybe_write_json, Args, PAPER_MU_DIGITS};
+use rr_core::{RootApproximator, SolverConfig};
+use rr_workload::{charpoly_input, paper_degrees};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    m_bits: u64,
+    /// seconds per µ (digits), averaged over the polynomials
+    times: Vec<(u64, f64)>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_n: usize = args.get("max-n").unwrap_or(70);
+    let polys: u64 = args.get("polys").unwrap_or(3);
+    let reps: usize = args.get("reps").unwrap_or(1);
+
+    println!("Table 2 reproduction: single-processor running times (seconds)");
+    println!("workload: characteristic polynomials of random symmetric 0-1 matrices");
+    println!("({polys} polynomials per degree, best of {reps} rep(s), times averaged)\n");
+    let header: Vec<String> = PAPER_MU_DIGITS.iter().map(|d| format!("µ={d}")).collect();
+    println!("  n  | m(n) | {}", header.join("      | "));
+    println!(" ----+------+{}", "-".repeat(12 * PAPER_MU_DIGITS.len()));
+
+    let mut rows = Vec::new();
+    for n in paper_degrees().into_iter().filter(|&n| n <= max_n) {
+        let inputs: Vec<_> = (0..polys).map(|s| charpoly_input(n, s)).collect();
+        let m_bits = inputs.iter().map(|p| p.coeff_bits()).max().unwrap();
+        let mut times = Vec::new();
+        for &digits in &PAPER_MU_DIGITS {
+            let mu = digits_to_bits(digits);
+            let solver = RootApproximator::new(SolverConfig::sequential(mu));
+            let mut total = 0.0;
+            for p in &inputs {
+                let (_r, d) = rr_bench::time_best(reps, || {
+                    solver.approximate_roots(p).expect("real-rooted workload")
+                });
+                total += d.as_secs_f64();
+            }
+            times.push((digits, total / polys as f64));
+        }
+        let cells: Vec<String> = times.iter().map(|&(_, t)| format!("{t:>9.4}")).collect();
+        println!(" {:>3} | {:>4} | {}", n, m_bits, cells.join(" | "));
+        rows.push(Row { n, m_bits, times });
+    }
+
+    maybe_write_json(args.get::<String>("json"), &rows);
+
+    println!("\nShape checks vs the paper's Table 2 (embedded reference values):");
+    if rows.len() >= 2 {
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        let growth = last.times[0].1 / first.times[0].1.max(1e-12);
+        let paper_growth = rr_bench::paper_data::table2_secs(last.n, 4).unwrap()
+            / rr_bench::paper_data::table2_secs(first.n, 4).unwrap();
+        println!(
+            "  growth time(n={}, µ=4) / time(n={}, µ=4): measured {:.0}x, paper {:.0}x",
+            last.n, first.n, growth, paper_growth
+        );
+        let mu_sens = |r: &Row| r.times.last().unwrap().1 / r.times[0].1.max(1e-12);
+        let paper_sens = |n: usize| {
+            rr_bench::paper_data::table2_secs(n, 32).unwrap()
+                / rr_bench::paper_data::table2_secs(n, 4).unwrap()
+        };
+        println!(
+            "  µ-sensitivity (µ=32/µ=4) at n={}: measured {:.2}x, paper {:.2}x",
+            first.n, mu_sens(first), paper_sens(first.n)
+        );
+        println!(
+            "  µ-sensitivity (µ=32/µ=4) at n={}: measured {:.2}x, paper {:.2}x",
+            last.n, mu_sens(last), paper_sens(last.n)
+        );
+        println!(
+            "  (paper shape: sensitivity rises to n≈30, then falls as the µ-independent\n   \
+             precomputation dominates — 4.4x @ n=10, 5.4x @ n=30, 1.5x @ n=70)"
+        );
+    }
+}

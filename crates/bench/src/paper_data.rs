@@ -1,0 +1,136 @@
+//! The paper's published numbers, embedded for side-by-side shape
+//! comparison in the harness output and EXPERIMENTS.md.
+//!
+//! Source: Narendran & Tiwari, UW-Madison CS TR #1061 (Dec 1991) —
+//! Table 2 (single-processor seconds on a Sequent Symmetry) and
+//! Tables 3–7 (speedups w.r.t. one processor).
+
+/// Degrees of the paper's Table 2 rows.
+pub const TABLE2_N: [usize; 13] = [10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70];
+
+/// The paper's `m(n)` column (coefficient bits of the generated inputs).
+pub const TABLE2_M: [u64; 13] = [2, 4, 7, 9, 12, 14, 17, 20, 23, 26, 29, 32, 36];
+
+/// Table 2: seconds for µ ∈ {4, 8, 16, 24, 32} digits (columns) per
+/// degree (rows).
+pub const TABLE2_SECS: [[f64; 5]; 13] = [
+    [2.7, 3.2, 5.7, 8.0, 11.8],
+    [5.1, 8.0, 15.5, 26.7, 41.0],
+    [12.6, 19.3, 38.7, 66.8, 102.6],
+    [31.5, 45.4, 84.2, 143.8, 217.1],
+    [78.7, 107.2, 177.1, 288.5, 423.8],
+    [174.7, 222.5, 342.2, 521.2, 744.8],
+    [385.5, 458.5, 644.5, 911.5, 1264.2],
+    [799.8, 919.3, 1210.0, 1613.6, 2120.2],
+    [1517.0, 1690.4, 2108.0, 2692.1, 3412.2],
+    [2860.3, 3076.5, 3659.0, 4446.3, 5455.2],
+    [4877.4, 5228.0, 6019.3, 7122.2, 8476.1],
+    [7785.8, 8248.6, 9305.2, 10746.5, 12506.9],
+    [12930.5, 13557.8, 14963.7, 17270.8, 19243.2],
+];
+
+/// Degrees of the speedup tables (Tables 3–7).
+pub const SPEEDUP_N: [usize; 8] = [35, 40, 45, 50, 55, 60, 65, 70];
+
+/// Processor counts of the speedup tables.
+pub const SPEEDUP_P: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Tables 3–7: speedups `[µ-index][n-index][P-index]` for
+/// µ ∈ {4, 8, 16, 24, 32} digits.
+pub const SPEEDUPS: [[[f64; 5]; 8]; 5] = [
+    // µ = 4 (Table 3)
+    [
+        [1.0, 2.03, 3.86, 6.15, 5.90],
+        [1.0, 2.06, 3.98, 6.95, 7.65],
+        [1.0, 2.06, 4.03, 7.27, 8.94],
+        [1.0, 2.05, 4.06, 7.08, 8.54],
+        [1.0, 2.08, 4.12, 7.61, 8.94],
+        [1.0, 2.06, 4.09, 7.29, 10.61],
+        [1.0, 2.06, 4.10, 7.55, 10.50],
+        [1.0, 2.05, 4.08, 7.56, 9.22],
+    ],
+    // µ = 8 (Table 4)
+    [
+        [1.0, 2.02, 3.81, 6.34, 6.83],
+        [1.0, 2.04, 3.94, 7.22, 8.77],
+        [1.0, 2.05, 4.03, 7.28, 9.60],
+        [1.0, 2.06, 4.06, 6.92, 8.47],
+        [1.0, 2.06, 4.07, 7.55, 9.77],
+        [1.0, 2.05, 4.01, 7.55, 10.91],
+        [1.0, 2.05, 4.08, 7.54, 10.07],
+        [1.0, 2.04, 3.96, 7.25, 7.63],
+    ],
+    // µ = 16 (Table 5)
+    [
+        [1.0, 1.99, 3.74, 6.29, 7.92],
+        [1.0, 2.02, 3.93, 7.15, 9.58],
+        [1.0, 2.04, 3.99, 7.32, 10.39],
+        [1.0, 2.03, 4.00, 7.20, 9.25],
+        [1.0, 2.05, 4.04, 7.44, 10.40],
+        [1.0, 2.05, 4.05, 7.70, 11.24],
+        [1.0, 2.04, 4.07, 7.86, 11.23],
+        [1.0, 2.04, 4.05, 7.74, 10.80],
+    ],
+    // µ = 24 (Table 6)
+    [
+        [1.0, 1.98, 3.77, 6.55, 9.06],
+        [1.0, 2.00, 3.92, 7.17, 10.33],
+        [1.0, 2.02, 3.98, 7.35, 11.10],
+        [1.0, 2.02, 3.93, 7.16, 9.34],
+        [1.0, 2.02, 3.99, 7.43, 10.19],
+        [1.0, 2.02, 4.04, 7.76, 11.79],
+        [1.0, 2.04, 4.05, 7.84, 11.47],
+        [1.0, 2.03, 3.96, 7.32, 9.41],
+    ],
+    // µ = 32 (Table 7)
+    [
+        [1.0, 1.96, 3.77, 6.58, 9.40],
+        [1.0, 1.99, 3.92, 7.15, 10.43],
+        [1.0, 2.01, 3.96, 7.37, 11.78],
+        [1.0, 1.99, 3.93, 7.35, 9.13],
+        [1.0, 2.03, 3.95, 7.64, 11.49],
+        [1.0, 2.03, 4.01, 7.74, 12.09],
+        [1.0, 2.03, 4.03, 7.85, 11.46],
+        [1.0, 2.04, 4.05, 7.66, 11.35],
+    ],
+];
+
+/// The paper's Table 2 seconds for `(n, µ_digits)`, if tabulated.
+pub fn table2_secs(n: usize, mu_digits: u64) -> Option<f64> {
+    let row = TABLE2_N.iter().position(|&x| x == n)?;
+    let col = [4u64, 8, 16, 24, 32].iter().position(|&d| d == mu_digits)?;
+    Some(TABLE2_SECS[row][col])
+}
+
+/// The paper's speedup for `(µ_digits, n, procs)`, if tabulated.
+pub fn paper_speedup(mu_digits: u64, n: usize, procs: usize) -> Option<f64> {
+    let mi = [4u64, 8, 16, 24, 32].iter().position(|&d| d == mu_digits)?;
+    let ni = SPEEDUP_N.iter().position(|&x| x == n)?;
+    let pi = SPEEDUP_P.iter().position(|&x| x == procs)?;
+    Some(SPEEDUPS[mi][ni][pi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        assert_eq!(table2_secs(10, 4), Some(2.7));
+        assert_eq!(table2_secs(70, 32), Some(19243.2));
+        assert_eq!(table2_secs(12, 4), None);
+        assert_eq!(paper_speedup(32, 70, 16), Some(11.35));
+        assert_eq!(paper_speedup(4, 35, 8), Some(6.15));
+        assert_eq!(paper_speedup(4, 10, 8), None);
+    }
+
+    #[test]
+    fn paper_mu_sensitivity_shape() {
+        // the shape the harness compares against: sensitivity rises to
+        // n≈30 then falls toward 1 as precomputation dominates
+        let sens = |n: usize| table2_secs(n, 32).unwrap() / table2_secs(n, 4).unwrap();
+        assert!(sens(30) > sens(10));
+        assert!(sens(70) < sens(30));
+        assert!(sens(70) < 1.6);
+    }
+}

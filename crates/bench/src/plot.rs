@@ -1,0 +1,318 @@
+//! Minimal dependency-free SVG line/scatter plots, used by the
+//! `render_figures` binary to turn the harness JSON into figure files
+//! mirroring the paper's Figures 2–13.
+//!
+//! Deliberately tiny: linear or log₁₀ axes, polyline series with markers,
+//! a legend, and tick labels. No external crates.
+
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (all values must be positive).
+    Log10,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+    /// Dashed stroke (used for "predicted" curves).
+    pub dashed: bool,
+}
+
+/// A 2-D chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+fn tx(scale: Scale, v: f64) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log10 => v.max(f64::MIN_POSITIVE).log10(),
+    }
+}
+
+/// Round-number ticks covering `[lo, hi]` in *transformed* coordinates.
+fn ticks(scale: Scale, lo: f64, hi: f64) -> Vec<(f64, String)> {
+    match scale {
+        Scale::Log10 => {
+            let (a, b) = (lo.floor() as i64, hi.ceil() as i64);
+            (a..=b)
+                .map(|e| {
+                    let label = if (0..=4).contains(&e) {
+                        format!("{}", 10f64.powi(e as i32))
+                    } else {
+                        format!("1e{e}")
+                    };
+                    (e as f64, label)
+                })
+                .collect()
+        }
+        Scale::Linear => {
+            let span = (hi - lo).max(f64::MIN_POSITIVE);
+            let raw = span / 6.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|&s| span / s <= 7.0)
+                .unwrap_or(mag * 10.0);
+            let mut v = (lo / step).floor() * step;
+            let mut out = Vec::new();
+            while v <= hi + step * 0.01 {
+                if v >= lo - step * 0.01 {
+                    out.push((v, format!("{}", (v * 1000.0).round() / 1000.0)));
+                }
+                v += step;
+            }
+            out
+        }
+    }
+}
+
+impl Chart {
+    /// Renders the chart to an SVG document.
+    pub fn to_svg(&self) -> String {
+        // transformed data ranges
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(tx(self.x_scale, x));
+                ys.push(tx(self.y_scale, y));
+            }
+        }
+        let (x0, x1) = range(&xs);
+        let (y0, y1) = range(&ys);
+        let px = |x: f64| ML + (tx(self.x_scale, x) - x0) / (x1 - x0) * (W - ML - MR);
+        let py = |y: f64| H - MB - (tx(self.y_scale, y) - y0) / (y1 - y0) * (H - MT - MB);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            esc(&self.title)
+        );
+        // axes
+        let _ = write!(
+            svg,
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        let _ = write!(svg, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, H - MB);
+        // ticks
+        for (v, label) in ticks(self.x_scale, x0, x1) {
+            let x = ML + (v - x0) / (x1 - x0) * (W - ML - MR);
+            if !(ML - 1.0..=W - MR + 1.0).contains(&x) {
+                continue;
+            }
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#ccc"/><text x="{x}" y="{}" text-anchor="middle">{label}</text>"##,
+                MT,
+                H - MB,
+                H - MB + 18.0
+            );
+        }
+        for (v, label) in ticks(self.y_scale, y0, y1) {
+            let y = H - MB - (v - y0) / (y1 - y0) * (H - MT - MB);
+            if !(MT - 1.0..=H - MB + 1.0).contains(&y) {
+                continue;
+            }
+            let _ = write!(
+                svg,
+                r##"<line x1="{ML}" y1="{y}" x2="{}" y2="{y}" stroke="#eee"/><text x="{}" y="{}" text-anchor="end">{label}</text>"##,
+                W - MR,
+                ML - 6.0,
+                y + 4.0
+            );
+        }
+        // axis labels
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            esc(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label)
+        );
+        // series
+        for s in &self.series {
+            let mut path = String::new();
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                let _ = write!(path, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+            }
+            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let _ = write!(
+                svg,
+                r#"<path d="{path}" fill="none" stroke="{}" stroke-width="1.8"{dash}/>"#,
+                s.color
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{}"/>"#,
+                    px(x),
+                    py(y),
+                    s.color
+                );
+            }
+        }
+        // legend
+        for (i, s) in self.series.iter().enumerate() {
+            let y = MT + 8.0 + i as f64 * 18.0;
+            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="{}" stroke-width="2"{dash}/><text x="{}" y="{}">{}</text>"#,
+                ML + 12.0,
+                ML + 40.0,
+                s.color,
+                ML + 46.0,
+                y + 4.0,
+                esc(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn range(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        let pad = (hi - lo) * 0.04;
+        (lo - pad, hi + pad)
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        Chart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log10,
+            series: vec![
+                Series {
+                    label: "observed".into(),
+                    points: vec![(10.0, 100.0), (20.0, 1000.0), (30.0, 5000.0)],
+                    color: "#1f77b4".into(),
+                    dashed: false,
+                },
+                Series {
+                    label: "predicted <&>".into(),
+                    points: vec![(10.0, 90.0), (20.0, 900.0), (30.0, 4500.0)],
+                    color: "#d62728".into(),
+                    dashed: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_shell() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("stroke-dasharray"));
+        // XML-escaped legend label
+        assert!(svg.contains("predicted &lt;&amp;&gt;"));
+        assert!(!svg.contains("predicted <&>"));
+    }
+
+    #[test]
+    fn log_ticks_cover_decades() {
+        let t = ticks(Scale::Log10, 1.9, 3.2); // 10^1.9 .. 10^3.2
+        let labels: Vec<&str> = t.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(labels.contains(&"100"));
+        assert!(labels.contains(&"1000"));
+        assert!(labels.contains(&"10000"));
+    }
+
+    #[test]
+    fn linear_ticks_are_round() {
+        let t = ticks(Scale::Linear, 0.0, 70.0);
+        assert!(t.len() >= 4 && t.len() <= 9, "{t:?}");
+        for (v, _) in &t {
+            assert_eq!(v % 10.0, 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: vec![Series {
+                label: "flat".into(),
+                points: vec![(1.0, 5.0), (2.0, 5.0)],
+                color: "black".into(),
+                dashed: false,
+            }],
+        };
+        let svg = c.to_svg();
+        assert!(svg.contains("<path"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Dyadic rationals `num / 2^µ` — the algorithm's output type.
+//!
+//! Every quantity the algorithm manipulates during the interval stage is a
+//! `µ`-approximation, i.e. a rational with denominator `2^µ`, represented
+//! by its scaled integer numerator (Sec 3.3 of the paper: "every rational
+//! number x that we encounter can be identified with the integer 2^µ·x").
+
+use rr_mp::Int;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The dyadic rational `num / 2^µ`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    /// Scaled numerator (`2^µ` times the value).
+    pub num: Int,
+    /// Precision: number of fractional bits.
+    pub mu: u64,
+}
+
+impl Dyadic {
+    /// Builds `num / 2^µ`.
+    pub fn new(num: Int, mu: u64) -> Dyadic {
+        Dyadic { num, mu }
+    }
+
+    /// The integer `v` as a dyadic with the given precision.
+    pub fn from_int(v: &Int, mu: u64) -> Dyadic {
+        Dyadic { num: v << mu, mu }
+    }
+
+    /// The value as `f64` (lossy, for display/plots).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / (self.mu as f64).exp2()
+    }
+
+    /// True iff the value is the integer `v`.
+    pub fn is_integer_value(&self, v: &Int) -> bool {
+        self.num == (v << self.mu)
+    }
+
+    /// Re-expresses at a higher precision `mu2 ≥ mu` (exact).
+    ///
+    /// # Panics
+    /// Panics if `mu2 < self.mu`.
+    pub fn raise_precision(&self, mu2: u64) -> Dyadic {
+        assert!(mu2 >= self.mu, "cannot raise to a lower precision");
+        Dyadic { num: &self.num << (mu2 - self.mu), mu: mu2 }
+    }
+
+    /// Absolute difference as a dyadic at the max of the two precisions.
+    pub fn abs_diff(&self, other: &Dyadic) -> Dyadic {
+        let mu = self.mu.max(other.mu);
+        let a = self.raise_precision(mu);
+        let b = other.raise_precision(mu);
+        Dyadic { num: (a.num - b.num).abs(), mu }
+    }
+
+    /// True iff `|self − other| ≤ 2^−bits`.
+    pub fn within(&self, other: &Dyadic, bits: u64) -> bool {
+        let d = self.abs_diff(other);
+        // |num|/2^mu <= 2^-bits  ⟺  |num| <= 2^(mu-bits) (for mu >= bits)
+        if d.mu >= bits {
+            d.num <= Int::pow2(d.mu - bits)
+        } else {
+            d.num.is_zero() || (d.num << (bits - d.mu)) <= Int::one()
+        }
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Dyadic) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Dyadic) -> Ordering {
+        let mu = self.mu.max(other.mu);
+        (&self.num << (mu - self.mu)).cmp(&(&other.num << (mu - other.mu)))
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mu == 0 {
+            return write!(f, "{}", self.num);
+        }
+        write!(f, "{}/2^{}", self.num, self.mu)
+    }
+}
+
+impl fmt::Debug for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (≈{})", self, self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(num: i64, mu: u64) -> Dyadic {
+        Dyadic::new(Int::from(num), mu)
+    }
+
+    #[test]
+    fn float_conversion() {
+        assert_eq!(d(3, 1).to_f64(), 1.5);
+        assert_eq!(d(-5, 2).to_f64(), -1.25);
+        assert_eq!(d(7, 0).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn ordering_across_precisions() {
+        // 3/2 < 7/4 < 2
+        assert!(d(3, 1) < d(7, 2));
+        assert!(d(7, 2) < d(2, 0));
+        assert_eq!(d(4, 2).cmp(&d(1, 0)), Ordering::Equal);
+        assert!(d(-1, 3) < d(0, 0));
+    }
+
+    #[test]
+    fn precision_raising_preserves_value() {
+        let x = d(3, 1);
+        let y = x.raise_precision(5);
+        assert_eq!(y, d(48, 5));
+        assert_eq!(x.cmp(&y), Ordering::Equal);
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(d(8, 2).is_integer_value(&Int::from(2)));
+        assert!(!d(9, 2).is_integer_value(&Int::from(2)));
+        assert!(d(-16, 3).is_integer_value(&Int::from(-2)));
+    }
+
+    #[test]
+    fn within_tolerance() {
+        // |3/2 - 25/16| = 1/16
+        assert!(d(3, 1).within(&d(25, 4), 4));
+        assert!(!d(3, 1).within(&d(25, 4), 5));
+        assert!(d(3, 1).within(&d(3, 1), 60));
+    }
+
+    #[test]
+    fn abs_diff_precision() {
+        let diff = d(3, 1).abs_diff(&d(1, 2)); // 3/2 - 1/4 = 5/4
+        assert_eq!(diff, d(5, 2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(d(3, 1).to_string(), "3/2^1");
+        assert_eq!(d(42, 0).to_string(), "42");
+    }
+}

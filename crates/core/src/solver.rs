@@ -1,0 +1,353 @@
+//! Public entry point: configuration, the [`RootApproximator`], and
+//! per-run statistics.
+
+use crate::dyadic::Dyadic;
+use crate::interval::Inconsistency;
+pub use crate::par_solver::Grain;
+pub use crate::refine::RefineStrategy;
+use rr_mp::metrics::{self, CostSnapshot, Phase};
+use rr_poly::bounds::root_bound_bits;
+use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
+use rr_poly::Poly;
+use rr_sched::{PoolStats, TaskTrace};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How the solver executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single thread, plain recursion (the reference).
+    Sequential,
+    /// The paper's dynamic task-queue scheduling on `threads` workers.
+    Dynamic {
+        /// Number of worker threads.
+        threads: usize,
+    },
+    /// The static level-by-level ablation on `threads` workers.
+    Static {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Output precision: roots are returned as `⌈2^µ·x⌉ / 2^µ`.
+    pub mu: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Run the remainder stage sequentially even in parallel modes (the
+    /// paper's run-time option).
+    pub seq_remainder: bool,
+    /// Refinement strategy for isolated roots.
+    pub refine: RefineStrategy,
+    /// Task granularity of the tree stage's matrix products (dynamic
+    /// mode only).
+    pub grain: Grain,
+}
+
+impl SolverConfig {
+    /// Sequential solve at precision `mu`.
+    pub fn sequential(mu: u64) -> SolverConfig {
+        SolverConfig {
+            mu,
+            mode: ExecMode::Sequential,
+            seq_remainder: true,
+            refine: RefineStrategy::Hybrid,
+            grain: Grain::Entry,
+        }
+    }
+
+    /// Dynamic-parallel solve at precision `mu` on `threads` workers.
+    pub fn parallel(mu: u64, threads: usize) -> SolverConfig {
+        SolverConfig {
+            mu,
+            mode: if threads <= 1 {
+                ExecMode::Sequential
+            } else {
+                ExecMode::Dynamic { threads }
+            },
+            seq_remainder: false,
+            refine: RefineStrategy::Hybrid,
+            grain: Grain::Entry,
+        }
+    }
+}
+
+/// Why a solve failed.
+#[derive(Debug)]
+pub enum SolveError {
+    /// Building the remainder sequence failed — most commonly because the
+    /// input polynomial does not have all roots real.
+    Seq(SeqError),
+    /// The interval stage detected an inconsistency.
+    Interval(Inconsistency),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Seq(e) => write!(f, "{e}"),
+            SolveError::Interval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SeqError> for SolveError {
+    fn from(e: SeqError) -> SolveError {
+        SolveError::Seq(e)
+    }
+}
+
+impl From<Inconsistency> for SolveError {
+    fn from(e: Inconsistency) -> SolveError {
+        SolveError::Interval(e)
+    }
+}
+
+/// Statistics from one solve.
+#[derive(Debug, Clone)]
+pub struct SolveStats {
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Wall-clock time of the remainder (precomputation) stage.
+    pub remainder_wall: Duration,
+    /// Wall-clock time of the tree + interval stage.
+    pub tree_wall: Duration,
+    /// Per-phase multiprecision operation counts for this solve (the
+    /// difference of global snapshots around the run).
+    pub cost: CostSnapshot,
+    /// Pool statistics (dynamic mode only).
+    pub pool: Option<PoolStats>,
+    /// Recorded task traces of the dynamic pool runs (remainder stage
+    /// first when it ran in parallel, then the tree stage). Empty outside
+    /// dynamic mode. Input to the trace-driven speedup simulation.
+    pub traces: Vec<TaskTrace>,
+    /// The root bound `R` used (all roots in `(−2^R, 2^R)`).
+    pub bound_bits: u64,
+}
+
+impl SolveStats {
+    /// Multiplications recorded in a given phase.
+    pub fn muls(&self, phase: Phase) -> u64 {
+        self.cost.phase(phase).mul_count
+    }
+
+    /// Trace-driven simulated speedups on `procs` virtual processors:
+    /// the recorded task graphs (one per pool run, replayed back to back)
+    /// list-scheduled by `rr_sched::sim`. This is how the paper's
+    /// Tables 3–7 are reproduced on hosts with fewer cores than the
+    /// Sequent Symmetry — see DESIGN.md's substitution table.
+    pub fn simulate_speedups(&self, procs: &[usize]) -> Vec<(usize, f64)> {
+        let makespan = |p: usize| -> f64 {
+            self.traces
+                .iter()
+                .map(|t| rr_sched::sim::simulate_makespan(t, p).as_secs_f64())
+                .sum()
+        };
+        let t1 = makespan(1);
+        procs.iter().map(|&p| (p, t1 / makespan(p).max(1e-12))).collect()
+    }
+}
+
+/// The result of a solve: the distinct real roots in ascending order,
+/// each a correctly-rounded (ceiling) `µ`-approximation.
+#[derive(Debug, Clone)]
+pub struct RootsResult {
+    /// `⌈2^µ·x⌉ / 2^µ` for each distinct root `x`, ascending.
+    pub roots: Vec<Dyadic>,
+    /// Degree of the input.
+    pub n: usize,
+    /// Number of distinct roots (`< n` iff the input had repeated roots).
+    pub n_star: usize,
+    /// Run statistics.
+    pub stats: SolveStats,
+}
+
+/// The solver. Construct with a [`SolverConfig`], then call
+/// [`RootApproximator::approximate_roots`].
+///
+/// See the crate docs for the algorithm and an example.
+#[derive(Debug, Clone)]
+pub struct RootApproximator {
+    config: SolverConfig,
+}
+
+impl RootApproximator {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> RootApproximator {
+        RootApproximator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Approximates all distinct roots of `p` (all roots must be real).
+    ///
+    /// Repeated roots are supported: the remainder stage detects them (the
+    /// sequence terminates early at `gcd(F_0, F_0')`, Sec 2.3), after which
+    /// the tree stage runs on the squarefree part — same distinct roots,
+    /// all simple. (The literal Sec 2.3 extension keeps `F_{i−1}` — with
+    /// its repeated roots — as the spine polynomials, which breaks the
+    /// sign-parity root counting of Sec 2.2; dividing out the gcd the
+    /// sequence already produced is the equivalent fix, and is documented
+    /// as such in DESIGN.md.)
+    pub fn approximate_roots(&self, p: &Poly) -> Result<RootsResult, SolveError> {
+        let cfg = &self.config;
+        let cost0 = metrics::snapshot();
+        let t0 = Instant::now();
+
+        // Stage 1: remainder/quotient sequences (+ squarefree reduction
+        // when the input had repeated roots).
+        let mut traces = Vec::new();
+        let rs0 = self.remainder_stage(p, &mut traces)?;
+        let (n, n_star) = (rs0.n, rs0.n_star);
+        let (rs, work_poly) = if rs0.squarefree() {
+            (rs0, p.clone())
+        } else {
+            let p_star = metrics::with_phase(Phase::RemainderSeq, || rs0.squarefree_input());
+            let rs_star = self.remainder_stage(&p_star, &mut traces)?;
+            debug_assert!(rs_star.squarefree());
+            (rs_star, p_star)
+        };
+        let remainder_wall = t0.elapsed();
+
+        // Stage 2+3: tree polynomials and interval problems.
+        let bound_bits = root_bound_bits(&work_poly);
+        let t1 = Instant::now();
+        let (scaled, pool) = self.tree_stage(&rs, bound_bits, &mut traces)?;
+        let tree_wall = t1.elapsed();
+
+        let stats = SolveStats {
+            wall: t0.elapsed(),
+            remainder_wall,
+            tree_wall,
+            cost: metrics::snapshot() - cost0,
+            pool,
+            traces,
+            bound_bits,
+        };
+        Ok(RootsResult {
+            roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
+            n,
+            n_star,
+            stats,
+        })
+    }
+
+    fn remainder_stage(
+        &self,
+        p: &Poly,
+        traces: &mut Vec<TaskTrace>,
+    ) -> Result<RemainderSeq, SeqError> {
+        match self.config.mode {
+            ExecMode::Dynamic { threads } if !self.config.seq_remainder => {
+                let (rs, trace) = crate::rem_stage::parallel_remainder_traced(p, threads)?;
+                traces.push(trace);
+                Ok(rs)
+            }
+            _ => metrics::with_phase(Phase::RemainderSeq, || remainder_sequence(p)),
+        }
+    }
+
+    fn tree_stage(
+        &self,
+        rs: &RemainderSeq,
+        bound_bits: u64,
+        traces: &mut Vec<TaskTrace>,
+    ) -> Result<(Vec<rr_mp::Int>, Option<PoolStats>), SolveError> {
+        let cfg = &self.config;
+        match cfg.mode {
+            ExecMode::Sequential => {
+                let roots = crate::seq_solver::solve_sequential(rs, cfg.mu, bound_bits, cfg.refine)?;
+                Ok((roots, None))
+            }
+            ExecMode::Dynamic { threads } => {
+                let (roots, stats, trace) = crate::par_solver::solve_parallel_traced(
+                    rs, cfg.mu, bound_bits, cfg.refine, cfg.grain, threads,
+                )?;
+                traces.push(trace);
+                Ok((roots, Some(stats)))
+            }
+            ExecMode::Static { threads } => {
+                let (roots, _stats) =
+                    crate::static_solver::solve_static(rs, cfg.mu, bound_bits, cfg.refine, threads)?;
+                Ok((roots, None))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_mp::Int;
+
+    fn wilkinson(n: i64) -> Poly {
+        Poly::from_roots(&(1..=n).map(Int::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let p = wilkinson(14);
+        let seq = RootApproximator::new(SolverConfig::sequential(10))
+            .approximate_roots(&p)
+            .unwrap();
+        for mode in [
+            ExecMode::Dynamic { threads: 4 },
+            ExecMode::Static { threads: 4 },
+        ] {
+            let mut cfg = SolverConfig::sequential(10);
+            cfg.mode = mode;
+            cfg.seq_remainder = false;
+            let got = RootApproximator::new(cfg).approximate_roots(&p).unwrap();
+            assert_eq!(seq.roots, got.roots, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn result_metadata() {
+        let p = Poly::from_roots(&[Int::from(1), Int::from(1), Int::from(5)]);
+        let r = RootApproximator::new(SolverConfig::sequential(4))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.n, 3);
+        assert_eq!(r.n_star, 2);
+        assert_eq!(r.roots.len(), 2);
+        assert!(r.stats.wall >= r.stats.tree_wall);
+        assert!(r.stats.muls(Phase::RemainderSeq) > 0);
+    }
+
+    #[test]
+    fn rejects_complex_roots() {
+        let p = Poly::from_i64(&[1, 0, 1]);
+        let e = RootApproximator::new(SolverConfig::sequential(4)).approximate_roots(&p);
+        assert!(matches!(e, Err(SolveError::Seq(_))));
+    }
+
+    #[test]
+    fn parallel_config_clamps_single_thread() {
+        let cfg = SolverConfig::parallel(8, 1);
+        assert_eq!(cfg.mode, ExecMode::Sequential);
+        let cfg = SolverConfig::parallel(8, 4);
+        assert_eq!(cfg.mode, ExecMode::Dynamic { threads: 4 });
+    }
+
+    #[test]
+    fn pool_stats_present_only_in_dynamic_mode() {
+        let p = wilkinson(10);
+        let seq = RootApproximator::new(SolverConfig::sequential(6))
+            .approximate_roots(&p)
+            .unwrap();
+        assert!(seq.stats.pool.is_none());
+        let par = RootApproximator::new(SolverConfig::parallel(6, 3))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(par.stats.pool.as_ref().unwrap().workers, 3);
+    }
+}

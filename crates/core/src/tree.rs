@@ -1,0 +1,252 @@
+//! The interleaving tree over index ranges `[i, j]`.
+//!
+//! Node `[i, j]` (1-based, `i ≤ j ≤ n`) owns the polynomial `P_{i,j}`. An
+//! internal node splits at `k = i + ⌊(j−i+1)/2⌋` into a left child
+//! `[i, k−1]` and a right child `[k+1, j]` (absent when `k = j`, i.e. the
+//! range has exactly two indices — then `P_{k+1,j} = 1` by the convention
+//! of Eq. (5) and the node's matrix recurrence uses `T = c_k²·I` for the
+//! missing child).
+//!
+//! Three node kinds matter to the algorithm:
+//! * **leaf** `[i, i]`, `i < n`: polynomial `Q_i`, matrix `Ŝ_i`;
+//! * **spine** `[i, n]`: polynomial `F_{i−1}` read directly from the
+//!   remainder sequence — no matrix product is ever performed on the
+//!   rightmost spine (this is why the paper's Section 4.2 cost sum skips
+//!   the last node of every level);
+//! * **non-spine internal**: matrix via the `T` recurrence, polynomial is
+//!   its `(2,2)` entry.
+
+/// One node of the interleaving tree, addressed by arena index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Range start (1-based, inclusive).
+    pub i: usize,
+    /// Range end (1-based, inclusive).
+    pub j: usize,
+    /// Split index `k` for internal nodes (`None` for leaves).
+    pub k: Option<usize>,
+    /// Arena index of the left child `[i, k−1]`.
+    pub left: Option<usize>,
+    /// Arena index of the right child `[k+1, j]` (`None` when `k = j`).
+    pub right: Option<usize>,
+    /// Arena index of the parent (`None` for the root).
+    pub parent: Option<usize>,
+    /// Depth (root = 0) — the paper's level `l`.
+    pub level: usize,
+}
+
+impl TreeNode {
+    /// True iff this is a leaf `[i, i]`.
+    pub fn is_leaf(&self) -> bool {
+        self.i == self.j
+    }
+
+    /// Number of indices in the range (`j − i + 1`) — the degree of
+    /// `P_{i,j}` in the squarefree case.
+    pub fn size(&self) -> usize {
+        self.j - self.i + 1
+    }
+
+    /// Number of children present (0, 1, or 2).
+    pub fn child_count(&self) -> usize {
+        self.left.is_some() as usize + self.right.is_some() as usize
+    }
+}
+
+/// The tree for a degree-`n` input, as a flat arena (children before
+/// parents is *not* guaranteed; traverse via indices).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// All nodes; `nodes[root]` is `[1, n]`.
+    pub nodes: Vec<TreeNode>,
+    /// Arena index of the root.
+    pub root: usize,
+    /// Degree of the input polynomial.
+    pub n: usize,
+}
+
+/// True iff node `[i, j]` lies on the rightmost spine of a degree-`n`
+/// tree (its polynomial is `F_{i−1}`).
+pub fn is_spine(node: &TreeNode, n: usize) -> bool {
+    node.j == n
+}
+
+impl Tree {
+    /// Builds the tree for input degree `n ≥ 1`.
+    pub fn build(n: usize) -> Tree {
+        assert!(n >= 1, "tree needs degree >= 1");
+        let mut nodes = Vec::with_capacity(2 * n);
+        let root = build_rec(&mut nodes, 1, n, None, 0);
+        Tree { nodes, root, n }
+    }
+
+    /// The node at arena index `idx`.
+    pub fn node(&self, idx: usize) -> &TreeNode {
+        &self.nodes[idx]
+    }
+
+    /// Iterator over arena indices of all leaves.
+    pub fn leaves(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf())
+    }
+
+    /// Number of levels (root is level 0).
+    pub fn levels(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0) + 1
+    }
+}
+
+fn build_rec(
+    nodes: &mut Vec<TreeNode>,
+    i: usize,
+    j: usize,
+    parent: Option<usize>,
+    level: usize,
+) -> usize {
+    let idx = nodes.len();
+    nodes.push(TreeNode { i, j, k: None, left: None, right: None, parent, level });
+    if i < j {
+        let k = i + (j - i).div_ceil(2);
+        debug_assert!(i < k && k <= j);
+        let left = build_rec(nodes, i, k - 1, Some(idx), level + 1);
+        nodes[idx].left = Some(left);
+        if k < j {
+            let right = build_rec(nodes, k + 1, j, Some(idx), level + 1);
+            nodes[idx].right = Some(right);
+        }
+        nodes[idx].k = Some(k);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_one_is_single_leaf() {
+        let t = Tree::build(1);
+        assert_eq!(t.nodes.len(), 1);
+        assert!(t.node(t.root).is_leaf());
+        assert_eq!((t.node(t.root).i, t.node(t.root).j), (1, 1));
+    }
+
+    #[test]
+    fn degree_three_structure() {
+        // [1,3] -> k=2, left [1,1], right [3,3]
+        let t = Tree::build(3);
+        let root = t.node(t.root);
+        assert_eq!((root.i, root.j, root.k), (1, 3, Some(2)));
+        let left = t.node(root.left.unwrap());
+        let right = t.node(root.right.unwrap());
+        assert_eq!((left.i, left.j), (1, 1));
+        assert_eq!((right.i, right.j), (3, 3));
+        assert!(is_spine(root, 3));
+        assert!(!is_spine(left, 3));
+        assert!(is_spine(right, 3));
+    }
+
+    #[test]
+    fn size_two_has_no_right_child() {
+        let t = Tree::build(2);
+        let root = t.node(t.root);
+        assert_eq!(root.k, Some(2));
+        assert!(root.right.is_none());
+        let left = t.node(root.left.unwrap());
+        assert_eq!((left.i, left.j), (1, 1));
+    }
+
+    #[test]
+    fn invariants_for_many_degrees() {
+        for n in 1..=64usize {
+            let t = Tree::build(n);
+            let root = t.node(t.root);
+            assert_eq!((root.i, root.j), (1, n));
+            let mut leaf_plus_split: Vec<usize> = Vec::new();
+            for node in &t.nodes {
+                assert!(node.i <= node.j && node.j <= n);
+                if node.is_leaf() {
+                    // Leaves are [i,i] with i < n (polynomial Q_i), except
+                    // the spine leaf [n,n] (polynomial F_{n−1}) which only
+                    // ever appears as the right child of a spine node.
+                    if node.i == n && n > 1 {
+                        let parent = t.node(node.parent.unwrap());
+                        assert!(is_spine(parent, n));
+                    }
+                    leaf_plus_split.push(node.i);
+                } else {
+                    let k = node.k.unwrap();
+                    assert!(node.i < k && k <= node.j);
+                    leaf_plus_split.push(k);
+                    let left = t.node(node.left.unwrap());
+                    assert_eq!((left.i, left.j), (node.i, k - 1));
+                    match node.right {
+                        Some(r) => {
+                            let right = t.node(r);
+                            assert_eq!((right.i, right.j), (k + 1, node.j));
+                        }
+                        None => assert_eq!(k, node.j),
+                    }
+                    // children sizes are balanced within 1 of each other
+                    let ls = k - node.i;
+                    let rs = node.j - k;
+                    assert!(ls.abs_diff(rs) <= 1, "[{},{}] split {k}", node.i, node.j);
+                }
+            }
+            // Every index 1..=n is consumed exactly once as a leaf or a
+            // split point (this is what makes the interleaving counts add
+            // up: the parent has exactly one more root than its children
+            // combined).
+            leaf_plus_split.sort_unstable();
+            let expect: Vec<usize> = (1..=n).collect();
+            assert_eq!(leaf_plus_split, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn level_structure_for_power_of_two_minus_one() {
+        // n = 2^K - 1 gives the paper's perfectly balanced tree: level l
+        // has 2^l nodes of size 2^(K-l) - 1.
+        let t = Tree::build(15);
+        assert_eq!(t.levels(), 4);
+        for l in 0..4usize {
+            let at_level: Vec<&TreeNode> =
+                t.nodes.iter().filter(|nd| nd.level == l).collect();
+            assert_eq!(at_level.len(), 1 << l, "level {l}");
+            for nd in at_level {
+                assert_eq!(nd.size(), (1 << (4 - l)) - 1, "level {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_level_indexing_eq_42() {
+        // P^{(l,j)} = P_{j·2^{K−l}+1, (j+1)·2^{K−l}−1} for n = 2^K − 1.
+        let k_exp = 4usize;
+        let n = (1 << k_exp) - 1;
+        let t = Tree::build(n);
+        for node in &t.nodes {
+            let l = node.level;
+            let stride = 1 << (k_exp - l);
+            // position within the level
+            let j = (node.i - 1) / stride;
+            assert_eq!(node.i, j * stride + 1, "[{},{}] l={l}", node.i, node.j);
+            assert_eq!(node.j, (j + 1) * stride - 1, "[{},{}] l={l}", node.i, node.j);
+        }
+    }
+
+    #[test]
+    fn spine_polynomials_never_need_matrices() {
+        // every spine node's children: left is non-spine, right is spine
+        let t = Tree::build(31);
+        for node in &t.nodes {
+            if is_spine(node, 31) && !node.is_leaf() {
+                let left = t.node(node.left.unwrap());
+                assert!(!is_spine(left, 31));
+                if let Some(r) = node.right {
+                    assert!(is_spine(t.node(r), 31));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for multiplicity recovery (the Sec 2.3 extension).
+
+use proptest::prelude::*;
+use rr_core::multiple::roots_with_multiplicity;
+use rr_core::refine::RefineStrategy;
+use rr_mp::Int;
+use rr_poly::Poly;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn profile_matches_construction(
+        spec in prop::collection::btree_map(-15i64..15, 1usize..4, 1..5),
+    ) {
+        let mut all: Vec<Int> = Vec::new();
+        for (&r, &m) in &spec {
+            for _ in 0..m {
+                all.push(Int::from(r));
+            }
+        }
+        let p = Poly::from_roots(&all);
+        let mu = 5;
+        let got = roots_with_multiplicity(&p, mu, RefineStrategy::Hybrid).unwrap();
+        let expect: Vec<(Int, usize)> = spec
+            .iter()
+            .map(|(&r, &m)| (Int::from(r) << mu, m))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multiplicities_sum_to_degree(
+        spec in prop::collection::btree_map(-10i64..10, 1usize..5, 1..4),
+        mu in 0u64..8,
+    ) {
+        let mut all: Vec<Int> = Vec::new();
+        for (&r, &m) in &spec {
+            for _ in 0..m {
+                all.push(Int::from(r));
+            }
+        }
+        let p = Poly::from_roots(&all);
+        let got = roots_with_multiplicity(&p, mu, RefineStrategy::Hybrid).unwrap();
+        let total: usize = got.iter().map(|&(_, m)| m).sum();
+        prop_assert_eq!(total, p.deg());
+        prop_assert_eq!(got.len(), spec.len());
+        // ascending and strictly distinct
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn scaled_inputs_same_profile(
+        spec in prop::collection::btree_map(-8i64..8, 1usize..3, 1..4),
+        scale in 1i64..20,
+    ) {
+        let mut all: Vec<Int> = Vec::new();
+        for (&r, &m) in &spec {
+            for _ in 0..m {
+                all.push(Int::from(r));
+            }
+        }
+        let p = Poly::from_roots(&all).scale(&Int::from(scale));
+        let mu = 4;
+        let got = roots_with_multiplicity(&p, mu, RefineStrategy::Hybrid).unwrap();
+        let expect: Vec<(Int, usize)> = spec
+            .iter()
+            .map(|(&r, &m)| (Int::from(r) << mu, m))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

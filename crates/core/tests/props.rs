@@ -1,0 +1,160 @@
+//! Property tests for the full solver: correctness of the
+//! `µ`-approximations against construction ground truth, agreement across
+//! execution modes and strategies, and repeated-root handling.
+
+use proptest::prelude::*;
+use rr_core::{ExecMode, Grain, RefineStrategy, RootApproximator, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+
+/// Distinct sorted integer roots.
+fn arb_distinct_roots(max_n: usize) -> impl Strategy<Value = Vec<Int>> {
+    prop::collection::btree_set(-40i64..=40, 1..=max_n)
+        .prop_map(|s| s.into_iter().map(Int::from).collect())
+}
+
+/// Rational roots p/q as (num, den) pairs with small distinct values.
+fn arb_rational_roots(max_n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::btree_set((-30i64..=30, 1i64..=6), 1..=max_n).prop_map(|s| {
+        let mut v: Vec<(i64, i64)> = s.into_iter().collect();
+        // dedupe by value
+        v.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+        v.dedup_by(|a, b| a.0 * b.1 == b.0 * a.1);
+        v
+    })
+}
+
+fn poly_from_rationals(roots: &[(i64, i64)]) -> Poly {
+    // ∏ (q x − p)
+    let mut f = Poly::one();
+    for &(p, q) in roots {
+        f = &f * &Poly::from_coeffs(vec![Int::from(-p), Int::from(q)]);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integer_roots_exact(roots in arb_distinct_roots(9), mu in 0u64..20) {
+        let p = Poly::from_roots(&roots);
+        let got = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        prop_assert_eq!(got.roots.len(), roots.len());
+        for (r, x) in got.roots.iter().zip(&roots) {
+            prop_assert_eq!(&r.num, &(x << mu), "root {} at mu {}", x, mu);
+        }
+    }
+
+    #[test]
+    fn rational_roots_correctly_rounded(roots in arb_rational_roots(6), mu in 0u64..16) {
+        let p = poly_from_rationals(&roots);
+        let got = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        prop_assert_eq!(got.roots.len(), roots.len());
+        for (r, &(num, den)) in got.roots.iter().zip(&roots) {
+            // exact ceiling: ⌈2^µ · num/den⌉
+            let expect = (Int::from(num) << mu).div_ceil(&Int::from(den));
+            prop_assert_eq!(&r.num, &expect, "root {}/{} at mu {}", num, den, mu);
+        }
+    }
+
+    #[test]
+    fn all_modes_and_strategies_agree(roots in arb_distinct_roots(8), mu in 0u64..12) {
+        let p = Poly::from_roots(&roots);
+        let reference = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        let mut configs = Vec::new();
+        for mode in [ExecMode::Dynamic { threads: 3 }, ExecMode::Static { threads: 3 }] {
+            let mut c = SolverConfig::sequential(mu);
+            c.mode = mode;
+            c.seq_remainder = false;
+            configs.push(c);
+        }
+        let mut c = SolverConfig::sequential(mu);
+        c.refine = RefineStrategy::BisectOnly;
+        configs.push(c);
+        let mut c = SolverConfig::sequential(mu);
+        c.refine = RefineStrategy::SecantHybrid;
+        configs.push(c);
+        let mut c = SolverConfig::parallel(mu, 2);
+        c.grain = Grain::Coarse;
+        configs.push(c);
+        for cfg in configs {
+            let got = RootApproximator::new(cfg).approximate_roots(&p).unwrap();
+            prop_assert_eq!(&reference.roots, &got.roots, "{:?}", cfg);
+        }
+    }
+
+    #[test]
+    fn repeated_roots_distinct_output(base in arb_distinct_roots(5), dups in prop::collection::vec(0usize..5, 0..4)) {
+        let mut all: Vec<Int> = base.clone();
+        for &d in &dups {
+            if d < base.len() {
+                all.push(base[d].clone());
+            }
+        }
+        let p = Poly::from_roots(&all);
+        let mu = 6;
+        let got = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        prop_assert_eq!(got.n, all.len());
+        prop_assert_eq!(got.n_star, base.len());
+        prop_assert_eq!(got.roots.len(), base.len());
+        for (r, x) in got.roots.iter().zip(&base) {
+            prop_assert_eq!(&r.num, &(x << mu));
+        }
+    }
+
+    #[test]
+    fn precision_refinement_is_consistent(roots in arb_rational_roots(4), mu in 1u64..10) {
+        // The µ-approximation at precision µ is within one ulp above the
+        // (µ+4)-approximation, and both are ceilings of the same root:
+        // x̃_µ − ulp_µ < x̃_{µ+4} ≤ ... relationships via exact values.
+        let p = poly_from_rationals(&roots);
+        let lo = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p).unwrap();
+        let hi = RootApproximator::new(SolverConfig::sequential(mu + 4))
+            .approximate_roots(&p).unwrap();
+        for (a, b) in lo.roots.iter().zip(hi.roots.iter()) {
+            // a = ⌈2^µ x⌉/2^µ, b = ⌈2^{µ+4} x⌉/2^{µ+4}:
+            // b ≤ a  and  a − b < 2^{−µ}
+            prop_assert!(b <= a);
+            let diff = a.abs_diff(b);
+            prop_assert!(diff.num < Int::pow2(diff.mu - mu));
+        }
+    }
+
+    #[test]
+    fn sturm_count_agrees_with_output(roots in arb_distinct_roots(7)) {
+        let p = Poly::from_roots(&roots);
+        let chain = rr_poly::sturm::SturmChain::new(&p);
+        let got = RootApproximator::new(SolverConfig::sequential(8))
+            .approximate_roots(&p)
+            .unwrap();
+        prop_assert_eq!(chain.count_distinct_real_roots(), got.roots.len());
+    }
+
+    #[test]
+    fn each_output_brackets_a_true_root(roots in arb_rational_roots(5)) {
+        // sign change (or exact zero) across (x̃ − ulp, x̃] for every
+        // reported root, verified by exact scaled evaluation.
+        let p = poly_from_rationals(&roots);
+        let mu = 8;
+        let got = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        let sp = rr_poly::eval::ScaledPoly::new(&p, mu);
+        for r in &got.roots {
+            let at = sp.sign_at(&r.num);
+            let below = sp.sign_at(&(&r.num - Int::one()));
+            prop_assert!(at == 0 || below == 0 || at != below,
+                "no root in ({}-1, {}] / 2^{}", r.num, r.num, mu);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # rr-linalg — exact integer linear algebra
+//!
+//! Substrate crate with two jobs:
+//!
+//! 1. **Workload generation** (paper Section 5): the experiments run on
+//!    characteristic polynomials of randomly generated symmetric integer
+//!    matrices — symmetric real matrices have all-real eigenvalues, so
+//!    their characteristic polynomials are exactly the real-rooted inputs
+//!    the algorithm requires. [`IntMatrix`] plus
+//!    [`charpoly::char_poly`] (Faddeev–LeVerrier, exact over ℤ) and
+//!    [`sym::random_symmetric_01`] reproduce that generator.
+//!
+//! 2. **The tree-stage matrix algebra** (paper Section 2.1):
+//!    [`polymat::Mat2`] is the 2×2 integer-polynomial matrix type used for
+//!    the `T`/`Ŝ` matrices, with entry-level products so the parallel
+//!    implementation can split one matrix multiplication into four tasks
+//!    exactly as Section 3.2 describes.
+
+#![warn(missing_docs)]
+
+pub mod charpoly;
+pub mod polymat;
+pub mod sym;
+
+mod matrix;
+
+pub use matrix::IntMatrix;
+pub use polymat::Mat2;

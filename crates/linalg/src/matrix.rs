@@ -1,0 +1,209 @@
+//! Dense square integer matrices.
+
+use rr_mp::Int;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense `n × n` matrix of [`Int`]s in row-major order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IntMatrix {
+    n: usize,
+    data: Vec<Int>,
+}
+
+impl IntMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(n: usize) -> IntMatrix {
+        IntMatrix { n, data: vec![Int::zero(); n * n] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> IntMatrix {
+        let mut m = IntMatrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = Int::one();
+        }
+        m
+    }
+
+    /// Builds from a row-major vector of length `n²`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n²`.
+    pub fn from_vec(n: usize, data: Vec<Int>) -> IntMatrix {
+        assert_eq!(data.len(), n * n, "row-major data must have n² entries");
+        IntMatrix { n, data }
+    }
+
+    /// Builds from row-major machine integers.
+    pub fn from_i64(n: usize, data: &[i64]) -> IntMatrix {
+        IntMatrix::from_vec(n, data.iter().map(|&v| Int::from(v)).collect())
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Trace (sum of the diagonal).
+    pub fn trace(&self) -> Int {
+        (0..self.n).map(|i| self[(i, i)].clone()).sum()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IntMatrix {
+        let mut t = IntMatrix::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                t[(j, i)] = self[(i, j)].clone();
+            }
+        }
+        t
+    }
+
+    /// True iff symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n).all(|i| (0..i).all(|j| self[(i, j)] == self[(j, i)]))
+    }
+
+    /// Adds `c` to every diagonal entry (i.e. `self + c·I`).
+    pub fn add_scalar_diag(&self, c: &Int) -> IntMatrix {
+        let mut m = self.clone();
+        for i in 0..self.n {
+            let v = &m[(i, i)] + c;
+            m[(i, i)] = v;
+        }
+        m
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IntMatrix {
+    type Output = Int;
+    fn index(&self, (i, j): (usize, usize)) -> &Int {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IntMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Int {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl Add<&IntMatrix> for &IntMatrix {
+    type Output = IntMatrix;
+    fn add(self, rhs: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.n, rhs.n);
+        IntMatrix {
+            n: self.n,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub<&IntMatrix> for &IntMatrix {
+    type Output = IntMatrix;
+    fn sub(self, rhs: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.n, rhs.n);
+        IntMatrix {
+            n: self.n,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul<&IntMatrix> for &IntMatrix {
+    type Output = IntMatrix;
+    fn mul(self, rhs: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.n, rhs.n);
+        let n = self.n;
+        let mut out = IntMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = &self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let b = &rhs[(k, j)];
+                    if b.is_zero() {
+                        continue;
+                    }
+                    let v = &out[(i, j)] + a * b;
+                    out[(i, j)] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            write!(f, "[")?;
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = IntMatrix::from_i64(3, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let i = IntMatrix::identity(3);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn multiplication_small() {
+        let a = IntMatrix::from_i64(2, &[1, 2, 3, 4]);
+        let b = IntMatrix::from_i64(2, &[5, 6, 7, 8]);
+        assert_eq!(&a * &b, IntMatrix::from_i64(2, &[19, 22, 43, 50]));
+        assert_eq!(&b * &a, IntMatrix::from_i64(2, &[23, 34, 31, 46]));
+    }
+
+    #[test]
+    fn add_sub_trace() {
+        let a = IntMatrix::from_i64(2, &[1, 2, 3, 4]);
+        let b = IntMatrix::from_i64(2, &[10, 20, 30, 40]);
+        assert_eq!(&a + &b, IntMatrix::from_i64(2, &[11, 22, 33, 44]));
+        assert_eq!(&b - &a, IntMatrix::from_i64(2, &[9, 18, 27, 36]));
+        assert_eq!(a.trace(), Int::from(5));
+        assert_eq!(IntMatrix::identity(7).trace(), Int::from(7));
+    }
+
+    #[test]
+    fn transpose_and_symmetry() {
+        let a = IntMatrix::from_i64(2, &[1, 2, 3, 4]);
+        assert_eq!(a.transpose(), IntMatrix::from_i64(2, &[1, 3, 2, 4]));
+        assert!(!a.is_symmetric());
+        let s = IntMatrix::from_i64(3, &[1, 2, 3, 2, 5, 6, 3, 6, 9]);
+        assert!(s.is_symmetric());
+        assert_eq!(s.transpose(), s);
+    }
+
+    #[test]
+    fn scalar_diagonal_shift() {
+        let a = IntMatrix::from_i64(2, &[1, 2, 3, 4]);
+        let shifted = a.add_scalar_diag(&Int::from(-5));
+        assert_eq!(shifted, IntMatrix::from_i64(2, &[-4, 2, 3, -1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_wrong_size_panics() {
+        IntMatrix::from_i64(2, &[1, 2, 3]);
+    }
+}

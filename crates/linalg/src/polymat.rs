@@ -1,0 +1,182 @@
+//! 2×2 matrices of integer polynomials — the `T`/`Ŝ` algebra of the
+//! tree-polynomial stage (paper Sections 2.1 and 3.2).
+//!
+//! The bottom-up recurrence is
+//! `T_{i,j} = T_{k+1,j} · Ŝ_k · T_{i,k−1} / (c_k²·c_{k−1}²)` with
+//! `Ŝ_k = [[0, c_{k−1}²], [−c_k², Q_k]]`; the divisions are exact by the
+//! subresultant theory. The paper's implementation splits each of the two
+//! matrix products into **four entry tasks**; [`Mat2::mul_entry`] is that
+//! task's kernel (one row·column product — two polynomial
+//! multiplications and one addition).
+
+use rr_mp::Int;
+use rr_poly::Poly;
+use std::fmt;
+
+/// A 2×2 matrix of polynomials, row-major.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Mat2 {
+    e: [[Poly; 2]; 2],
+}
+
+impl Mat2 {
+    /// Builds from entries `[[e00, e01], [e10, e11]]`.
+    pub fn new(e00: Poly, e01: Poly, e10: Poly, e11: Poly) -> Mat2 {
+        Mat2 { e: [[e00, e01], [e10, e11]] }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Mat2 {
+        Mat2::new(Poly::one(), Poly::zero(), Poly::zero(), Poly::one())
+    }
+
+    /// Entry at `(row, col)`.
+    pub fn entry(&self, row: usize, col: usize) -> &Poly {
+        &self.e[row][col]
+    }
+
+    /// Mutable entry at `(row, col)`.
+    pub fn entry_mut(&mut self, row: usize, col: usize) -> &mut Poly {
+        &mut self.e[row][col]
+    }
+
+    /// One entry of the product `a·b`: `a[row,0]·b[0,col] + a[row,1]·b[1,col]`.
+    ///
+    /// This is the per-entry task of the paper's Section 3.2 — a full
+    /// matrix product is exactly four of these, schedulable independently.
+    pub fn mul_entry(a: &Mat2, b: &Mat2, row: usize, col: usize) -> Poly {
+        &a.e[row][0] * &b.e[0][col] + &a.e[row][1] * &b.e[1][col]
+    }
+
+    /// Full product `a·b` (the four entry tasks run in sequence).
+    pub fn mul(a: &Mat2, b: &Mat2) -> Mat2 {
+        Mat2::new(
+            Mat2::mul_entry(a, b, 0, 0),
+            Mat2::mul_entry(a, b, 0, 1),
+            Mat2::mul_entry(a, b, 1, 0),
+            Mat2::mul_entry(a, b, 1, 1),
+        )
+    }
+
+    /// Divides every coefficient of every entry by `d`, exactly.
+    pub fn div_scalar_exact(&self, d: &Int) -> Mat2 {
+        Mat2::new(
+            self.e[0][0].div_scalar_exact(d),
+            self.e[0][1].div_scalar_exact(d),
+            self.e[1][0].div_scalar_exact(d),
+            self.e[1][1].div_scalar_exact(d),
+        )
+    }
+
+    /// The determinant `e00·e11 − e01·e10`.
+    pub fn det(&self) -> Poly {
+        &self.e[0][0] * &self.e[1][1] - &self.e[0][1] * &self.e[1][0]
+    }
+
+    /// `max` entry degree (the paper's `d(T)`); `None` if all entries zero.
+    pub fn max_degree(&self) -> Option<usize> {
+        self.e.iter().flatten().filter_map(Poly::degree).max()
+    }
+
+    /// `max` coefficient bit size over entries (the paper's `‖T‖`).
+    pub fn max_coeff_bits(&self) -> u64 {
+        self.e.iter().flatten().map(Poly::coeff_bits).max().unwrap_or(0)
+    }
+}
+
+impl std::ops::Mul<&Mat2> for &Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: &Mat2) -> Mat2 {
+        Mat2::mul(self, rhs)
+    }
+}
+
+impl fmt::Debug for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{:?}, {:?}]", self.e[0][0], self.e[0][1])?;
+        write!(f, "[{:?}, {:?}]", self.e[1][0], self.e[1][1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> Poly {
+        Poly::from_i64(coeffs)
+    }
+
+    fn sample_a() -> Mat2 {
+        Mat2::new(p(&[1]), p(&[0, 1]), p(&[2, 1]), p(&[-1, 0, 1]))
+    }
+
+    fn sample_b() -> Mat2 {
+        Mat2::new(p(&[0, 2]), p(&[1]), p(&[3]), p(&[1, 1]))
+    }
+
+    #[test]
+    fn identity_is_unit() {
+        let a = sample_a();
+        assert_eq!(Mat2::mul(&a, &Mat2::identity()), a);
+        assert_eq!(Mat2::mul(&Mat2::identity(), &a), a);
+    }
+
+    #[test]
+    fn mul_entry_composes_to_mul() {
+        let (a, b) = (sample_a(), sample_b());
+        let prod = Mat2::mul(&a, &b);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(prod.entry(r, c), &Mat2::mul_entry(&a, &b, r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_product_hand_checked() {
+        // [[1, x],[x+2, x^2-1]] · [[2x, 1],[3, x+1]]
+        let prod = Mat2::mul(&sample_a(), &sample_b());
+        assert_eq!(prod.entry(0, 0), &p(&[0, 5])); // 2x + 3x = 5x
+        assert_eq!(prod.entry(0, 1), &p(&[1, 1, 1])); // 1 + x(x+1)
+        assert_eq!(prod.entry(1, 0), &p(&[-3, 4, 5])); // (x+2)2x + 3(x^2-1)
+        assert_eq!(prod.entry(1, 1), &p(&[1, 0, 1, 1])); // (x+2) + (x^2-1)(x+1)
+    }
+
+    #[test]
+    fn determinant_is_multiplicative() {
+        let (a, b) = (sample_a(), sample_b());
+        let prod = Mat2::mul(&a, &b);
+        assert_eq!(prod.det(), &a.det() * &b.det());
+    }
+
+    #[test]
+    fn associativity() {
+        let (a, b) = (sample_a(), sample_b());
+        let c = Mat2::new(p(&[1, 1]), p(&[2]), p(&[0]), p(&[5, 0, 1]));
+        assert_eq!(
+            Mat2::mul(&Mat2::mul(&a, &b), &c),
+            Mat2::mul(&a, &Mat2::mul(&b, &c))
+        );
+    }
+
+    #[test]
+    fn exact_scalar_division() {
+        let a = sample_a();
+        let scaled = Mat2::new(
+            a.entry(0, 0).scale(&Int::from(6)),
+            a.entry(0, 1).scale(&Int::from(6)),
+            a.entry(1, 0).scale(&Int::from(6)),
+            a.entry(1, 1).scale(&Int::from(6)),
+        );
+        assert_eq!(scaled.div_scalar_exact(&Int::from(6)), a);
+    }
+
+    #[test]
+    fn size_measures() {
+        let a = sample_a();
+        assert_eq!(a.max_degree(), Some(2));
+        assert_eq!(a.max_coeff_bits(), 2); // coefficient 2 → 2 bits
+        assert_eq!(Mat2::default().max_degree(), None);
+        assert_eq!(Mat2::default().max_coeff_bits(), 0);
+    }
+}

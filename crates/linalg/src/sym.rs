@@ -1,0 +1,83 @@
+//! Random symmetric integer matrices — the paper's workload source.
+//!
+//! Section 5: *"The input polynomials we used were the characteristic
+//! equations of randomly generated symmetric matrices over the integers.
+//! … the matrices generated were random 0-1 matrices."* A real symmetric
+//! matrix has all-real eigenvalues, so these characteristic polynomials
+//! are guaranteed valid inputs for the algorithm.
+
+use crate::IntMatrix;
+use rand::Rng;
+use rr_mp::Int;
+
+/// A random symmetric matrix with i.i.d. uniform entries in `{0, 1}`
+/// (upper triangle sampled, mirrored below).
+pub fn random_symmetric_01<R: Rng + ?Sized>(n: usize, rng: &mut R) -> IntMatrix {
+    random_symmetric_range(n, 0, 1, rng)
+}
+
+/// A random symmetric matrix with i.i.d. uniform entries in `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn random_symmetric_range<R: Rng + ?Sized>(
+    n: usize,
+    lo: i64,
+    hi: i64,
+    rng: &mut R,
+) -> IntMatrix {
+    assert!(lo <= hi);
+    let mut m = IntMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let v = Int::from(rng.gen_range(lo..=hi));
+            m[(i, j)] = v.clone();
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generated_matrices_are_symmetric_01() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 12] {
+            let m = random_symmetric_01(n, &mut rng);
+            assert!(m.is_symmetric());
+            for i in 0..n {
+                for j in 0..n {
+                    let v = m[(i, j)].to_i64().unwrap();
+                    assert!(v == 0 || v == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = random_symmetric_01(8, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_symmetric_01(8, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = random_symmetric_01(8, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = random_symmetric_range(6, -3, 3, &mut rng);
+        assert!(m.is_symmetric());
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = m[(i, j)].to_i64().unwrap();
+                assert!((-3..=3).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The Table 1 closed forms: asymptotic arithmetic and bit complexity of
+//! each phase, used by the Table 1 scaling-fit experiment (which checks
+//! that the *measured* counts grow with the predicted exponents).
+
+/// Arithmetic complexity (multiplications) of the remainder stage:
+/// `Θ(n²)`; returns the dominant term `3n²/2`.
+pub fn remainder_arith(n: f64) -> f64 {
+    1.5 * n * n
+}
+
+/// Bit complexity of the remainder stage: `n⁴(m + log n)²`, with the
+/// paper's constant `n⁴β²/2` where `β = 2m + 3 log n + 2`.
+pub fn remainder_bits(n: f64, m: f64) -> f64 {
+    let beta = 2.0 * m + 3.0 * n.log2() + 2.0;
+    0.5 * n.powi(4) * beta * beta
+}
+
+/// Arithmetic complexity of the tree stage: `Θ(n²)`.
+pub fn tree_arith(n: f64) -> f64 {
+    // Σ over levels of 8·(entries) ≈ 2n² up to constants; the exact
+    // constant is irrelevant to the scaling fit.
+    2.0 * n * n
+}
+
+/// Bit complexity of the tree stage (Eq 36): `(55/21)·n⁴·β²`.
+pub fn tree_bits(n: f64, m: f64) -> f64 {
+    let beta = 2.0 * m + 3.0 * n.log2() + 2.0;
+    (55.0 / 21.0) * n.powi(4) * beta * beta
+}
+
+/// Arithmetic complexity of the interval problems, worst case:
+/// `n²(log n + log²X)`.
+pub fn interval_arith_worst(n: f64, x: f64) -> f64 {
+    n * n * (n.log2() + x.log2() * x.log2())
+}
+
+/// Arithmetic complexity of the interval problems, average case:
+/// `n²(log n + log X)`.
+pub fn interval_arith_avg(n: f64, x: f64) -> f64 {
+    n * n * (n.log2() + x.log2())
+}
+
+/// Bit complexity of the interval problems, worst case:
+/// `n³·X·(X + β)·(log n + log²X)`.
+pub fn interval_bits_worst(n: f64, m: f64, x: f64) -> f64 {
+    let beta = 2.0 * m + 3.0 * n.log2() + 2.0;
+    n.powi(3) * x * (x + beta) * (n.log2() + x.log2() * x.log2())
+}
+
+/// Bit complexity of the interval problems, average case:
+/// `n³·X·(X + β)·(log n + log X)`.
+pub fn interval_bits_avg(n: f64, m: f64, x: f64) -> f64 {
+    let beta = 2.0 * m + 3.0 * n.log2() + 2.0;
+    n.powi(3) * x * (x + beta) * (n.log2() + x.log2())
+}
+
+/// Least-squares fit of `log y = a·log x + b` — returns the exponent `a`.
+/// Used to compare measured growth orders against Table 1.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    assert!(n >= 2.0, "need at least two points to fit");
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_exponents() {
+        let quad: Vec<(f64, f64)> = (1..20).map(|k| (k as f64, 3.0 * (k * k) as f64)).collect();
+        assert!((fit_exponent(&quad) - 2.0).abs() < 1e-9);
+        let quartic: Vec<(f64, f64)> =
+            (1..20).map(|k| (k as f64, 0.5 * (k as f64).powi(4))).collect();
+        assert!((fit_exponent(&quartic) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formulas_have_table1_growth() {
+        // doubling n quadruples the arithmetic counts
+        assert!((remainder_arith(80.0) / remainder_arith(40.0) - 4.0).abs() < 1e-9);
+        assert!((tree_arith(80.0) / tree_arith(40.0) - 4.0).abs() < 1e-9);
+        // bit complexities grow ~n⁴ (slightly faster via β's log n)
+        let r = remainder_bits(80.0, 20.0) / remainder_bits(40.0, 20.0);
+        assert!(r > 16.0 && r < 20.0, "{r}");
+        // average-case interval cost below worst case
+        assert!(interval_arith_avg(50.0, 100.0) < interval_arith_worst(50.0, 100.0));
+        assert!(interval_bits_avg(50.0, 20.0, 100.0) < interval_bits_worst(50.0, 20.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_needs_points() {
+        fit_exponent(&[(1.0, 1.0)]);
+    }
+}

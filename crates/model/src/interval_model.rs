@@ -1,0 +1,149 @@
+//! Interval-problem cost model (paper Eqs 37–41).
+//!
+//! `X = R + µ` bounds the bit size of every scaled evaluation point. Per
+//! isolated root of a degree-`d` polynomial the hybrid performs
+//! `I(X, d)` evaluations:
+//!
+//! * worst case (Eq 38): `½·log²X + log(10d²) + O(log X)` — the sieve
+//!   dominated by its double-exponential ladder;
+//! * average case (Eq 41), for roots uniform in their interval:
+//!   `I_avg = log(10d²) + log(⌈X / log(10d²)⌉)` — constant sieve work,
+//!   then bisection to the Renegar margin and quadratic Newton for the
+//!   remaining bits.
+//!
+//! One evaluation of a degree-`d` scaled polynomial is exactly `d`
+//! multiplications (Horner); its bit cost is Eq 37:
+//! `m·X·d + X²·d(d−1)/2 + X·d·log d`.
+
+use rr_core::tree::{is_spine, Tree};
+
+/// Average sieve evaluations per isolated root under the uniform-root
+/// assumption (one midpoint test + a constant number of ladder probes).
+pub const SIEVE_EVALS_AVG: f64 = 3.0;
+
+/// Bisection evaluations per isolated root: `⌈log₂(10·d²)⌉`.
+pub fn bisection_evals(d: usize) -> f64 {
+    (10.0 * (d as f64) * (d as f64)).log2().ceil().max(1.0)
+}
+
+/// Newton iterations per isolated root (Eq 41's second term):
+/// `log₂(⌈X / log₂(10d²)⌉)`, each iteration costing one polynomial and
+/// one derivative evaluation.
+pub fn newton_iters(x: f64, d: usize) -> f64 {
+    let attained = bisection_evals(d);
+    (x / attained).ceil().max(1.0).log2().max(1.0)
+}
+
+/// Worst-case evaluations per interval problem, Eq 38.
+pub fn i_worst(x: f64, d: usize) -> f64 {
+    0.5 * x.log2().powi(2) + bisection_evals(d) + x.log2()
+}
+
+/// Average-case evaluations per interval problem, Eq 41.
+pub fn i_avg(x: f64, d: usize) -> f64 {
+    SIEVE_EVALS_AVG + bisection_evals(d) + 2.0 * newton_iters(x, d)
+}
+
+/// Bit cost of one scaled evaluation of a degree-`d` polynomial with
+/// `m`-bit coefficients at an `X`-bit point (Eq 37).
+pub fn eval_bitcost(d: usize, m: f64, x: f64) -> f64 {
+    let d = d as f64;
+    m * x * d + x * x * d * (d - 1.0) / 2.0 + x * d * d.log2().max(0.0)
+}
+
+/// Predicted multiplication counts of the whole interval stage for a
+/// squarefree degree-`n` input, split into the phases the solver
+/// attributes: `(preinterval, sieve, bisection, newton)`.
+///
+/// Walks the same tree the solver builds; every internal node of degree
+/// `d` performs `d + 1` PREINTERVAL evaluations, and each of its `d` gaps
+/// one case-analysis evaluation (attributed to the sieve phase) plus —
+/// in the generic case — a full hybrid refinement.
+pub fn interval_mults(n: usize, bound_bits: u64, mu: u64) -> IntervalPrediction {
+    let x = (bound_bits + mu) as f64;
+    let tree = Tree::build(n);
+    let mut p = IntervalPrediction::default();
+    for node in &tree.nodes {
+        let d = node_degree(node, n);
+        if d == 0 {
+            continue;
+        }
+        if node.is_leaf() {
+            continue; // one exact division, no multiplications
+        }
+        let dm = d as f64;
+        p.preinterval += (dm + 1.0) * dm;
+        // per gap: one b-point evaluation + sieve ladder
+        p.sieve += dm * (1.0 + SIEVE_EVALS_AVG) * dm;
+        p.bisection += dm * bisection_evals(d) * dm;
+        // Newton: one poly (d) + one derivative (d−1) eval per iteration
+        p.newton += dm * newton_iters(x, d) * (2.0 * dm - 1.0);
+    }
+    p
+}
+
+fn node_degree(node: &rr_core::tree::TreeNode, n: usize) -> usize {
+    let _ = is_spine(node, n);
+    node.size()
+}
+
+/// Per-phase predicted multiplication counts for the interval stage.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntervalPrediction {
+    /// PREINTERVAL evaluations.
+    pub preinterval: f64,
+    /// Case-analysis + double-exponential-sieve evaluations.
+    pub sieve: f64,
+    /// Bisection-phase evaluations.
+    pub bisection: f64,
+    /// Newton-phase evaluations (polynomial + derivative).
+    pub newton: f64,
+}
+
+impl IntervalPrediction {
+    /// Total predicted multiplications.
+    pub fn total(&self) -> f64 {
+        self.preinterval + self.sieve + self.bisection + self.newton
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_count_shapes() {
+        // I_avg grows with X (more precision → more Newton iterations)
+        assert!(i_avg(40.0, 10) < i_avg(160.0, 10));
+        // and with d (more bisections)
+        assert!(i_avg(40.0, 5) < i_avg(40.0, 50));
+        // worst case dominates average for large X
+        assert!(i_worst(200.0, 10) > i_avg(200.0, 10));
+    }
+
+    #[test]
+    fn eval_bitcost_quadratic_in_x_and_d() {
+        let base = eval_bitcost(10, 20.0, 50.0);
+        assert!(eval_bitcost(10, 20.0, 100.0) > 3.0 * base);
+        assert!(eval_bitcost(20, 20.0, 50.0) > 3.0 * base);
+    }
+
+    #[test]
+    fn prediction_positive_and_growing() {
+        let a = interval_mults(10, 8, 16);
+        let b = interval_mults(20, 8, 16);
+        assert!(a.total() > 0.0);
+        assert!(b.total() > 2.0 * a.total());
+        assert!(a.preinterval > 0.0 && a.bisection > 0.0 && a.newton > 0.0);
+    }
+
+    #[test]
+    fn mu_sensitivity_isolated_to_newton() {
+        // raising µ raises only the Newton term (and X inside it)
+        let lo = interval_mults(15, 8, 8);
+        let hi = interval_mults(15, 8, 64);
+        assert_eq!(lo.preinterval, hi.preinterval);
+        assert_eq!(lo.bisection, hi.bisection);
+        assert!(hi.newton > lo.newton);
+    }
+}

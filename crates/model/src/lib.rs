@@ -1,0 +1,28 @@
+//! # rr-model — the analytic cost model of Section 4
+//!
+//! The paper validates its analysis by comparing *predicted* against
+//! *observed* multiplication counts per phase (Figures 2–6) and bit
+//! complexities (Figure 7). This crate is the "predicted" side:
+//!
+//! * [`sizes`] — the coefficient-size machinery: `β = 2m + 3·log n + 2`
+//!   and the Collins-style bounds `‖F_i‖ ≤ i·β`, `‖Q_i‖ ≤ 2i·β`,
+//!   `‖P_{i,j}‖ ≤ (2i+k−2)·β`, `‖T‖` (Eqs 21–31).
+//! * [`counts`] — *exact* predicted multiplication counts for the
+//!   remainder and tree stages, mirroring the implemented kernels
+//!   operation for operation (the paper used "much more precise versions
+//!   of the asymptotic expressions"; ours are exact for dense
+//!   polynomials, so predicted = observed up to coefficients that happen
+//!   to be zero).
+//! * [`interval_model`] — the interval-problem iteration counts:
+//!   worst-case `I(X, d)` (Eq 38) and average-case `I_avg(X, d)`
+//!   (Eq 41), and the per-phase evaluation/multiplication predictions
+//!   built from them.
+//! * [`asymptotic`] — the Table 1 closed forms, used by the Table 1
+//!   scaling-fit experiment.
+
+#![warn(missing_docs)]
+
+pub mod asymptotic;
+pub mod counts;
+pub mod interval_model;
+pub mod sizes;

@@ -1,0 +1,97 @@
+//! Coefficient-size bounds (paper Eqs 21–31).
+//!
+//! All sizes are in bits. The paper sets `β = 2m + 3·log₂n + 2`, after
+//! which `‖F_i‖ ≤ i·β`, `‖Q_i‖ ≤ 2i·β`, `‖A_i‖, ‖B_i‖ ≤ (i−1)β + log n`,
+//! `‖P_{i,i+k−1}‖ ≤ (2i+k−2)β`, `‖P_{i,n}‖ ≤ (i−1)β`, and
+//! `‖T_{i,i+k−1}‖ ≤ (2i+k−1)β`. These are Collins determinant bounds —
+//! correct but pessimistic, which is exactly the paper's Figure 6 vs 7
+//! observation (tight multiplication-count fit, loose bit-cost bound).
+
+/// `β = 2m + 3·log₂n + 2` for a degree-`n` input with `m`-bit
+/// coefficients.
+pub fn beta(n: usize, m: u64) -> f64 {
+    2.0 * m as f64 + 3.0 * (n as f64).log2() + 2.0
+}
+
+/// Bound on `‖F_i‖` (Eq 25): `i·β`.
+pub fn f_bound(n: usize, m: u64, i: usize) -> f64 {
+    if i == 0 {
+        m as f64
+    } else {
+        i as f64 * beta(n, m)
+    }
+}
+
+/// Bound on `‖Q_i‖` (Eq 26): `2i·β`.
+pub fn q_bound(n: usize, m: u64, i: usize) -> f64 {
+    2.0 * i as f64 * beta(n, m)
+}
+
+/// Bound on `‖P_{i,j}‖` (Eqs 29–30).
+pub fn p_bound(n: usize, m: u64, i: usize, j: usize) -> f64 {
+    let b = beta(n, m);
+    if j == n {
+        (i as f64 - 1.0).max(1.0) * b
+    } else {
+        let k = j - i + 1;
+        (2 * i + k - 2) as f64 * b
+    }
+}
+
+/// Bound on `‖T_{i,j}‖` (Eq 31): `(2i + k − 1)·β` with `k = j − i + 1`.
+pub fn t_bound(n: usize, m: u64, i: usize, j: usize) -> f64 {
+    let k = j - i + 1;
+    (2 * i + k - 1) as f64 * beta(n, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_mp::Int;
+    use rr_poly::remainder::remainder_sequence;
+    use rr_poly::Poly;
+
+    /// The bounds must actually bound the implementation's sizes.
+    #[test]
+    fn f_and_q_bounds_hold_on_real_sequences() {
+        for seed in 0..3i64 {
+            let roots: Vec<Int> = (1..=9).map(|r| Int::from(seed * 17 + 3 * r - 11)).collect();
+            let roots: Vec<Int> = roots.into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+            let p = Poly::from_roots(&roots);
+            let n = p.deg();
+            let m = p.coeff_bits();
+            let rs = remainder_sequence(&p).unwrap();
+            for i in 0..=n {
+                assert!(
+                    (rs.f[i].coeff_bits() as f64) <= f_bound(n, m, i).max(m as f64),
+                    "‖F_{i}‖ = {} > bound {}",
+                    rs.f[i].coeff_bits(),
+                    f_bound(n, m, i)
+                );
+            }
+            for i in 1..n {
+                assert!(
+                    (rs.q[i].coeff_bits() as f64) <= q_bound(n, m, i),
+                    "‖Q_{i}‖ = {} > bound {}",
+                    rs.q[i].coeff_bits(),
+                    q_bound(n, m, i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_monotone() {
+        assert!(beta(10, 5) < beta(10, 6));
+        assert!(beta(10, 5) < beta(20, 5));
+        assert!(beta(2, 1) > 0.0);
+    }
+
+    #[test]
+    fn t_bound_exceeds_p_bound() {
+        // ‖T_{i,j}‖ bounds the largest entry, which is P_{i+1,j}-sized.
+        for (i, j, n) in [(1usize, 3usize, 15usize), (4, 7, 15), (2, 2, 15)] {
+            assert!(t_bound(n, 8, i, j) >= p_bound(n, 8, i, j));
+        }
+    }
+}

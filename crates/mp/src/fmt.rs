@@ -1,0 +1,236 @@
+//! Parsing and formatting of [`Int`] in decimal and hexadecimal.
+
+use crate::limb::Limb;
+use crate::nat;
+use crate::{Int, Sign};
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest power of ten fitting in a limb, used for chunked conversion.
+const DEC_CHUNK: Limb = 10_000_000_000_000_000_000; // 10^19
+const DEC_CHUNK_DIGITS: usize = 19;
+
+/// Error parsing an [`Int`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+    UnsupportedRadix(u32),
+}
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+            ParseErrorKind::UnsupportedRadix(r) => write!(f, "unsupported radix {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+impl Int {
+    /// Parses an integer from `s` in the given radix (2, 10, or 16), with
+    /// an optional leading `+`/`-` and optional `_` digit separators.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Int, ParseIntError> {
+        if !matches!(radix, 2 | 10 | 16) {
+            return Err(ParseIntError { kind: ParseErrorKind::UnsupportedRadix(radix) });
+        }
+        let (sign, digits) = match s.as_bytes() {
+            [b'-', rest @ ..] => (Sign::Negative, rest),
+            [b'+', rest @ ..] => (Sign::Positive, rest),
+            rest => (Sign::Positive, rest),
+        };
+        let mut any = false;
+        let mut mag: Vec<Limb> = Vec::new();
+        // Multiply-accumulate chunk by chunk; avoid per-digit bignum work.
+        let chunk_digits = match radix {
+            10 => DEC_CHUNK_DIGITS,
+            16 => 16,
+            _ => 63,
+        };
+        let chunk_base: Limb = match radix {
+            10 => DEC_CHUNK,
+            // For powers of two the chunk base is applied via shifts below;
+            // these values are only used in the generic multiply path.
+            16 => 0,
+            _ => 0,
+        };
+        let mut pending: Limb = 0;
+        let mut pending_digits = 0usize;
+        let flush = |mag: &mut Vec<Limb>, pending: Limb, nd: usize| {
+            if nd == 0 {
+                return;
+            }
+            match radix {
+                10 => {
+                    let base = if nd == chunk_digits {
+                        chunk_base
+                    } else {
+                        (10 as Limb).pow(nd as u32)
+                    };
+                    *mag = nat::mul::mul_limb(mag, base);
+                    *mag = nat::add(mag, &[pending]);
+                }
+                16 => {
+                    *mag = nat::shl(mag, (nd * 4) as u64);
+                    *mag = nat::add(mag, &[pending]);
+                }
+                2 => {
+                    *mag = nat::shl(mag, nd as u64);
+                    *mag = nat::add(mag, &[pending]);
+                }
+                _ => unreachable!(),
+            }
+        };
+        for &b in digits {
+            if b == b'_' {
+                continue;
+            }
+            let d = (b as char)
+                .to_digit(radix)
+                .ok_or(ParseIntError { kind: ParseErrorKind::InvalidDigit(b as char) })?;
+            any = true;
+            pending = pending * radix as Limb + d as Limb;
+            pending_digits += 1;
+            if pending_digits == chunk_digits {
+                flush(&mut mag, pending, pending_digits);
+                pending = 0;
+                pending_digits = 0;
+            }
+        }
+        if !any {
+            return Err(ParseIntError { kind: ParseErrorKind::Empty });
+        }
+        flush(&mut mag, pending, pending_digits);
+        Ok(Int::from_sign_mag(sign, mag))
+    }
+}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+    fn from_str(s: &str) -> Result<Int, ParseIntError> {
+        Int::from_str_radix(s, 10)
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel 19 decimal digits per division by 10^19.
+        let mut chunks: Vec<Limb> = Vec::new();
+        let mut mag = self.magnitude().to_vec();
+        while !nat::is_zero(&mag) {
+            let (q, r) = nat::div::div_rem_limb(&mag, DEC_CHUNK);
+            chunks.push(r);
+            mag = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(!self.is_negative(), "", &s)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mag = self.magnitude();
+        let mut s = format!("{:x}", mag.last().unwrap());
+        for l in mag.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(!self.is_negative(), "0x", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(Int::zero().to_string(), "0");
+        assert_eq!(Int::from(7u32).to_string(), "7");
+        assert_eq!(Int::from(-7i32).to_string(), "-7");
+        assert_eq!(Int::from(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Int::from(i128::MIN).to_string(), i128::MIN.to_string());
+    }
+
+    #[test]
+    fn display_multi_chunk_padding() {
+        // A value whose low decimal chunk has leading zeros.
+        let x = Int::pow2(64); // 18446744073709551616
+        assert_eq!(x.to_string(), "18446744073709551616");
+        let y = Int::from(10u64).pow(25); // crosses chunk boundary with zeros
+        assert_eq!(y.to_string(), format!("1{}", "0".repeat(25)));
+    }
+
+    #[test]
+    fn parse_roundtrip_decimal() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "123456789012345678901234567890",
+            "-999999999999999999999999999999999999999",
+        ] {
+            assert_eq!(s.parse::<Int>().unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_separators_and_plus() {
+        assert_eq!("+1_000_000".parse::<Int>().unwrap(), Int::from(1_000_000u32));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!(Int::from_str_radix("123", 7).is_err());
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        assert_eq!(Int::from_str_radix("ff", 16).unwrap(), Int::from(255u32));
+        assert_eq!(Int::from_str_radix("-ff", 16).unwrap(), Int::from(-255i32));
+        assert_eq!(Int::from_str_radix("1010", 2).unwrap(), Int::from(10u32));
+        let big = Int::from_str_radix("123456789abcdef0123456789abcdef", 16).unwrap();
+        assert_eq!(format!("{big:x}"), "123456789abcdef0123456789abcdef");
+        assert_eq!(format!("{big:#x}"), "0x123456789abcdef0123456789abcdef");
+        assert_eq!(format!("{:x}", Int::zero()), "0");
+        assert_eq!(format!("{:x}", Int::from(-16i32)), "-10");
+        assert_eq!(format!("{:#x}", Int::from(-16i32)), "-0x10");
+    }
+
+    #[test]
+    fn parse_display_roundtrip_large_random_like() {
+        let mut x = Int::one();
+        for k in 1..40u32 {
+            x = x * Int::from(1_000_003u64) + Int::from(k);
+            let s = x.to_string();
+            assert_eq!(s.parse::<Int>().unwrap(), x);
+            let h = format!("{x:x}");
+            assert_eq!(Int::from_str_radix(&h, 16).unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Greatest common divisor on [`Int`].
+
+use crate::{Int, Sign};
+
+/// Binary (Stein) GCD of `|a|` and `|b|`; `gcd(0, 0) = 0`.
+///
+/// Uses only shifts and subtractions, so it records no multiplications —
+/// appropriate, since the paper's cost model attributes gcd-free
+/// normalization work to the phases that need it.
+pub fn gcd(a: &Int, b: &Int) -> Int {
+    let mut a = a.abs();
+    let mut b = b.abs();
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    let za = a.trailing_zeros().expect("nonzero");
+    let zb = b.trailing_zeros().expect("nonzero");
+    let common = za.min(zb);
+    a = a.shr_floor(za);
+    b = b.shr_floor(zb);
+    // Invariant: a, b odd.
+    loop {
+        if a.cmp_abs(&b) == std::cmp::Ordering::Less {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a -= &b;
+        if a.is_zero() {
+            break;
+        }
+        a = a.shr_floor(a.trailing_zeros().expect("nonzero"));
+    }
+    debug_assert!(b.sign() == Sign::Positive);
+    b << common
+}
+
+/// Least common multiple of `|a|` and `|b|`; `lcm(x, 0) = 0`.
+pub fn lcm(a: &Int, b: &Int) -> Int {
+    if a.is_zero() || b.is_zero() {
+        return Int::zero();
+    }
+    let g = gcd(a, b);
+    (a.abs().div_exact(&g)) * b.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(a: i128, b: i128) -> i128 {
+        gcd(&Int::from(a), &Int::from(b)).to_i128().unwrap()
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(g(0, 0), 0);
+        assert_eq!(g(0, 5), 5);
+        assert_eq!(g(5, 0), 5);
+        assert_eq!(g(12, 18), 6);
+        assert_eq!(g(-12, 18), 6);
+        assert_eq!(g(12, -18), 6);
+        assert_eq!(g(-12, -18), 6);
+        assert_eq!(g(17, 31), 1);
+        assert_eq!(g(1 << 20, 1 << 13), 1 << 13);
+    }
+
+    #[test]
+    fn large_common_factor() {
+        let f = Int::from(1_000_000_007u64).pow(3);
+        let a = &f * Int::from(12u32);
+        let b = &f * Int::from(18u32);
+        assert_eq!(gcd(&a, &b), f * Int::from(6u32));
+    }
+
+    #[test]
+    fn lcm_cases() {
+        assert_eq!(lcm(&Int::from(4u32), &Int::from(6u32)), Int::from(12u32));
+        assert_eq!(lcm(&Int::from(0u32), &Int::from(6u32)), Int::zero());
+        assert_eq!(lcm(&Int::from(-4i32), &Int::from(6u32)), Int::from(12u32));
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal() {
+        let a = Int::from(2u32).pow(40) * Int::from(3u32).pow(12) * Int::from(7u32);
+        let b = Int::from(2u32).pow(35) * Int::from(3u32).pow(20) * Int::from(11u32);
+        let g = gcd(&a, &b);
+        assert!(a.divisible_by(&g));
+        assert!(b.divisible_by(&g));
+        assert_eq!(g, Int::from(2u32).pow(35) * Int::from(3u32).pow(12));
+    }
+}

@@ -1,0 +1,44 @@
+//! # rr-mp — instrumented multiprecision integer arithmetic
+//!
+//! A from-scratch arbitrary-precision signed integer library reproducing the
+//! cost model of the UNIX `mp` package used by Narendran & Tiwari (1991):
+//!
+//! * addition and subtraction run in time linear in the operand sizes;
+//! * multiplication is **schoolbook** — quadratic in the operand sizes;
+//! * division is Knuth's Algorithm D — quadratic in the operand sizes.
+//!
+//! No subquadratic kernels (Karatsuba, FFT) are provided on purpose: the
+//! paper's entire Section 4 analysis, and its Figures 2–7, assume the
+//! quadratic model, and the benchmark harness in this workspace compares
+//! *predicted* against *observed* multiplication counts and bit costs.
+//!
+//! Every [`Int`] multiplication and division is therefore recorded by the
+//! [`metrics`] module under the currently active [`metrics::Phase`], with
+//! both an operation count and a bit cost `‖a‖·‖b‖` (the product of the
+//! operand bit lengths — the paper's unit of bit complexity).
+//!
+//! ## Example
+//!
+//! ```
+//! use rr_mp::Int;
+//!
+//! let a = Int::from(-1234567890123456789i64);
+//! let b = Int::from_str_radix("340282366920938463463374607431768211456", 10).unwrap();
+//! let c = &a * &b;
+//! assert_eq!((&c / &a), b);
+//! assert_eq!((&c % &b), Int::zero());
+//! assert_eq!(a.pow(3).to_string(),
+//!     "-1881676372353657772490265749424677022198701224860897069");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gcd;
+pub mod limb;
+pub mod metrics;
+pub mod nat;
+
+mod fmt;
+mod int;
+
+pub use int::{Int, Sign};

@@ -1,0 +1,54 @@
+//! Machine-word building blocks.
+//!
+//! A multiprecision magnitude is a little-endian slice of [`Limb`]s
+//! (least-significant limb first) with no trailing zero limbs.
+
+/// One machine word of a multiprecision magnitude.
+pub type Limb = u64;
+
+/// Double-width type used for carries, borrows, and limb products.
+pub type DoubleLimb = u128;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: u32 = Limb::BITS;
+
+/// Splits a double-width value into `(low, high)` limbs.
+#[inline(always)]
+pub fn split(x: DoubleLimb) -> (Limb, Limb) {
+    (x as Limb, (x >> LIMB_BITS) as Limb)
+}
+
+/// Fused multiply-add-add on limbs: returns `a * b + c + d` as `(low, high)`.
+///
+/// Cannot overflow: `(2^64-1)^2 + 2*(2^64-1) = 2^128 - 1`.
+#[inline(always)]
+pub fn mac(a: Limb, b: Limb, c: Limb, d: Limb) -> (Limb, Limb) {
+    split(a as DoubleLimb * b as DoubleLimb + c as DoubleLimb + d as DoubleLimb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_roundtrip() {
+        let x: DoubleLimb = (7 << 64) | 13;
+        assert_eq!(split(x), (13, 7));
+        assert_eq!(split(0), (0, 0));
+        assert_eq!(split(DoubleLimb::MAX), (Limb::MAX, Limb::MAX));
+    }
+
+    #[test]
+    fn mac_no_overflow_at_extremes() {
+        let (lo, hi) = mac(Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX);
+        // (2^64-1)^2 + 2(2^64-1) = 2^128 - 1
+        assert_eq!(lo, Limb::MAX);
+        assert_eq!(hi, Limb::MAX);
+    }
+
+    #[test]
+    fn mac_small_values() {
+        assert_eq!(mac(3, 4, 5, 6), (23, 0));
+        assert_eq!(mac(0, 0, 0, 0), (0, 0));
+    }
+}

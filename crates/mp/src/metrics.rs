@@ -1,0 +1,358 @@
+//! Per-phase operation counters for the paper's cost model.
+//!
+//! Narendran & Tiwari instrumented their implementation to count the
+//! multiplications performed in each phase of the algorithm, and to
+//! measure the bit complexity of those multiplications (the product of the
+//! operand bit lengths), producing Figures 2–7 of the paper. This module
+//! is the equivalent instrumentation.
+//!
+//! Every [`crate::Int`] multiplication and division records one event under
+//! the thread's *current phase*, set with [`set_phase`] or scoped with
+//! [`with_phase`]. Counters are per-thread (each thread owns its cache
+//! line; only the owner writes), so instrumentation stays off the
+//! contention path of the parallel solver. [`snapshot`] aggregates across
+//! all threads that ever recorded an event; experiments measure a region
+//! by subtracting the snapshots taken around it.
+//!
+//! ```
+//! use rr_mp::{metrics, Int};
+//!
+//! let before = metrics::snapshot();
+//! let p = metrics::with_phase(metrics::Phase::Newton, || {
+//!     Int::from(123456789u64) * Int::from(987654321u64)
+//! });
+//! let cost = metrics::snapshot() - before;
+//! assert_eq!(p, Int::from(123456789u64 * 987654321u64));
+//! assert_eq!(cost.phase(metrics::Phase::Newton).mul_count, 1);
+//! assert_eq!(cost.phase(metrics::Phase::Bisection).mul_count, 0);
+//! ```
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Algorithm phase an arithmetic operation is attributed to.
+///
+/// The variants mirror the task kinds of the paper's Section 3 plus the
+/// workload generator and the sequential comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Anything not otherwise attributed (the default for a fresh thread).
+    Other = 0,
+    /// Workload generation: characteristic polynomials etc.
+    CharPoly = 1,
+    /// Precomputation of the remainder and quotient sequences (Sec 3.1).
+    RemainderSeq = 2,
+    /// Bottom-up tree polynomial matrix products (Sec 3.2, COMPUTEPOLY).
+    TreePoly = 3,
+    /// Merging sorted child roots (SORT tasks).
+    Sort = 4,
+    /// Evaluations at interleaving points (PREINTERVAL tasks).
+    PreInterval = 5,
+    /// Double-exponential sieve evaluations (INTERVAL tasks, phase 1).
+    Sieve = 6,
+    /// Bisection evaluations (INTERVAL tasks, phase 2).
+    Bisection = 7,
+    /// Newton iteration evaluations (INTERVAL tasks, phase 3).
+    Newton = 8,
+    /// The sequential comparator (`rr-baseline`, the PARI stand-in).
+    Baseline = 9,
+}
+
+/// Number of phases (length of per-phase arrays).
+pub const NUM_PHASES: usize = 10;
+
+/// All phases, in index order.
+pub const ALL_PHASES: [Phase; NUM_PHASES] = [
+    Phase::Other,
+    Phase::CharPoly,
+    Phase::RemainderSeq,
+    Phase::TreePoly,
+    Phase::Sort,
+    Phase::PreInterval,
+    Phase::Sieve,
+    Phase::Bisection,
+    Phase::Newton,
+    Phase::Baseline,
+];
+
+impl Phase {
+    /// Short human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Other => "other",
+            Phase::CharPoly => "charpoly",
+            Phase::RemainderSeq => "remainder",
+            Phase::TreePoly => "treepoly",
+            Phase::Sort => "sort",
+            Phase::PreInterval => "preinterval",
+            Phase::Sieve => "sieve",
+            Phase::Bisection => "bisection",
+            Phase::Newton => "newton",
+            Phase::Baseline => "baseline",
+        }
+    }
+}
+
+#[derive(Default)]
+struct ThreadCounters {
+    mul_count: [AtomicU64; NUM_PHASES],
+    mul_bits: [AtomicU64; NUM_PHASES],
+    div_count: [AtomicU64; NUM_PHASES],
+    div_bits: [AtomicU64; NUM_PHASES],
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadCounters>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadCounters>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static CURRENT_PHASE: Cell<usize> = const { Cell::new(Phase::Other as usize) };
+    static LOCAL: Arc<ThreadCounters> = {
+        let c = Arc::new(ThreadCounters::default());
+        registry().lock().push(Arc::clone(&c));
+        c
+    };
+}
+
+/// Sets the calling thread's current phase, returning the previous one.
+pub fn set_phase(p: Phase) -> Phase {
+    CURRENT_PHASE.with(|c| {
+        let prev = c.replace(p as usize);
+        ALL_PHASES[prev]
+    })
+}
+
+/// Returns the calling thread's current phase.
+pub fn current_phase() -> Phase {
+    CURRENT_PHASE.with(|c| ALL_PHASES[c.get()])
+}
+
+/// Runs `f` with the current phase set to `p`, restoring the previous
+/// phase afterwards (also on unwind).
+pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
+    struct Restore(Phase);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_phase(self.0);
+        }
+    }
+    let _restore = Restore(set_phase(p));
+    f()
+}
+
+/// Records one multiplication of operands with the given bit lengths.
+/// Called from `Int`'s arithmetic; not usually called directly.
+#[inline]
+pub fn record_mul(a_bits: u64, b_bits: u64) {
+    let phase = CURRENT_PHASE.with(Cell::get);
+    LOCAL.with(|c| {
+        c.mul_count[phase].fetch_add(1, Ordering::Relaxed);
+        c.mul_bits[phase].fetch_add(a_bits.saturating_mul(b_bits), Ordering::Relaxed);
+    });
+}
+
+/// Records one division; the bit cost model is `(‖a‖ − ‖b‖ + 1)·‖b‖`
+/// (quotient length times divisor length, the Algorithm D work estimate).
+#[inline]
+pub fn record_div(a_bits: u64, b_bits: u64) {
+    let phase = CURRENT_PHASE.with(Cell::get);
+    let q_bits = a_bits.saturating_sub(b_bits) + 1;
+    LOCAL.with(|c| {
+        c.div_count[phase].fetch_add(1, Ordering::Relaxed);
+        c.div_bits[phase].fetch_add(q_bits.saturating_mul(b_bits), Ordering::Relaxed);
+    });
+}
+
+/// Cost totals for one phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Number of multiprecision multiplications.
+    pub mul_count: u64,
+    /// Sum over multiplications of `‖a‖·‖b‖` (bit complexity).
+    pub mul_bits: u64,
+    /// Number of multiprecision divisions.
+    pub div_count: u64,
+    /// Sum over divisions of the Algorithm D work estimate.
+    pub div_bits: u64,
+}
+
+impl Sub for PhaseCost {
+    type Output = PhaseCost;
+    fn sub(self, rhs: PhaseCost) -> PhaseCost {
+        PhaseCost {
+            mul_count: self.mul_count - rhs.mul_count,
+            mul_bits: self.mul_bits - rhs.mul_bits,
+            div_count: self.div_count - rhs.div_count,
+            div_bits: self.div_bits - rhs.div_bits,
+        }
+    }
+}
+
+impl Add for PhaseCost {
+    type Output = PhaseCost;
+    fn add(self, rhs: PhaseCost) -> PhaseCost {
+        PhaseCost {
+            mul_count: self.mul_count + rhs.mul_count,
+            mul_bits: self.mul_bits + rhs.mul_bits,
+            div_count: self.div_count + rhs.div_count,
+            div_bits: self.div_bits + rhs.div_bits,
+        }
+    }
+}
+
+impl AddAssign for PhaseCost {
+    fn add_assign(&mut self, rhs: PhaseCost) {
+        *self = *self + rhs;
+    }
+}
+
+/// A point-in-time aggregation of all threads' counters.
+///
+/// Snapshots are monotone, so the cost of a region of code is the
+/// difference of the snapshots taken after and before it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CostSnapshot {
+    phases: [PhaseCost; NUM_PHASES],
+}
+
+impl CostSnapshot {
+    /// Cost recorded under `p`.
+    pub fn phase(&self, p: Phase) -> PhaseCost {
+        self.phases[p as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> PhaseCost {
+        self.phases
+            .iter()
+            .fold(PhaseCost::default(), |acc, &c| acc + c)
+    }
+
+    /// Iterator over `(phase, cost)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, PhaseCost)> + '_ {
+        ALL_PHASES.iter().map(move |&p| (p, self.phase(p)))
+    }
+}
+
+impl Sub for CostSnapshot {
+    type Output = CostSnapshot;
+    fn sub(self, rhs: CostSnapshot) -> CostSnapshot {
+        let mut out = CostSnapshot::default();
+        for i in 0..NUM_PHASES {
+            out.phases[i] = self.phases[i] - rhs.phases[i];
+        }
+        out
+    }
+}
+
+/// Aggregates the counters of every thread that has recorded an event.
+pub fn snapshot() -> CostSnapshot {
+    let mut out = CostSnapshot::default();
+    for c in registry().lock().iter() {
+        for i in 0..NUM_PHASES {
+            out.phases[i] += PhaseCost {
+                mul_count: c.mul_count[i].load(Ordering::Relaxed),
+                mul_bits: c.mul_bits[i].load(Ordering::Relaxed),
+                div_count: c.div_count[i].load(Ordering::Relaxed),
+                div_bits: c.div_bits[i].load(Ordering::Relaxed),
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Int;
+
+    #[test]
+    fn with_phase_restores_previous() {
+        set_phase(Phase::Other);
+        with_phase(Phase::Sieve, || {
+            assert_eq!(current_phase(), Phase::Sieve);
+            with_phase(Phase::Newton, || {
+                assert_eq!(current_phase(), Phase::Newton);
+            });
+            assert_eq!(current_phase(), Phase::Sieve);
+        });
+        assert_eq!(current_phase(), Phase::Other);
+    }
+
+    #[test]
+    fn with_phase_restores_on_panic() {
+        set_phase(Phase::Other);
+        let r = std::panic::catch_unwind(|| {
+            with_phase(Phase::Bisection, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(current_phase(), Phase::Other);
+    }
+
+    #[test]
+    fn snapshot_diff_counts_region() {
+        let a = Int::from(u64::MAX) * Int::from(u64::MAX); // warm TLS
+        drop(a);
+        let before = snapshot();
+        with_phase(Phase::TreePoly, || {
+            let x = Int::from(12345u64);
+            let y = Int::from(99999u64);
+            let _ = &x * &y;
+            let _ = &x * &y;
+        });
+        let d = snapshot() - before;
+        assert_eq!(d.phase(Phase::TreePoly).mul_count, 2);
+        // bit cost of 12345 (14 bits) * 99999 (17 bits), twice
+        assert_eq!(d.phase(Phase::TreePoly).mul_bits, 2 * 14 * 17);
+    }
+
+    #[test]
+    fn divisions_recorded_separately() {
+        let before = snapshot();
+        with_phase(Phase::Baseline, || {
+            let x = Int::from(1_000_000_007u64);
+            let y = Int::from(97u64);
+            let _ = &x / &y;
+        });
+        let d = snapshot() - before;
+        assert_eq!(d.phase(Phase::Baseline).div_count, 1);
+        assert_eq!(d.phase(Phase::Baseline).mul_count, 0);
+    }
+
+    #[test]
+    fn cross_thread_aggregation() {
+        let before = snapshot();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    with_phase(Phase::PreInterval, || {
+                        let _ = Int::from(7u64) * Int::from(9u64);
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = snapshot() - before;
+        assert_eq!(d.phase(Phase::PreInterval).mul_count, 4);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let before = snapshot();
+        with_phase(Phase::Sort, || {
+            let _ = Int::from(3u64) * Int::from(5u64);
+        });
+        with_phase(Phase::Sieve, || {
+            let _ = Int::from(3u64) * Int::from(5u64);
+        });
+        let d = snapshot() - before;
+        assert_eq!(d.total().mul_count, 2);
+    }
+}

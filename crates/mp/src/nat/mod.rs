@@ -1,0 +1,282 @@
+//! Arithmetic on unsigned multiprecision magnitudes.
+//!
+//! A magnitude is a `Vec<Limb>` in little-endian limb order with the
+//! invariant that the last limb is nonzero (the empty vector represents
+//! zero). All functions here either require normalized inputs or preserve
+//! the invariant on their outputs, as documented.
+//!
+//! These routines are deliberately the classical linear/quadratic
+//! algorithms; see the crate docs for why.
+
+pub mod div;
+pub mod mul;
+
+use crate::limb::{DoubleLimb, Limb, LIMB_BITS};
+use std::cmp::Ordering;
+
+/// Removes trailing zero limbs, restoring the normalization invariant.
+#[inline]
+pub fn trim(v: &mut Vec<Limb>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// Returns `v` with trailing zero limbs removed.
+#[inline]
+pub fn normalized(mut v: Vec<Limb>) -> Vec<Limb> {
+    trim(&mut v);
+    v
+}
+
+/// True if the magnitude is zero (empty).
+#[inline]
+pub fn is_zero(a: &[Limb]) -> bool {
+    a.is_empty()
+}
+
+/// Compares two normalized magnitudes.
+pub fn cmp(a: &[Limb], b: &[Limb]) -> Ordering {
+    debug_assert!(a.last() != Some(&0) && b.last() != Some(&0));
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        }
+        other => other,
+    }
+}
+
+/// Number of significant bits (zero has bit length 0).
+pub fn bit_len(a: &[Limb]) -> u64 {
+    match a.last() {
+        None => 0,
+        Some(&top) => {
+            debug_assert!(top != 0);
+            a.len() as u64 * LIMB_BITS as u64 - top.leading_zeros() as u64
+        }
+    }
+}
+
+/// Returns bit `i` (little-endian bit order across limbs).
+pub fn bit(a: &[Limb], i: u64) -> bool {
+    let limb = (i / LIMB_BITS as u64) as usize;
+    if limb >= a.len() {
+        return false;
+    }
+    (a[limb] >> (i % LIMB_BITS as u64)) & 1 == 1
+}
+
+/// Number of trailing zero bits; `None` for zero.
+pub fn trailing_zeros(a: &[Limb]) -> Option<u64> {
+    a.iter()
+        .position(|&l| l != 0)
+        .map(|i| i as u64 * LIMB_BITS as u64 + a[i].trailing_zeros() as u64)
+}
+
+/// Sum of two magnitudes.
+#[allow(clippy::needless_range_loop)] // carry chain reads clearer indexed
+pub fn add(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: Limb = 0;
+    for i in 0..long.len() {
+        let s = long[i] as DoubleLimb
+            + *short.get(i).unwrap_or(&0) as DoubleLimb
+            + carry as DoubleLimb;
+        out.push(s as Limb);
+        carry = (s >> LIMB_BITS) as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Difference `a - b`; requires `a >= b` (debug-asserted).
+#[allow(clippy::needless_range_loop)] // borrow chain reads clearer indexed
+pub fn sub(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "nat::sub underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: Limb = 0;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(*b.get(i).unwrap_or(&0));
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (b1 | b2) as Limb;
+    }
+    debug_assert_eq!(borrow, 0);
+    normalized(out)
+}
+
+/// Left shift by `bits`.
+pub fn shl(a: &[Limb], bits: u64) -> Vec<Limb> {
+    if is_zero(a) {
+        return Vec::new();
+    }
+    let limb_shift = (bits / LIMB_BITS as u64) as usize;
+    let bit_shift = (bits % LIMB_BITS as u64) as u32;
+    let mut out = vec![0; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry: Limb = 0;
+        for &l in a {
+            out.push((l << bit_shift) | carry);
+            carry = l >> (LIMB_BITS - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    out
+}
+
+/// Right shift by `bits` (floor — bits shifted out are discarded).
+pub fn shr(a: &[Limb], bits: u64) -> Vec<Limb> {
+    let limb_shift = (bits / LIMB_BITS as u64) as usize;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = (bits % LIMB_BITS as u64) as u32;
+    let src = &a[limb_shift..];
+    if bit_shift == 0 {
+        return src.to_vec();
+    }
+    let mut out = Vec::with_capacity(src.len());
+    for i in 0..src.len() {
+        let hi = if i + 1 < src.len() {
+            src[i + 1] << (LIMB_BITS - bit_shift)
+        } else {
+            0
+        };
+        out.push((src[i] >> bit_shift) | hi);
+    }
+    normalized(out)
+}
+
+/// True if any of the low `bits` bits is set (i.e. `shr(a, bits)` is inexact).
+pub fn low_bits_nonzero(a: &[Limb], bits: u64) -> bool {
+    let full = (bits / LIMB_BITS as u64) as usize;
+    let rem = (bits % LIMB_BITS as u64) as u32;
+    if a[..full.min(a.len())].iter().any(|&l| l != 0) {
+        return true;
+    }
+    if rem > 0 && full < a.len() {
+        return a[full] & ((1 << rem) - 1) != 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Vec<Limb> {
+        normalized(vec![v as Limb, (v >> 64) as Limb])
+    }
+
+    fn val(a: &[Limb]) -> u128 {
+        assert!(a.len() <= 2);
+        a.first().copied().unwrap_or(0) as u128
+            | (a.get(1).copied().unwrap_or(0) as u128) << 64
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalized(vec![1, 0, 0]), vec![1]);
+        assert_eq!(normalized(vec![0, 0]), Vec::<Limb>::new());
+        assert!(is_zero(&normalized(vec![0])));
+    }
+
+    #[test]
+    fn cmp_orders_by_length_then_lexicographic() {
+        assert_eq!(cmp(&n(5), &n(5)), Ordering::Equal);
+        assert_eq!(cmp(&n(5), &n(6)), Ordering::Less);
+        assert_eq!(cmp(&n(u128::MAX), &n(1)), Ordering::Greater);
+        assert_eq!(cmp(&[], &n(1)), Ordering::Less);
+        assert_eq!(cmp(&[], &[]), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_len_examples() {
+        assert_eq!(bit_len(&[]), 0);
+        assert_eq!(bit_len(&n(1)), 1);
+        assert_eq!(bit_len(&n(255)), 8);
+        assert_eq!(bit_len(&n(256)), 9);
+        assert_eq!(bit_len(&n(1u128 << 64)), 65);
+        assert_eq!(bit_len(&n(u128::MAX)), 128);
+    }
+
+    #[test]
+    fn bit_access() {
+        let x = n(0b1011);
+        assert!(bit(&x, 0));
+        assert!(bit(&x, 1));
+        assert!(!bit(&x, 2));
+        assert!(bit(&x, 3));
+        assert!(!bit(&x, 200));
+        let y = n(1u128 << 70);
+        assert!(bit(&y, 70));
+        assert!(!bit(&y, 69));
+    }
+
+    #[test]
+    fn trailing_zeros_examples() {
+        assert_eq!(trailing_zeros(&[]), None);
+        assert_eq!(trailing_zeros(&n(1)), Some(0));
+        assert_eq!(trailing_zeros(&n(8)), Some(3));
+        assert_eq!(trailing_zeros(&n(1u128 << 100)), Some(100));
+    }
+
+    #[test]
+    fn add_with_carry_chains() {
+        assert_eq!(val(&add(&n(u64::MAX as u128), &n(1))), 1u128 << 64);
+        assert_eq!(val(&add(&n(3), &n(4))), 7);
+        assert_eq!(val(&add(&[], &n(9))), 9);
+        // carry into a fresh limb
+        let big = add(&n(u128::MAX), &n(1));
+        assert_eq!(big, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_with_borrow_chains() {
+        assert_eq!(val(&sub(&n(1u128 << 64), &n(1))), u64::MAX as u128);
+        assert_eq!(sub(&n(7), &n(7)), Vec::<Limb>::new());
+        assert_eq!(val(&sub(&n(1u128 << 127), &n(1))), (1u128 << 127) - 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn sub_underflow_panics() {
+        sub(&n(1), &n(2));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        for shift in [0u64, 1, 7, 63, 64, 65, 127, 130] {
+            let x = n(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+            assert_eq!(shr(&shl(&x, shift), shift), x, "shift {shift}");
+        }
+        assert_eq!(shl(&[], 100), Vec::<Limb>::new());
+        assert_eq!(val(&shl(&n(1), 64)), 1u128 << 64);
+        assert_eq!(shr(&n(0b101), 1), n(0b10));
+        assert_eq!(shr(&n(1), 1), Vec::<Limb>::new());
+        assert_eq!(shr(&n(u128::MAX), 200), Vec::<Limb>::new());
+    }
+
+    #[test]
+    fn low_bits_detection() {
+        let x = n(0b1000);
+        assert!(!low_bits_nonzero(&x, 3));
+        assert!(low_bits_nonzero(&x, 4));
+        assert!(low_bits_nonzero(&n(1u128 << 64), 65));
+        assert!(!low_bits_nonzero(&n(1u128 << 64), 64));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the multiprecision integer substrate.
+//!
+//! The strategy generates integers of up to ~8 limbs from raw byte vectors
+//! so carries, borrows, and Algorithm D's rare branches get exercised, and
+//! cross-checks against `i128` arithmetic on the small end.
+
+use proptest::prelude::*;
+use rr_mp::gcd::{gcd, lcm};
+use rr_mp::Int;
+
+/// An arbitrary `Int` with up to `limbs` limbs of magnitude.
+fn arb_int(limbs: usize) -> impl Strategy<Value = Int> {
+    (
+        any::<bool>(),
+        prop::collection::vec(any::<u64>(), 0..=limbs),
+        // With some probability force extreme limbs to stress carry chains.
+        prop::collection::vec(prop::sample::select(vec![0u64, 1, u64::MAX, u64::MAX - 1]), 0..=limbs),
+        any::<bool>(),
+    )
+        .prop_map(|(neg, random, extreme, pick_extreme)| {
+            let mag = if pick_extreme { extreme } else { random };
+            let sign = if neg { rr_mp::Sign::Negative } else { rr_mp::Sign::Positive };
+            Int::from_sign_mag(sign, mag)
+        })
+}
+
+fn arb_nonzero(limbs: usize) -> impl Strategy<Value = Int> {
+    arb_int(limbs).prop_filter("nonzero", |x| !x.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_commutative(a in arb_int(8), b in arb_int(8)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_int(8), b in arb_int(8), c in arb_int(8)) {
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn additive_inverse(a in arb_int(8)) {
+        prop_assert!((&a + (-&a)).is_zero());
+        prop_assert_eq!(&a - &a, Int::zero());
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_int(6), b in arb_int(6)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associative(a in arb_int(4), b in arb_int(4), c in arb_int(4)) {
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_int(5), b in arb_int(5), c in arb_int(5)) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn mul_identity_and_zero(a in arb_int(8)) {
+        prop_assert_eq!(&a * Int::one(), a.clone());
+        prop_assert!((&a * Int::zero()).is_zero());
+    }
+
+    #[test]
+    fn small_ops_match_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Int::from(a), Int::from(b));
+        prop_assert_eq!(&ia + &ib, Int::from(a as i128 + b as i128));
+        prop_assert_eq!(&ia - &ib, Int::from(a as i128 - b as i128));
+        prop_assert_eq!(&ia * &ib, Int::from(a as i128 * b as i128));
+        if b != 0 {
+            prop_assert_eq!(&ia / &ib, Int::from(a as i128 / b as i128));
+            prop_assert_eq!(&ia % &ib, Int::from(a as i128 % b as i128));
+        }
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in arb_int(8), b in arb_nonzero(5)) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+        // sign(r) == sign(a) or r == 0 (truncating division)
+        prop_assert!(r.is_zero() || r.signum() == a.signum());
+    }
+
+    #[test]
+    fn mul_then_div_roundtrips(a in arb_int(6), b in arb_nonzero(6)) {
+        let p = &a * &b;
+        prop_assert_eq!(p.div_exact(&b), a);
+    }
+
+    #[test]
+    fn floor_le_trunc_le_ceil(a in arb_int(6), b in arb_nonzero(4)) {
+        let fl = a.div_floor(&b);
+        let ce = a.div_ceil(&b);
+        let tr = &a / &b;
+        prop_assert!(fl <= tr && tr <= ce);
+        // floor*b <= a < (floor+1)*b for positive b (mirrored for negative)
+        let lo = &fl * &b;
+        let hi = (&fl + Int::one()) * &b;
+        if b.is_positive() {
+            prop_assert!(lo <= a && a < hi);
+        } else {
+            prop_assert!(hi < a.clone() + Int::one() && a <= lo);
+        }
+        prop_assert!((&ce - &fl) <= Int::one());
+    }
+
+    #[test]
+    fn shifts_are_pow2_division(a in arb_int(6), k in 0u64..200) {
+        let p = Int::pow2(k);
+        prop_assert_eq!(a.shr_floor(k), a.div_floor(&p));
+        prop_assert_eq!(a.shr_ceil(k), a.div_ceil(&p));
+        prop_assert_eq!(&a << k, &a * &p);
+        prop_assert_eq!((&a << k) >> k, a.clone());
+    }
+
+    #[test]
+    fn bit_len_bounds(a in arb_nonzero(8)) {
+        let bits = a.bit_len();
+        // 2^(bits-1) <= |a| < 2^bits
+        prop_assert!(a.abs() >= Int::pow2(bits - 1));
+        prop_assert!(a.abs() < Int::pow2(bits));
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul(a in arb_int(2), e in 0u32..8) {
+        let mut expect = Int::one();
+        for _ in 0..e {
+            expect *= &a;
+        }
+        prop_assert_eq!(a.pow(e), expect);
+    }
+
+    #[test]
+    fn gcd_divides_and_bezout_free_properties(a in arb_int(5), b in arb_int(5)) {
+        let g = gcd(&a, &b);
+        if a.is_zero() && b.is_zero() {
+            prop_assert!(g.is_zero());
+        } else {
+            prop_assert!(g.is_positive());
+            prop_assert!(a.is_zero() || a.divisible_by(&g));
+            prop_assert!(b.is_zero() || b.divisible_by(&g));
+            // gcd is maximal: gcd(a/g, b/g) == 1
+            if !a.is_zero() && !b.is_zero() {
+                let (a1, b1) = (a.div_exact(&g), b.div_exact(&g));
+                prop_assert!(gcd(&a1, &b1).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in arb_nonzero(4), b in arb_nonzero(4)) {
+        let g = gcd(&a, &b);
+        let l = lcm(&a, &b);
+        prop_assert_eq!(g * l, (&a * &b).abs());
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_int(8)) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Int>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_int(8)) {
+        let s = format!("{a:x}");
+        prop_assert_eq!(Int::from_str_radix(&s, 16).unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_total_and_consistent_with_sub(a in arb_int(6), b in arb_int(6)) {
+        let d = &a - &b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(d.is_negative()),
+            std::cmp::Ordering::Equal => prop_assert!(d.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(d.is_positive()),
+        }
+    }
+
+    #[test]
+    fn neg_involution_and_abs(a in arb_int(8)) {
+        prop_assert_eq!(-(-&a), a.clone());
+        prop_assert!(!a.abs().is_negative());
+        prop_assert_eq!(a.abs(), (-&a).abs());
+    }
+}

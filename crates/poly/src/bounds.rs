@@ -1,0 +1,108 @@
+//! Root magnitude bounds.
+//!
+//! The interval stage needs an initial interval `[−2^R, 2^R]` guaranteed
+//! to contain every real root of every polynomial in the tree. The paper
+//! (Section 2.2, citing Householder) uses the coefficient-size bound
+//! `R ≤ m` for `m`-bit coefficients of a monic-ish polynomial; we compute
+//! the slightly sharper Cauchy bound exactly and round it up to a power
+//! of two.
+
+use crate::Poly;
+use rr_mp::Int;
+
+/// Smallest `R` such that every (real or complex) root `x` of `p`
+/// satisfies `|x| < 2^R`, via the Cauchy bound
+/// `|x| ≤ 1 + max_i |a_i| / |a_n|`.
+///
+/// # Panics
+/// Panics if `p` is constant or zero.
+pub fn root_bound_bits(p: &Poly) -> u64 {
+    let d = p.degree().expect("root bound of the zero polynomial");
+    assert!(d >= 1, "root bound of a constant");
+    let an = p.lc().abs();
+    let max_low = p.coeffs()[..d]
+        .iter()
+        .map(Int::abs)
+        .max()
+        .unwrap_or_else(Int::zero);
+    // B = 1 + ceil(max|a_i| / |a_n|); roots satisfy |x| <= B < 2^bits(B)+1.
+    let b = Int::one() + max_low.div_ceil(&an);
+    // |x| <= b, so |x| < 2^R with R = bit_len(b) (b < 2^bit_len(b)) unless
+    // b is an exact power of two where |x| = b = 2^(R-1) is possible;
+    // bit_len already gives strict inequality except at b itself, so add
+    // one bit of slack to make the interval safely enclosing.
+    b.bit_len() + 1
+}
+
+/// The root bound as an `Int`: `2^root_bound_bits(p)`.
+pub fn root_bound_pow2(p: &Poly) -> Int {
+    Int::pow2(root_bound_bits(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::sign_at;
+
+    fn p(coeffs: &[i64]) -> Poly {
+        Poly::from_i64(coeffs)
+    }
+
+    fn check_encloses(f: &Poly, roots: &[i64]) {
+        let bits = root_bound_bits(f);
+        let b = Int::pow2(bits);
+        for &r in roots {
+            assert!(Int::from(r).abs() < b, "root {r} within 2^{bits}");
+        }
+        // the polynomial has constant sign beyond the bound
+        assert_eq!(
+            sign_at(f, &b),
+            f.sign_at_pos_inf(),
+            "no sign change beyond +bound"
+        );
+        assert_eq!(
+            sign_at(f, &(-&b)),
+            f.sign_at_neg_inf(),
+            "no sign change beyond -bound"
+        );
+    }
+
+    #[test]
+    fn encloses_known_roots() {
+        check_encloses(&Poly::from_roots(&[Int::from(1), Int::from(100)]), &[1, 100]);
+        check_encloses(&Poly::from_roots(&[Int::from(-1000), Int::from(3)]), &[-1000, 3]);
+        check_encloses(&p(&[-6, 11, -6, 1]), &[1, 2, 3]);
+        check_encloses(&p(&[0, 1]), &[0]);
+    }
+
+    #[test]
+    fn large_leading_coefficient_tightens_bound() {
+        // 1000x - 1: root 1/1000; B = 1 + ceil(1/1000) = 2, so 3 bits
+        // with the safety slack — small regardless of coefficient size.
+        let f = p(&[-1, 1000]);
+        assert!(root_bound_bits(&f) <= 3);
+    }
+
+    #[test]
+    fn wilkinson_20_bound() {
+        let roots: Vec<Int> = (1..=20i64).map(Int::from).collect();
+        let f = Poly::from_roots(&roots);
+        let bits = root_bound_bits(&f);
+        assert!(Int::from(20) < Int::pow2(bits));
+        // Cauchy bound on Wilkinson is huge (coefficients ~ 20!/k!), but
+        // must still be finite and usable.
+        assert!(bits < 70);
+    }
+
+    #[test]
+    fn pow2_matches_bits() {
+        let f = p(&[-6, 11, -6, 1]);
+        assert_eq!(root_bound_pow2(&f), Int::pow2(root_bound_bits(&f)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_constant() {
+        root_bound_bits(&p(&[3]));
+    }
+}

@@ -1,0 +1,167 @@
+//! Polynomial division: exact division, Euclidean division over the
+//! rationals kept integral by pseudo-division.
+
+use crate::Poly;
+use rr_mp::Int;
+
+/// Result of a pseudo-division (see [`pseudo_div_rem`]).
+#[derive(Debug, Clone)]
+pub struct PseudoDiv {
+    /// Pseudo-quotient.
+    pub quot: Poly,
+    /// Pseudo-remainder, `deg rem < deg divisor`.
+    pub rem: Poly,
+    /// The scaling `lc(b)^k` applied to the dividend: `scale·a = quot·b + rem`.
+    pub scale: Int,
+    /// The exponent `k` in `scale = lc(b)^k` (number of reduction steps).
+    pub steps: u32,
+}
+
+/// Pseudo-division of `a` by `b`: finds `quot`, `rem` with
+/// `lc(b)^k · a = quot·b + rem` and `deg rem < deg b`, where
+/// `k = deg a − deg b + 1` reduction steps are performed (fewer if the
+/// dividend collapses early; `scale` reports the actual factor).
+///
+/// All arithmetic stays in the integers.
+///
+/// # Panics
+/// Panics if `b` is zero.
+pub fn pseudo_div_rem(a: &Poly, b: &Poly) -> PseudoDiv {
+    assert!(!b.is_zero(), "pseudo-division by zero polynomial");
+    let db = b.deg();
+    let lb = b.lc().clone();
+    let mut rem = a.clone();
+    let mut quot = Poly::zero();
+    let mut steps = 0u32;
+    while !rem.is_zero() && rem.deg() >= db {
+        let dr = rem.deg();
+        let t = Poly::monomial(rem.lc().clone(), dr - db);
+        // lb·rem − t·b cancels the leading term of rem.
+        rem = rem.scale(&lb) - &t * b;
+        quot = quot.scale(&lb) + t;
+        steps += 1;
+        debug_assert!(rem.is_zero() || rem.deg() < dr, "degree must strictly drop");
+    }
+    PseudoDiv { quot, rem, scale: lb.pow(steps), steps }
+}
+
+/// Exact division: `a / b` when `b` divides `a` in `ℤ\[x\]`.
+///
+/// Returns `None` when the division is not exact (nonzero remainder or a
+/// non-integral quotient).
+pub fn div_exact(a: &Poly, b: &Poly) -> Option<Poly> {
+    assert!(!b.is_zero(), "division by zero polynomial");
+    if a.is_zero() {
+        return Some(Poly::zero());
+    }
+    if a.deg() < b.deg() {
+        return None;
+    }
+    // Synthetic long division, checking each coefficient division exactly.
+    let db = b.deg();
+    let lb = b.lc();
+    let mut rem = a.clone();
+    let mut q = vec![Int::zero(); a.deg() - db + 1];
+    while !rem.is_zero() && rem.deg() >= db {
+        let dr = rem.deg();
+        let (c, r) = rem.lc().div_rem(lb);
+        if !r.is_zero() {
+            return None;
+        }
+        q[dr - db] = c.clone();
+        rem = rem - Poly::monomial(c, dr - db) * b;
+        if !rem.is_zero() && rem.deg() >= dr {
+            return None;
+        }
+    }
+    if rem.is_zero() {
+        Some(Poly::from_coeffs(q))
+    } else {
+        None
+    }
+}
+
+/// Euclidean remainder over ℚ when it happens to stay integral, else the
+/// primitive part of the pseudo-remainder. Convenience for gcd chains.
+pub fn prem_primitive(a: &Poly, b: &Poly) -> Poly {
+    pseudo_div_rem(a, b).rem.primitive_part()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> Poly {
+        Poly::from_i64(coeffs)
+    }
+
+    #[test]
+    fn pseudo_division_invariant() {
+        let a = p(&[1, 2, 3, 4, 5]);
+        let b = p(&[7, 0, 2]);
+        let pd = pseudo_div_rem(&a, &b);
+        assert!(pd.rem.is_zero() || pd.rem.deg() < b.deg());
+        assert_eq!(a.scale(&pd.scale), &pd.quot * &b + &pd.rem);
+        assert_eq!(pd.scale, b.lc().pow(pd.steps));
+    }
+
+    #[test]
+    fn pseudo_division_monic_is_euclidean() {
+        // Monic divisor: scale is 1 and this is plain division.
+        let a = p(&[-6, 11, -6, 1]);
+        let b = p(&[-1, 1]); // x - 1
+        let pd = pseudo_div_rem(&a, &b);
+        assert_eq!(pd.scale, Int::one());
+        assert!(pd.rem.is_zero());
+        assert_eq!(pd.quot, p(&[6, -5, 1])); // (x-2)(x-3)
+    }
+
+    #[test]
+    fn pseudo_division_small_dividend() {
+        let a = p(&[1, 1]);
+        let b = p(&[0, 0, 1]);
+        let pd = pseudo_div_rem(&a, &b);
+        assert!(pd.quot.is_zero());
+        assert_eq!(pd.rem, a);
+        assert_eq!(pd.steps, 0);
+        assert_eq!(pd.scale, Int::one());
+    }
+
+    #[test]
+    fn div_exact_roundtrip() {
+        let b = p(&[3, -1, 4]);
+        let q = p(&[-2, 0, 5, 1]);
+        let a = &b * &q;
+        assert_eq!(div_exact(&a, &b), Some(q.clone()));
+        assert_eq!(div_exact(&a, &q), Some(b.clone()));
+        assert_eq!(div_exact(&(a + Poly::one()), &b), None);
+    }
+
+    #[test]
+    fn div_exact_detects_non_integral_quotient() {
+        // (2x) / (3) would be non-integral... use polynomial case:
+        // x^2 / (2x) = x/2 not integral.
+        assert_eq!(div_exact(&p(&[0, 0, 1]), &p(&[0, 2])), None);
+        // but 2x^2 / (2x) = x
+        assert_eq!(div_exact(&p(&[0, 0, 2]), &p(&[0, 2])), Some(p(&[0, 1])));
+    }
+
+    #[test]
+    fn div_exact_zero_dividend() {
+        assert_eq!(div_exact(&Poly::zero(), &p(&[1, 1])), Some(Poly::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn division_by_zero_polynomial_panics() {
+        pseudo_div_rem(&p(&[1]), &Poly::zero());
+    }
+
+    #[test]
+    fn prem_primitive_has_unit_content() {
+        let a = p(&[4, 0, 0, 8, 12]);
+        let b = p(&[6, 0, 9]);
+        let r = prem_primitive(&a, &b);
+        assert!(r.is_zero() || r.content().is_one());
+    }
+}

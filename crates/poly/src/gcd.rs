@@ -1,0 +1,135 @@
+//! Polynomial gcd over ℤ\[x\] via the primitive PRS, and squarefree parts.
+
+use crate::division::{div_exact, prem_primitive};
+use crate::Poly;
+use rr_mp::gcd::gcd as int_gcd;
+
+/// Greatest common divisor of `a` and `b` in ℤ\[x\]: primitive with positive
+/// leading coefficient, times the gcd of the contents. `gcd(0, 0) = 0`.
+pub fn gcd(a: &Poly, b: &Poly) -> Poly {
+    if a.is_zero() {
+        return abs_lc(b.clone());
+    }
+    if b.is_zero() {
+        return abs_lc(a.clone());
+    }
+    let content = int_gcd(&a.content(), &b.content());
+    let mut u = a.primitive_part();
+    let mut v = b.primitive_part();
+    if u.deg() < v.deg() {
+        std::mem::swap(&mut u, &mut v);
+    }
+    while !v.is_zero() {
+        if v.is_constant() {
+            // coprime primitive parts
+            return Poly::constant(content);
+        }
+        let r = prem_primitive(&u, &v);
+        u = v;
+        v = r;
+    }
+    abs_lc(u).scale(&content)
+}
+
+fn abs_lc(p: Poly) -> Poly {
+    if p.leading_coeff().is_some_and(|c| c.is_negative()) {
+        -p
+    } else {
+        p
+    }
+}
+
+/// The squarefree part `p / gcd(p, p')`: same distinct roots, all simple.
+///
+/// # Panics
+/// Panics on the zero polynomial.
+pub fn squarefree_part(p: &Poly) -> Poly {
+    assert!(!p.is_zero());
+    if p.deg() == 0 {
+        return p.clone();
+    }
+    let g = gcd(p, &p.derivative());
+    if g.is_constant() {
+        return p.clone();
+    }
+    div_exact(&p.scale(g.lc()), &g)
+        .or_else(|| div_exact(p, &g))
+        .expect("gcd divides p up to a constant")
+        .primitive_part()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_mp::Int;
+
+    fn p(coeffs: &[i64]) -> Poly {
+        Poly::from_i64(coeffs)
+    }
+
+    #[test]
+    fn gcd_of_products() {
+        let f = &p(&[-1, 1]) * &p(&[-2, 1]); // (x-1)(x-2)
+        let g = &p(&[-1, 1]) * &p(&[-3, 1]); // (x-1)(x-3)
+        assert_eq!(gcd(&f, &g), p(&[-1, 1]));
+    }
+
+    #[test]
+    fn gcd_coprime_is_constant() {
+        assert_eq!(gcd(&p(&[-1, 1]), &p(&[-2, 1])), Poly::one());
+    }
+
+    #[test]
+    fn gcd_with_zero_and_constants() {
+        assert_eq!(gcd(&Poly::zero(), &p(&[-2, 1])), p(&[-2, 1]));
+        assert_eq!(gcd(&p(&[-2, -1]), &Poly::zero()), p(&[2, 1]));
+        assert!(gcd(&Poly::zero(), &Poly::zero()).is_zero());
+        assert_eq!(gcd(&p(&[6]), &p(&[4, 8])), Poly::constant(Int::from(2)));
+    }
+
+    #[test]
+    fn gcd_content_handling() {
+        let f = p(&[-2, 2]).scale(&Int::from(6)); // 12x - 12
+        let g = p(&[-2, 2]).scale(&Int::from(4)); // 8x - 8
+        // primitive gcd (x-1) times content gcd(12,8)/... contents:
+        // content(f)=12, content(g)=8, gcd=4; primitive parts both x-1.
+        assert_eq!(gcd(&f, &g), p(&[-1, 1]).scale(&Int::from(4)));
+    }
+
+    #[test]
+    fn gcd_sign_normalized() {
+        let f = p(&[1, -1]); // -(x-1)
+        let g = p(&[-1, 1]);
+        let d = gcd(&f, &g);
+        assert!(d.lc().is_positive());
+        assert_eq!(d, p(&[-1, 1]));
+    }
+
+    #[test]
+    fn squarefree_part_strips_multiplicity() {
+        // (x-1)^3 (x-2)^2 (x-5)
+        let f = &p(&[-1, 1]) * &p(&[-1, 1]) * &p(&[-1, 1]) * &p(&[-2, 1]) * &p(&[-2, 1]) * &p(&[-5, 1]);
+        let sf = squarefree_part(&f);
+        assert_eq!(sf.deg(), 3);
+        // same roots: (x-1)(x-2)(x-5) up to sign
+        let expect = &(&p(&[-1, 1]) * &p(&[-2, 1])) * &p(&[-5, 1]);
+        assert_eq!(sf.primitive_part(), expect);
+    }
+
+    #[test]
+    fn squarefree_part_of_squarefree_is_itself() {
+        let f = Poly::from_roots(&[Int::from(1), Int::from(4), Int::from(9)]);
+        assert_eq!(squarefree_part(&f), f);
+        let c = p(&[7]);
+        assert_eq!(squarefree_part(&c), c);
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        let f = &p(&[1, 3, 1]) * &p(&[-7, 2, 5]);
+        let g = &p(&[1, 3, 1]) * &p(&[2, -1]);
+        let d = gcd(&f, &g);
+        assert_eq!(d.primitive_part(), p(&[1, 3, 1]));
+        assert!(div_exact(&f.scale(d.lc()), &d).is_some() || div_exact(&f, &d).is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! Dependency gates — the "status data structures" of the paper's
+//! Section 3.2.
+//!
+//! Each tree node in the paper maintains a record of which tasks have
+//! completed; when a completion enables another task (per the dependency
+//! diagram of Fig. 3.2), that task is added to the queue. A [`Gate`] is
+//! that record distilled: an atomic prerequisite counter whose *last*
+//! arrival returns `true`, telling the completing task to construct and
+//! spawn the gated successor:
+//!
+//! ```
+//! use rr_sched::{run, Gate};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let done = AtomicU64::new(0);
+//! let gate = Gate::new(3);
+//! run(2, |s| {
+//!     for _ in 0..3 {
+//!         let (gate, done) = (&gate, &done);
+//!         s.spawn(move |s2| {
+//!             // ... do this prerequisite's work ...
+//!             if gate.arrive() {
+//!                 s2.spawn(move |_| {
+//!                     done.fetch_add(1, Ordering::SeqCst); // the successor
+//!                 });
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(done.load(Ordering::SeqCst), 1);
+//! ```
+//!
+//! Keeping the successor's closure out of the gate (it is built by
+//! whichever task arrives last) avoids self-referential storage and makes
+//! the gate a plain `Sync` value that can live in a node arena.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic prerequisite counter; the last [`Gate::arrive`] returns
+/// `true` exactly once.
+#[derive(Debug)]
+pub struct Gate {
+    remaining: AtomicUsize,
+}
+
+impl Gate {
+    /// A gate expecting `count` arrivals.
+    ///
+    /// # Panics
+    /// Panics if `count == 0` — with nothing to wait for, spawn directly.
+    pub fn new(count: usize) -> Gate {
+        assert!(count > 0, "a gate needs at least one prerequisite");
+        Gate { remaining: AtomicUsize::new(count) }
+    }
+
+    /// Records one prerequisite completion; returns `true` iff this was
+    /// the final one (the caller should then spawn the successor).
+    ///
+    /// # Panics
+    /// Panics if called more times than the prerequisite count.
+    pub fn arrive(&self) -> bool {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "gate over-arrived");
+        prev == 1
+    }
+
+    /// Prerequisites still outstanding (for diagnostics).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn last_arrival_wins_exactly_once() {
+        for workers in [1usize, 4, 8] {
+            let fired = AtomicU64::new(0);
+            let gate = Gate::new(16);
+            run(workers, |s| {
+                for _ in 0..16 {
+                    let (gate, fired) = (&gate, &fired);
+                    s.spawn(move |_| {
+                        if gate.arrive() {
+                            fired.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(fired.load(Ordering::SeqCst), 1, "workers={workers}");
+            assert_eq!(gate.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn diamond_dependency_order() {
+        // a -> (b, c) -> d, repeated to shake out races.
+        for _ in 0..25 {
+            let order = Mutex::new(Vec::<&'static str>::new());
+            let bc_gate = Gate::new(1); // a enables b and c (spawned directly)
+            let d_gate = Gate::new(2);
+            let _ = &bc_gate;
+            run(4, |s| {
+                let (order, d_gate) = (&order, &d_gate);
+                s.spawn(move |s2| {
+                    order.lock().push("a");
+                    for name in ["b", "c"] {
+                        s2.spawn(move |s3| {
+                            order.lock().push(name);
+                            if d_gate.arrive() {
+                                s3.spawn(move |_| order.lock().push("d"));
+                            }
+                        });
+                    }
+                });
+            });
+            let seq = order.into_inner();
+            assert_eq!(seq.len(), 4);
+            assert_eq!(seq[0], "a");
+            assert_eq!(seq[3], "d");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prerequisite")]
+    fn zero_count_rejected() {
+        let _ = Gate::new(0);
+    }
+
+    #[test]
+    fn layered_gates_form_a_pipeline() {
+        // 8 leaves -> 4 gates -> 2 gates -> 1 gate (a reduction tree).
+        let levels: Vec<Vec<Gate>> = vec![
+            (0..4).map(|_| Gate::new(2)).collect(),
+            (0..2).map(|_| Gate::new(2)).collect(),
+            (0..1).map(|_| Gate::new(2)).collect(),
+        ];
+        let completed = AtomicU64::new(0);
+        fn arrive<'env>(
+            levels: &'env [Vec<Gate>],
+            completed: &'env AtomicU64,
+            level: usize,
+            idx: usize,
+            s: &crate::Scope<'env>,
+        ) {
+            if level == levels.len() {
+                completed.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            if levels[level][idx].arrive() {
+                s.spawn(move |s2| arrive(levels, completed, level + 1, idx / 2, s2));
+            }
+        }
+        let levels_ref = &levels;
+        let completed_ref = &completed;
+        run(4, move |s| {
+            for leaf in 0..8usize {
+                s.spawn(move |s2| arrive(levels_ref, completed_ref, 0, leaf / 2, s2));
+            }
+        });
+        assert_eq!(completed.load(Ordering::SeqCst), 1);
+        for level in &levels {
+            for g in level {
+                assert_eq!(g.remaining(), 0);
+            }
+        }
+    }
+}

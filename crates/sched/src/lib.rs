@@ -1,0 +1,33 @@
+//! # rr-sched — the paper's dynamic scheduling runtime
+//!
+//! Narendran & Tiwari's implementation (Section 3) uses *dynamic
+//! scheduling*: the computation is divided into tasks kept in a shared
+//! task queue; whenever a processor becomes free it picks the first task
+//! from the queue; completing a task usually adds other tasks to the
+//! queue. This crate is that runtime:
+//!
+//! * [`pool::run`] — drain a shared FIFO task queue with `P` workers
+//!   until quiescence; tasks may spawn further tasks through
+//!   [`pool::Scope`]. The queue is `crossbeam_deque::Injector` (FIFO,
+//!   like the paper's queue) and idle workers park on a condvar.
+//! * [`graph::Gate`] — the "status data structure" of Section 3.2: a
+//!   dependency counter whose final arrival tells the completing task to
+//!   spawn the gated successor.
+//! * [`static_sched`] — the *earlier static scheduling policy* the paper
+//!   mentions in footnote 3, kept as an ablation baseline: tasks are
+//!   pre-assigned round-robin within barrier-separated rounds.
+
+//! * [`sim`] — trace-driven scheduling simulation: replays a recorded
+//!   task graph on `P` *virtual* processors, so the paper's speedup
+//!   tables can be reproduced even on hosts with fewer cores than the
+//!   Sequent Symmetry's 20.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod pool;
+pub mod sim;
+pub mod static_sched;
+
+pub use graph::Gate;
+pub use pool::{run, run_traced, PoolStats, Scope, TaskRecord, TaskTrace};

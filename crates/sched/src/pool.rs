@@ -1,0 +1,344 @@
+//! The dynamic task pool: a shared FIFO queue drained by `P` workers.
+//!
+//! Semantics follow the paper's description exactly: one global queue,
+//! idle processors take the oldest task, tasks may enqueue further tasks,
+//! and the run ends when every task has completed (quiescence). Worker
+//! parking uses a condvar with a short timeout, so the rare
+//! missed-wakeup race costs at most one timeout period rather than a
+//! deadlock.
+
+use crossbeam_deque::{Injector, Steal};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A task: runs once, may spawn more tasks through the scope.
+pub type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+struct Queued<'env> {
+    id: u64,
+    parent: Option<u64>,
+    f: Task<'env>,
+}
+
+/// One executed task in a [`TaskTrace`]: its spawner and its measured
+/// duration. The spawner edge is the task's *last-arriving* dependency
+/// (a gated task is enqueued by whichever prerequisite finishes last), so
+/// replaying the trace respects the true precedence constraints observed
+/// in this run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Task id (spawn order).
+    pub id: u64,
+    /// Id of the task that spawned this one (`None` for the seed).
+    pub parent: Option<u64>,
+    /// Measured execution time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The recorded task graph of one pool run — input to
+/// [`crate::sim::simulate_makespan`], which replays it on any number of
+/// virtual processors. This is how the speedup experiments run on hosts
+/// with fewer cores than the paper's 20-processor Sequent Symmetry.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTrace {
+    /// Executed tasks (unordered; ids are spawn order).
+    pub records: Vec<TaskRecord>,
+}
+
+impl TaskTrace {
+    /// Total work (sum of task durations).
+    pub fn total_work(&self) -> Duration {
+        Duration::from_nanos(self.records.iter().map(|r| r.nanos).sum())
+    }
+}
+
+thread_local! {
+    static CURRENT_TASK: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Handle through which tasks spawn further tasks (the paper's
+/// "add to the task queue").
+pub struct Scope<'env> {
+    injector: Injector<Queued<'env>>,
+    /// Tasks spawned but not yet completed (queued + running).
+    pending: AtomicUsize,
+    next_id: AtomicU64,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+    trace: Option<Mutex<Vec<TaskRecord>>>,
+}
+
+impl<'env> Scope<'env> {
+    fn new(traced: bool) -> Scope<'env> {
+        Scope {
+            injector: Injector::new(),
+            pending: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            trace: traced.then(|| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Enqueues a task. May be called from inside tasks or before the
+    /// workers start.
+    pub fn spawn(&self, f: impl FnOnce(&Scope<'env>) + Send + 'env) {
+        self.spawn_boxed(Box::new(f));
+    }
+
+    /// Enqueues an already-boxed task (avoids double boxing in helpers).
+    pub fn spawn_boxed(&self, f: Task<'env>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_TASK.with(Cell::get);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(Queued { id, parent, f });
+        self.cv.notify_one();
+    }
+
+    /// True once any task has panicked (the run is being abandoned).
+    pub fn is_poisoned(&self) -> bool {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    fn finish_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last task out: wake everyone so the workers can exit.
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Per-run execution statistics.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Tasks executed by each worker.
+    pub tasks_per_worker: Vec<u64>,
+    /// Time each worker spent executing tasks (excludes idle/parked time).
+    pub busy_per_worker: Vec<Duration>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl PoolStats {
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_worker.iter().sum()
+    }
+
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() || self.workers == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
+        busy / (self.wall.as_secs_f64() * self.workers as f64)
+    }
+}
+
+/// Runs `seed` (and everything it transitively spawns) to quiescence on
+/// `workers` threads, returning execution statistics.
+///
+/// # Panics
+/// Re-panics if any task panicked. Panics if `workers == 0`.
+pub fn run<'env, F>(workers: usize, seed: F) -> PoolStats
+where
+    F: FnOnce(&Scope<'env>) + Send + 'env,
+{
+    run_inner(workers, false, seed).0
+}
+
+/// Like [`run`], but also records the executed task graph (ids, spawner
+/// edges, durations) for post-hoc scheduling simulation.
+pub fn run_traced<'env, F>(workers: usize, seed: F) -> (PoolStats, TaskTrace)
+where
+    F: FnOnce(&Scope<'env>) + Send + 'env,
+{
+    let (stats, trace) = run_inner(workers, true, seed);
+    (stats, trace.expect("tracing was enabled"))
+}
+
+fn run_inner<'env, F>(workers: usize, traced: bool, seed: F) -> (PoolStats, Option<TaskTrace>)
+where
+    F: FnOnce(&Scope<'env>) + Send + 'env,
+{
+    assert!(workers > 0, "need at least one worker");
+    let scope = Scope::new(traced);
+    scope.spawn(seed);
+    let start = Instant::now();
+    let mut tasks_per_worker = vec![0u64; workers];
+    let mut busy_per_worker = vec![Duration::ZERO; workers];
+    std::thread::scope(|ts| {
+        let scope = &scope;
+        for (tasks, busy) in tasks_per_worker.iter_mut().zip(busy_per_worker.iter_mut()) {
+            ts.spawn(move || worker_loop(scope, tasks, busy));
+        }
+    });
+    let wall = start.elapsed();
+    if scope.panicked.load(Ordering::SeqCst) {
+        panic!("a task panicked; pool run abandoned");
+    }
+    let trace = scope
+        .trace
+        .map(|records| TaskTrace { records: records.into_inner() });
+    (
+        PoolStats { workers, tasks_per_worker, busy_per_worker, wall },
+        trace,
+    )
+}
+
+fn worker_loop<'env>(scope: &Scope<'env>, tasks: &mut u64, busy: &mut Duration) {
+    loop {
+        if scope.panicked.load(Ordering::Relaxed) {
+            return;
+        }
+        match scope.injector.steal() {
+            Steal::Success(task) => {
+                let Queued { id, parent, f } = task;
+                let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
+                let t0 = Instant::now();
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(scope)));
+                let elapsed = t0.elapsed();
+                CURRENT_TASK.with(|c| c.set(prev));
+                if let Some(trace) = &scope.trace {
+                    trace.lock().push(TaskRecord {
+                        id,
+                        parent,
+                        nanos: elapsed.as_nanos() as u64,
+                    });
+                }
+                *busy += elapsed;
+                *tasks += 1;
+                if result.is_err() {
+                    scope.panicked.store(true, Ordering::SeqCst);
+                    let _g = scope.lock.lock();
+                    scope.cv.notify_all();
+                }
+                scope.finish_task();
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {
+                if scope.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // Park briefly; the timeout covers the push-vs-wait race.
+                let mut g = scope.lock.lock();
+                if scope.pending.load(Ordering::SeqCst) == 0
+                    || !scope.injector.is_empty()
+                    || scope.panicked.load(Ordering::Relaxed)
+                {
+                    continue;
+                }
+                scope.cv.wait_for(&mut g, Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_single_task() {
+        let flag = AtomicBool::new(false);
+        run(1, |_| {
+            flag.store(true, Ordering::SeqCst);
+        });
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn fan_out_executes_everything() {
+        for workers in [1usize, 2, 4, 8] {
+            let count = AtomicU64::new(0);
+            let stats = run(workers, |s| {
+                for _ in 0..100 {
+                    s.spawn(|s2| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..3 {
+                            s2.spawn(|_| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 400, "workers={workers}");
+            assert_eq!(stats.total_tasks(), 401); // + the seed
+            assert_eq!(stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn deep_recursion_quiesces() {
+        // A chain of 10_000 sequentially-dependent spawns.
+        let count = AtomicU64::new(0);
+        fn chain<'env>(s: &Scope<'env>, count: &'env AtomicU64, depth: u64) {
+            if count.fetch_add(1, Ordering::Relaxed) + 1 < depth {
+                s.spawn(move |s2| chain(s2, count, depth));
+            }
+        }
+        run(4, |s| chain(s, &count, 10_000));
+        assert_eq!(count.load(Ordering::SeqCst), 10_000);
+    }
+
+    #[test]
+    fn all_workers_participate_under_load() {
+        // With enough slow tasks, every worker should execute at least one.
+        let stats = run(4, |s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    std::thread::sleep(Duration::from_millis(2));
+                });
+            }
+        });
+        assert!(
+            stats.tasks_per_worker.iter().all(|&t| t > 0),
+            "idle worker: {:?}",
+            stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pool run abandoned")]
+    fn task_panic_propagates() {
+        run(2, |s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn borrows_environment_mutably_via_sync_cells() {
+        let results: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+        run(3, |s| {
+            for (i, cell) in results.iter().enumerate() {
+                s.spawn(move |_| {
+                    cell.store(i as u64 + 1, Ordering::SeqCst);
+                });
+            }
+        });
+        for (i, cell) in results.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::SeqCst), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let stats = run(2, |s| {
+            for _ in 0..8 {
+                s.spawn(|_| std::thread::sleep(Duration::from_millis(1)));
+            }
+        });
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Trace-driven scheduling simulation.
+//!
+//! The paper measured speedups on a 20-processor Sequent Symmetry. When
+//! the host has fewer cores than the processor counts under study, the
+//! same task graph can still be *replayed*: [`crate::pool::run_traced`]
+//! records every executed task's duration and its spawner edge (which is
+//! the task's last-arriving dependency, so the recorded edges are exactly
+//! the precedence constraints that gated the run), and
+//! [`simulate_makespan`] list-schedules that DAG on `P` virtual
+//! processors — the same greedy FIFO discipline as the real pool:
+//! whenever a processor is free it takes the oldest ready task.
+//!
+//! The simulation reproduces the two effects the paper's speedup tables
+//! show: near-linear scaling while the level width exceeds `P`, and the
+//! efficiency droop when the task grain is too coarse to keep all
+//! processors busy (their observation at 16 processors).
+
+use crate::pool::TaskTrace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Simulated completion time of the traced task graph on `workers`
+/// virtual processors under greedy FIFO list scheduling.
+///
+/// # Panics
+/// Panics if `workers == 0` or if the trace references unknown parents.
+pub fn simulate_makespan(trace: &TaskTrace, workers: usize) -> Duration {
+    assert!(workers > 0, "need at least one virtual processor");
+    if trace.records.is_empty() {
+        return Duration::ZERO;
+    }
+    // Index tasks and children by id.
+    let max_id = trace.records.iter().map(|r| r.id).max().unwrap() as usize;
+    let mut dur = vec![0u64; max_id + 1];
+    let mut children: Vec<Vec<u64>> = vec![Vec::new(); max_id + 1];
+    let mut roots = Vec::new();
+    for r in &trace.records {
+        dur[r.id as usize] = r.nanos;
+        match r.parent {
+            Some(p) => {
+                assert!((p as usize) <= max_id, "unknown parent {p}");
+                children[p as usize].push(r.id);
+            }
+            None => roots.push(r.id),
+        }
+    }
+    for c in &mut children {
+        c.sort_unstable(); // spawn order
+    }
+
+    // Ready tasks ordered by (ready_time, id) — FIFO by readiness, ties
+    // broken by spawn order like the real injector.
+    let mut ready: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    for id in roots {
+        ready.push(Reverse((0, id)));
+    }
+    // Virtual processors: min-heap of next-free times.
+    let mut free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0)).collect();
+    let mut makespan = 0u64;
+    while let Some(Reverse((ready_at, id))) = ready.pop() {
+        let Reverse(free_at) = free.pop().expect("nonempty");
+        let start = ready_at.max(free_at);
+        let done = start + dur[id as usize];
+        free.push(Reverse(done));
+        makespan = makespan.max(done);
+        for &c in &children[id as usize] {
+            ready.push(Reverse((done, c)));
+        }
+    }
+    Duration::from_nanos(makespan)
+}
+
+/// Simulated speedup curve: `makespan(1) / makespan(p)` for each
+/// requested processor count.
+pub fn simulate_speedups(trace: &TaskTrace, procs: &[usize]) -> Vec<(usize, f64)> {
+    let t1 = simulate_makespan(trace, 1).as_nanos() as f64;
+    procs
+        .iter()
+        .map(|&p| (p, t1 / simulate_makespan(trace, p).as_nanos().max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{run_traced, TaskRecord};
+
+    fn trace(records: Vec<TaskRecord>) -> TaskTrace {
+        TaskTrace { records }
+    }
+
+    fn rec(id: u64, parent: Option<u64>, nanos: u64) -> TaskRecord {
+        TaskRecord { id, parent, nanos }
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        assert_eq!(simulate_makespan(&trace(vec![]), 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn independent_tasks_scale_linearly() {
+        // 8 independent 100ns tasks under one 0ns seed.
+        let mut records = vec![rec(0, None, 0)];
+        for i in 1..=8 {
+            records.push(rec(i, Some(0), 100));
+        }
+        let t = trace(records);
+        assert_eq!(simulate_makespan(&t, 1), Duration::from_nanos(800));
+        assert_eq!(simulate_makespan(&t, 2), Duration::from_nanos(400));
+        assert_eq!(simulate_makespan(&t, 4), Duration::from_nanos(200));
+        assert_eq!(simulate_makespan(&t, 8), Duration::from_nanos(100));
+        // more processors than tasks: no further improvement
+        assert_eq!(simulate_makespan(&t, 100), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn chain_cannot_speed_up() {
+        // 0 -> 1 -> 2 -> 3, 50ns each.
+        let t = trace(vec![
+            rec(0, None, 50),
+            rec(1, Some(0), 50),
+            rec(2, Some(1), 50),
+            rec(3, Some(2), 50),
+        ]);
+        for p in [1usize, 2, 8] {
+            assert_eq!(simulate_makespan(&t, p), Duration::from_nanos(200), "p={p}");
+        }
+    }
+
+    #[test]
+    fn diamond_critical_path() {
+        // 0 (10) -> {1 (100), 2 (30)}; 2 -> 3 (30).
+        // p=1: 10+100+30+30 = 170. p=2: max(10+100, 10+30+30) = 110.
+        let t = trace(vec![
+            rec(0, None, 10),
+            rec(1, Some(0), 100),
+            rec(2, Some(0), 30),
+            rec(3, Some(2), 30),
+        ]);
+        assert_eq!(simulate_makespan(&t, 1), Duration::from_nanos(170));
+        assert_eq!(simulate_makespan(&t, 2), Duration::from_nanos(110));
+    }
+
+    #[test]
+    fn speedup_curve_monotone_and_bounded() {
+        let mut records = vec![rec(0, None, 0)];
+        // two layers: 16 × 100ns, each spawning one 50ns child
+        for i in 1..=16u64 {
+            records.push(rec(i, Some(0), 100));
+            records.push(rec(16 + i, Some(i), 50));
+        }
+        let t = trace(records);
+        let curve = simulate_speedups(&t, &[1, 2, 4, 8, 16]);
+        let mut last = 0.0;
+        for &(p, s) in &curve {
+            assert!(s >= last - 1e-9, "monotone at p={p}");
+            assert!(s <= p as f64 + 1e-9, "bounded by p at p={p}");
+            last = s;
+        }
+        assert!(curve.last().unwrap().1 > 8.0, "parallel slack exploited");
+    }
+
+    #[test]
+    fn real_trace_from_pool_replays_consistently() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        let (_stats, trace) = run_traced(2, |s| {
+            for _ in 0..10 {
+                s.spawn(|s2| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    s2.spawn(|_| {
+                        std::hint::black_box(42);
+                    });
+                });
+            }
+        });
+        assert_eq!(trace.records.len(), 21); // seed + 10 + 10
+        // every task has a unique id and a recorded parent except the seed
+        let seeds = trace.records.iter().filter(|r| r.parent.is_none()).count();
+        assert_eq!(seeds, 1);
+        // simulation runs and respects work conservation
+        let m1 = simulate_makespan(&trace, 1);
+        assert_eq!(m1, trace.total_work());
+        assert!(simulate_makespan(&trace, 4) <= m1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Static scheduling — the ablation baseline of the paper's footnote 3
+//! ("An earlier implementation used a static scheduling policy").
+//!
+//! Work is organized into *rounds* separated by barriers; within a round
+//! the tasks are pre-assigned to workers round-robin, with no stealing
+//! and no rebalancing. A worker that finishes its share early idles at
+//! the barrier — exactly the load-imbalance pathology that motivated the
+//! paper's switch to dynamic scheduling.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A statically schedulable task (cannot spawn).
+pub type StaticTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Statistics from a static run.
+#[derive(Debug, Clone)]
+pub struct StaticStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of barrier-separated rounds executed.
+    pub rounds: usize,
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// Per-round wall time (the barrier cost is visible here).
+    pub round_walls: Vec<Duration>,
+}
+
+/// Executes `rounds` of tasks on `workers` threads: tasks within a round
+/// are dealt round-robin to the workers, and a barrier separates rounds.
+///
+/// # Panics
+/// Re-panics if any task panicked. Panics if `workers == 0`.
+pub fn run_rounds<'env>(workers: usize, rounds: Vec<Vec<StaticTask<'env>>>) -> StaticStats {
+    assert!(workers > 0, "need at least one worker");
+    let n_rounds = rounds.len();
+    let start = Instant::now();
+    let mut round_walls = Vec::with_capacity(n_rounds);
+    let poisoned = AtomicBool::new(false);
+    for round in rounds {
+        let r0 = Instant::now();
+        // Deal round-robin.
+        let mut shares: Vec<Vec<StaticTask<'env>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, task) in round.into_iter().enumerate() {
+            shares[i % workers].push(task);
+        }
+        std::thread::scope(|ts| {
+            for share in shares {
+                let poisoned = &poisoned;
+                ts.spawn(move || {
+                    for task in share {
+                        if poisoned.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+                            poisoned.store(true, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        round_walls.push(r0.elapsed());
+        if poisoned.load(Ordering::SeqCst) {
+            panic!("a task panicked; static run abandoned");
+        }
+    }
+    StaticStats { workers, rounds: n_rounds, wall: start.elapsed(), round_walls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_tasks_in_round_order() {
+        let log = Mutex::new(Vec::<u32>::new());
+        let mk = |round: u32| -> StaticTask<'_> {
+            let log = &log;
+            Box::new(move || log.lock().push(round))
+        };
+        let rounds = vec![
+            (0..5).map(|_| mk(0)).collect::<Vec<_>>(),
+            (0..3).map(|_| mk(1)).collect(),
+            (0..4).map(|_| mk(2)).collect(),
+        ];
+        let stats = run_rounds(3, rounds);
+        let seq = log.into_inner();
+        assert_eq!(seq.len(), 12);
+        // barrier property: all of round r before any of round r+1
+        assert!(seq.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.round_walls.len(), 3);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let count = AtomicU64::new(0);
+        let rounds = vec![(0..10)
+            .map(|_| -> StaticTask<'_> {
+                let count = &count;
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect()];
+        run_rounds(1, rounds);
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn imbalanced_round_is_slower_than_balanced() {
+        // One long task + many trivial ones: with 4 workers the round
+        // takes at least the long task's duration (no rebalancing can
+        // help, but pre-assignment also cannot make it worse than 2x).
+        let rounds = vec![{
+            let mut v: Vec<StaticTask<'_>> = vec![Box::new(|| {
+                std::thread::sleep(Duration::from_millis(20));
+            })];
+            for _ in 0..7 {
+                v.push(Box::new(|| {}));
+            }
+            v
+        }];
+        let stats = run_rounds(4, rounds);
+        assert!(stats.wall >= Duration::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "static run abandoned")]
+    fn panic_propagates() {
+        let rounds: Vec<Vec<StaticTask<'static>>> =
+            vec![vec![Box::new(|| panic!("boom"))]];
+        run_rounds(2, rounds);
+    }
+
+    #[test]
+    fn empty_rounds_are_fine() {
+        let stats = run_rounds(2, vec![vec![], vec![]]);
+        assert_eq!(stats.rounds, 2);
+    }
+}

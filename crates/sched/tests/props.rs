@@ -1,0 +1,92 @@
+//! Property tests: the pool executes arbitrary dependency DAGs exactly
+//! once per node, respecting edges, for any worker count.
+
+use proptest::prelude::*;
+use rr_sched::{run, Gate, Scope};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A random DAG on `n` nodes where edges only go from lower to higher
+/// indices (guaranteeing acyclicity). `preds[v]` lists v's predecessors.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (1..=max_nodes).prop_flat_map(|n| {
+        let edges = prop::collection::vec(prop::bool::ANY, n * (n - 1) / 2);
+        edges.prop_map(move |bits| {
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut k = 0;
+            for (v, pv) in preds.iter_mut().enumerate() {
+                for u in 0..v {
+                    if bits[k] {
+                        pv.push(u);
+                    }
+                    k += 1;
+                }
+            }
+            preds
+        })
+    })
+}
+
+struct DagState {
+    gates: Vec<Option<Gate>>,
+    succs: Vec<Vec<usize>>,
+    exec_count: Vec<AtomicU64>,
+    finish_stamp: Vec<AtomicUsize>,
+    clock: AtomicUsize,
+}
+
+fn node_task<'env>(state: &'env DagState, v: usize, s: &Scope<'env>) {
+    state.exec_count[v].fetch_add(1, Ordering::SeqCst);
+    state.finish_stamp[v].store(state.clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+    for &w in &state.succs[v] {
+        let fire = state.gates[w].as_ref().expect("w has preds").arrive();
+        if fire {
+            s.spawn(move |s2| node_task(state, w, s2));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dag_executes_once_respecting_edges(preds in arb_dag(24), workers in 1usize..=8) {
+        let n = preds.len();
+        let mut succs = vec![Vec::new(); n];
+        for (v, ps) in preds.iter().enumerate() {
+            for &u in ps {
+                succs[u].push(v);
+            }
+        }
+        let state = DagState {
+            gates: preds.iter()
+                .map(|ps| if ps.is_empty() { None } else { Some(Gate::new(ps.len())) })
+                .collect(),
+            succs,
+            exec_count: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            finish_stamp: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            clock: AtomicUsize::new(0),
+        };
+        let state_ref = &state;
+        let roots: Vec<usize> = (0..n).filter(|&v| preds[v].is_empty()).collect();
+        let roots_ref = &roots;
+        run(workers, move |s| {
+            for &v in roots_ref {
+                s.spawn(move |s2| node_task(state_ref, v, s2));
+            }
+        });
+        // every node ran exactly once
+        for v in 0..n {
+            prop_assert_eq!(state.exec_count[v].load(Ordering::SeqCst), 1, "node {}", v);
+        }
+        // every edge respected: predecessor finished before successor started;
+        // we only recorded finish stamps, but a successor can only be spawned
+        // after all preds finished, so finish(u) < finish(v) for every edge.
+        for (v, ps) in preds.iter().enumerate() {
+            for &u in ps {
+                let fu = state.finish_stamp[u].load(Ordering::SeqCst);
+                let fv = state.finish_stamp[v].load(Ordering::SeqCst);
+                prop_assert!(fu < fv, "edge {}->{} violated ({} >= {})", u, v, fu, fv);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Classical real-rooted polynomial families with integer coefficients.
+
+use rr_mp::Int;
+use rr_poly::Poly;
+
+/// The Wilkinson polynomial `∏_{k=1}^{n} (x − k)`: notoriously
+/// ill-conditioned for floating-point methods, exact here.
+pub fn wilkinson(n: usize) -> Poly {
+    Poly::from_roots(&(1..=n as i64).map(Int::from).collect::<Vec<_>>())
+}
+
+/// Chebyshev polynomial of the first kind `T_n`: integer coefficients,
+/// `n` distinct real roots `cos((2k−1)π/2n)` in `(−1, 1)`.
+pub fn chebyshev_t(n: usize) -> Poly {
+    // T_0 = 1, T_1 = x, T_{k+1} = 2x·T_k − T_{k−1}
+    let mut t0 = Poly::one();
+    let mut t1 = Poly::x();
+    if n == 0 {
+        return t0;
+    }
+    let two_x = Poly::from_i64(&[0, 2]);
+    for _ in 1..n {
+        let t2 = &two_x * &t1 - &t0;
+        t0 = t1;
+        t1 = t2;
+    }
+    t1
+}
+
+/// Hermite polynomial (physicists') `H_n`: integer coefficients, `n`
+/// distinct real roots symmetric about 0.
+pub fn hermite(n: usize) -> Poly {
+    // H_0 = 1, H_1 = 2x, H_{k+1} = 2x·H_k − 2k·H_{k−1}
+    let mut h0 = Poly::one();
+    let mut h1 = Poly::from_i64(&[0, 2]);
+    if n == 0 {
+        return h0;
+    }
+    let two_x = Poly::from_i64(&[0, 2]);
+    for k in 1..n {
+        let h2 = &two_x * &h1 - h0.scale(&Int::from(2 * k as u64));
+        h0 = h1;
+        h1 = h2;
+    }
+    h1
+}
+
+/// Legendre polynomial `P_n` scaled by `2^n` to clear denominators:
+/// integer coefficients, `n` distinct real roots in `(−1, 1)`.
+pub fn legendre_scaled(n: usize) -> Poly {
+    // Bonnet: (k+1)·P_{k+1} = (2k+1)·x·P_k − k·P_{k−1}. With
+    // Q_k = 2^k·k!·P_k ... simpler: track P_k with rational-free form
+    // R_k = 2^k·P_k·binom-normalizer. Easiest exact route: R_k = P_k
+    // scaled by lcm denominators is awkward; instead use the explicit
+    // recurrence on S_k = 2^k k! P_k:
+    //   S_{k+1} = 2(2k+1)·x·S_k − 4k²·S_{k−1}
+    // (verify: P_{k+1} = ((2k+1) x P_k − k P_{k−1})/(k+1); multiply by
+    // 2^{k+1}(k+1)!.)
+    let mut s0 = Poly::one();
+    let mut s1 = Poly::from_i64(&[0, 2]);
+    if n == 0 {
+        return s0;
+    }
+    for k in 1..n {
+        let a = Poly::from_i64(&[0, 2 * (2 * k as i64 + 1)]);
+        let s2 = &a * &s1 - s0.scale(&Int::from(4 * (k as u64) * (k as u64)));
+        s0 = s1;
+        s1 = s2;
+    }
+    s1.primitive_part()
+}
+
+/// A cluster-stress polynomial: `k` rational roots spaced `2^−gap_bits`
+/// apart starting at `start` — `∏_{i=0}^{k−1} (2^g·x − (2^g·start + i))`.
+/// Root separation is exactly one ulp at precision `gap_bits`, so
+/// isolating them requires the interval stage to work at full precision.
+pub fn clustered_roots(k: usize, gap_bits: u64, start: i64) -> Poly {
+    let base = Int::from(start) << gap_bits;
+    let mut p = Poly::one();
+    for i in 0..k {
+        // 2^g·x − (base + i)
+        let factor = Poly::from_coeffs(vec![-(&base + Int::from(i as u64)), Int::pow2(gap_bits)]);
+        p = &p * &factor;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_poly::eval::eval;
+    use rr_poly::sturm::SturmChain;
+
+    fn assert_real_rooted(p: &Poly, n: usize, name: &str) {
+        assert_eq!(p.deg(), n, "{name} degree");
+        let chain = SturmChain::new(p);
+        assert_eq!(chain.count_distinct_real_roots(), n, "{name} real roots");
+    }
+
+    #[test]
+    fn wilkinson_properties() {
+        let w = wilkinson(10);
+        assert_real_rooted(&w, 10, "wilkinson");
+        for k in 1..=10i64 {
+            assert_eq!(eval(&w, &Int::from(k)), Int::zero());
+        }
+    }
+
+    #[test]
+    fn chebyshev_known_values() {
+        assert_eq!(chebyshev_t(0), Poly::one());
+        assert_eq!(chebyshev_t(1), Poly::x());
+        assert_eq!(chebyshev_t(2), Poly::from_i64(&[-1, 0, 2]));
+        assert_eq!(chebyshev_t(3), Poly::from_i64(&[0, -3, 0, 4]));
+        assert_eq!(chebyshev_t(4), Poly::from_i64(&[1, 0, -8, 0, 8]));
+        for n in [5usize, 9, 16] {
+            assert_real_rooted(&chebyshev_t(n), n, "chebyshev");
+            // T_n(1) = 1
+            assert_eq!(eval(&chebyshev_t(n), &Int::one()), Int::one());
+        }
+    }
+
+    #[test]
+    fn hermite_known_values() {
+        assert_eq!(hermite(0), Poly::one());
+        assert_eq!(hermite(1), Poly::from_i64(&[0, 2]));
+        assert_eq!(hermite(2), Poly::from_i64(&[-2, 0, 4]));
+        assert_eq!(hermite(3), Poly::from_i64(&[0, -12, 0, 8]));
+        assert_eq!(hermite(4), Poly::from_i64(&[12, 0, -48, 0, 16]));
+        for n in [5usize, 8, 12] {
+            assert_real_rooted(&hermite(n), n, "hermite");
+        }
+    }
+
+    #[test]
+    fn clustered_roots_structure() {
+        let p = clustered_roots(4, 6, 3);
+        assert_eq!(p.deg(), 4);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_distinct_real_roots(), 4);
+        // roots are 3 + i/64: evaluate the scaled polynomial at them
+        for i in 0..4i64 {
+            let sp = rr_poly::eval::ScaledPoly::new(&p, 6);
+            let at = (Int::from(3) << 6) + Int::from(i);
+            assert_eq!(sp.sign_at(&at), 0, "root at 3 + {i}/64");
+        }
+    }
+
+    #[test]
+    fn legendre_known_values() {
+        // 2 P_2 = 3x^2 - 1 ... our scaling is primitive-part normalized:
+        // P_2 ∝ 3x^2 - 1, P_3 ∝ 5x^3 - 3x.
+        assert_eq!(legendre_scaled(2), Poly::from_i64(&[-1, 0, 3]));
+        assert_eq!(legendre_scaled(3), Poly::from_i64(&[0, -3, 0, 5]));
+        for n in [4usize, 7, 11] {
+            assert_real_rooted(&legendre_scaled(n), n, "legendre");
+        }
+    }
+}

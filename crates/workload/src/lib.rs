@@ -1,0 +1,115 @@
+//! # rr-workload — experiment inputs
+//!
+//! Reproduces the paper's Section 5 workload and adds classical
+//! real-rooted families for wider testing:
+//!
+//! * [`charpoly_input`] — the characteristic polynomial of a random
+//!   symmetric 0–1 integer matrix (the paper's inputs; real symmetric ⇒
+//!   all eigenvalues real). The paper ran degrees 10, 15, …, 70 with
+//!   three polynomials per degree: [`paper_degrees`], [`paper_inputs`].
+//! * [`families`] — Wilkinson, Chebyshev (first kind), and Hermite
+//!   (physicists') polynomials: integer coefficients, all roots real and
+//!   distinct.
+//! * [`with_multiplicities`] — repeated-root stress inputs for the
+//!   Section 2.3 path.
+
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rr_linalg::charpoly::char_poly;
+use rr_linalg::sym::random_symmetric_01;
+use rr_mp::Int;
+use rr_poly::Poly;
+
+pub mod families;
+
+/// The degree grid of the paper's experiments: 10, 15, …, 70.
+pub fn paper_degrees() -> Vec<usize> {
+    (2..=14).map(|k| 5 * k).collect()
+}
+
+/// The characteristic polynomial of a seeded random symmetric 0–1 matrix
+/// of size `n` — one experimental input. Deterministic in `(n, seed)`.
+pub fn charpoly_input(n: usize, seed: u64) -> Poly {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    char_poly(&random_symmetric_01(n, &mut rng))
+}
+
+/// The paper's inputs: `count` polynomials per degree in
+/// [`paper_degrees`] (the paper used 3).
+pub fn paper_inputs(count: u64) -> Vec<(usize, Vec<Poly>)> {
+    paper_degrees()
+        .into_iter()
+        .map(|n| (n, (0..count).map(|s| charpoly_input(n, s)).collect()))
+        .collect()
+}
+
+/// The empirical coefficient size `m(n) = ‖p‖` in bits, as tabulated in
+/// the paper's Table 2 column `m(n)`.
+pub fn coeff_bits(p: &Poly) -> u64 {
+    p.coeff_bits()
+}
+
+/// A polynomial with the given integer roots and the given multiplicities.
+pub fn with_multiplicities(roots: &[(i64, usize)]) -> Poly {
+    let mut all = Vec::new();
+    for &(r, m) in roots {
+        for _ in 0..m {
+            all.push(Int::from(r));
+        }
+    }
+    Poly::from_roots(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_poly::gcd::squarefree_part;
+    use rr_poly::sturm::SturmChain;
+
+    #[test]
+    fn degree_grid_matches_paper() {
+        assert_eq!(
+            paper_degrees(),
+            vec![10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70]
+        );
+    }
+
+    #[test]
+    fn charpoly_inputs_are_monic_real_rooted() {
+        for n in [5usize, 10, 15] {
+            for seed in 0..2u64 {
+                let p = charpoly_input(n, seed);
+                assert_eq!(p.deg(), n);
+                assert!(p.lc().is_one());
+                let sf = squarefree_part(&p);
+                let chain = SturmChain::new(&sf);
+                assert_eq!(chain.count_distinct_real_roots(), sf.deg(), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_deterministic_in_seed() {
+        assert_eq!(charpoly_input(8, 1), charpoly_input(8, 1));
+        assert_ne!(charpoly_input(8, 1), charpoly_input(8, 2));
+    }
+
+    #[test]
+    fn coeff_bits_grows_with_degree() {
+        // sanity on the m(n) column: growing, single digits to tens
+        let m10 = coeff_bits(&charpoly_input(10, 0));
+        let m30 = coeff_bits(&charpoly_input(30, 0));
+        assert!((1..=12).contains(&m10), "{m10}");
+        assert!(m30 > m10, "{m30} vs {m10}");
+    }
+
+    #[test]
+    fn multiplicity_builder() {
+        let p = with_multiplicities(&[(1, 2), (3, 1)]);
+        assert_eq!(p.deg(), 3);
+        let sf = squarefree_part(&p);
+        assert_eq!(sf.deg(), 2);
+    }
+}

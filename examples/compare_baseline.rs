@@ -1,0 +1,46 @@
+//! A miniature of the paper's Figure 8: one-processor times of the tree
+//! algorithm against the sequential Sturm baseline (the PARI stand-in)
+//! over a range of degrees, showing the crossover where the paper's
+//! algorithm starts winning.
+//!
+//! ```sh
+//! cargo run --release --example compare_baseline
+//! ```
+
+use polyroots::baseline::{find_real_roots, BaselineConfig};
+use polyroots::workload::charpoly_input;
+use polyroots::{RootApproximator, SolverConfig};
+use std::time::Instant;
+
+fn main() {
+    let mu = 100; // ≈ the paper's 30 decimal digits
+    println!("µ = {mu} bits (≈30 decimal digits), characteristic-polynomial workload\n");
+    println!("  n  | tree (1 proc) | sturm baseline | ratio");
+    println!(" ----+---------------+----------------+------");
+    for n in [6usize, 10, 14, 18, 22, 26, 30] {
+        let p = charpoly_input(n, 0);
+        let solver = RootApproximator::new(SolverConfig::sequential(mu));
+
+        let t0 = Instant::now();
+        let ours = solver.approximate_roots(&p).unwrap();
+        let t_tree = t0.elapsed();
+
+        let t0 = Instant::now();
+        let theirs = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+        let t_sturm = t0.elapsed();
+
+        assert_eq!(
+            ours.roots.iter().map(|r| r.num.clone()).collect::<Vec<_>>(),
+            theirs,
+            "methods must agree exactly"
+        );
+        println!(
+            " {:>3} | {:>13.2?} | {:>14.2?} | {:>5.2}",
+            n,
+            t_tree,
+            t_sturm,
+            t_sturm.as_secs_f64() / t_tree.as_secs_f64()
+        );
+    }
+    println!("\n(ratio > 1 ⇒ the tree algorithm wins — the paper's Fig. 8 crossover)");
+}

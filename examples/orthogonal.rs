@@ -1,0 +1,49 @@
+//! Roots of classical orthogonal-family polynomials — all-real-rooted
+//! inputs with irrational roots at known positions, a natural accuracy
+//! stress test. Chebyshev roots have the closed form
+//! `cos((2k−1)π/2n)`, so the computed `µ`-approximations can be checked
+//! against `f64` ground truth.
+//!
+//! ```sh
+//! cargo run --release --example orthogonal
+//! ```
+
+use polyroots::workload::families::{chebyshev_t, hermite, legendre_scaled};
+use polyroots::{RootApproximator, SolverConfig};
+
+fn main() {
+    let mu = 40;
+    let solver = RootApproximator::new(SolverConfig::sequential(mu));
+    let ulp = (mu as f64).exp2().recip();
+
+    // Chebyshev T_12: closed-form roots.
+    let n = 12;
+    let t = chebyshev_t(n);
+    let result = solver.approximate_roots(&t).unwrap();
+    println!("Chebyshev T_{n}: {} roots (µ = {mu} bits)", result.roots.len());
+    let mut expected: Vec<f64> = (1..=n)
+        .map(|k| ((2 * k - 1) as f64 * std::f64::consts::PI / (2 * n) as f64).cos())
+        .collect();
+    expected.sort_by(f64::total_cmp);
+    let mut worst = 0f64;
+    for (root, exact) in result.roots.iter().zip(&expected) {
+        let err = root.to_f64() - exact; // ceiling: 0 <= err < ulp
+        worst = worst.max(err.abs());
+        println!("  {:>13.10}  (cos form {:>13.10}, err {:+.2e})", root.to_f64(), exact, err);
+    }
+    assert!(worst < 2.0 * ulp, "ceiling approximations within one ulp");
+    println!("  max |error| = {worst:.3e} < ulp = {ulp:.3e} ✓\n");
+
+    // Hermite H_10 and Legendre P_9 (scaled): symmetric spectra.
+    for (name, p) in [("Hermite H_10", hermite(10)), ("Legendre 2^9·9!·P_9", legendre_scaled(9))] {
+        let r = solver.approximate_roots(&p).unwrap();
+        let roots: Vec<f64> = r.roots.iter().map(|x| x.to_f64()).collect();
+        println!("{name}: {} roots", roots.len());
+        println!("  {:?}", roots.iter().map(|x| (x * 1e6).round() / 1e6).collect::<Vec<_>>());
+        // symmetry: roots come in ± pairs (within the ceiling ulp)
+        for (a, b) in roots.iter().zip(roots.iter().rev()) {
+            assert!((a + b).abs() < 2.0 * ulp, "symmetric spectrum");
+        }
+        println!("  ✓ spectrum symmetric about 0\n");
+    }
+}

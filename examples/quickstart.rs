@@ -1,0 +1,45 @@
+//! Quickstart: approximate the roots of a small real-rooted polynomial.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polyroots::{Int, Poly, RootApproximator, SolverConfig};
+
+fn main() {
+    // p(x) = (x + 3)(x − 1)(x − 4)(x − 10) — integer roots, and
+    // q(x) = x² − 2 — irrational roots, both to 24 fractional bits.
+    let p = Poly::from_roots(&[Int::from(-3), Int::from(1), Int::from(4), Int::from(10)]);
+    let q = Poly::from_i64(&[-2, 0, 1]);
+
+    let solver = RootApproximator::new(SolverConfig::sequential(24));
+
+    for (name, poly) in [("p", &p), ("q", &q)] {
+        let result = solver.approximate_roots(poly).expect("all roots are real");
+        println!("{name}(x) = {poly}");
+        println!(
+            "  degree {}, {} distinct roots, bound 2^{}",
+            result.n, result.n_star, result.stats.bound_bits
+        );
+        for root in &result.roots {
+            println!("  root ≈ {:>12.8}   (exact ceiling: {root})", root.to_f64());
+        }
+        println!(
+            "  {} multiprecision multiplications in {:?}",
+            result.stats.cost.total().mul_count,
+            result.stats.wall
+        );
+        println!();
+    }
+
+    // The same, in parallel with the paper's dynamic task queue:
+    let par = RootApproximator::new(SolverConfig::parallel(24, 4));
+    let result = par.approximate_roots(&p).unwrap();
+    let pool = result.stats.pool.expect("dynamic mode reports pool stats");
+    println!(
+        "parallel run: {} workers, {} tasks, utilization {:.0}%",
+        pool.workers,
+        pool.total_tasks(),
+        100.0 * pool.utilization()
+    );
+}

@@ -1,0 +1,41 @@
+//! Repeated roots (paper Section 2.3): the remainder sequence terminates
+//! early at `gcd(F_0, F_0')`, the pipeline returns the distinct roots,
+//! and the `multiple` extension recovers each root's multiplicity.
+//!
+//! ```sh
+//! cargo run --release --example repeated_roots
+//! ```
+
+use polyroots::core::multiple::roots_with_multiplicity;
+use polyroots::core::RefineStrategy;
+use polyroots::workload::with_multiplicities;
+use polyroots::{RootApproximator, SolverConfig};
+
+fn main() {
+    let mu = 16;
+    // (x + 2)² (x − 1)³ (x − 5)
+    let spec = [(-2i64, 2usize), (1, 3), (5, 1)];
+    let p = with_multiplicities(&spec);
+    println!("p(x) = (x+2)²(x−1)³(x−5) = {p}");
+
+    let result = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&p)
+        .unwrap();
+    println!(
+        "degree n = {}, distinct roots n* = {} (remainder sequence terminated early)",
+        result.n, result.n_star
+    );
+    for root in &result.roots {
+        println!("  distinct root ≈ {}", root.to_f64());
+    }
+
+    let profile = roots_with_multiplicity(&p, mu, RefineStrategy::Hybrid).unwrap();
+    println!("multiplicity profile (recursive gcd extension):");
+    let mut total = 0;
+    for (root, m) in &profile {
+        println!("  root ≈ {:>8.3} with multiplicity {m}", root.to_f64() / (mu as f64).exp2());
+        total += m;
+    }
+    assert_eq!(total, result.n, "multiplicities sum to the degree");
+    println!("✓ multiplicities sum to deg p = {total}");
+}

@@ -1,0 +1,75 @@
+//! Parallel speedup demonstration — a miniature of the paper's
+//! Tables 3–7: solve one degree-n input and report speedups for
+//! P ∈ {1, 2, 4, 8, 16} processors.
+//!
+//! Two measurements are shown:
+//!
+//! * **measured** — wall-clock of real worker threads. Only meaningful up
+//!   to the host's core count (on a single-core host every P measures
+//!   ≈ 1.0 plus scheduling overhead).
+//! * **simulated** — the recorded task graph of the dynamic run (every
+//!   task's duration + spawner edge), list-scheduled on P *virtual*
+//!   processors (`rr_sched::sim`). This reproduces the paper's speedup
+//!   shape regardless of the host: near-linear while the tree is wide,
+//!   drooping when the task grain can no longer fill all processors.
+//!
+//! ```sh
+//! cargo run --release --example speedup_demo -- [n] [mu]
+//! ```
+
+use polyroots::workload::charpoly_input;
+use polyroots::{RootApproximator, SolverConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let mu: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(53);
+    let procs = [1usize, 2, 4, 8, 16];
+
+    let p = charpoly_input(n, 0);
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    println!(
+        "degree {n}, m = {} bits, µ = {mu} bits, host cores = {cores}",
+        p.coeff_bits()
+    );
+
+    // One traced dynamic run with a single worker: task durations are
+    // exact (no timesharing skew) and the spawn DAG is the same; the
+    // trace is what the simulation consumes.
+    let mut traced_cfg = SolverConfig::parallel(mu, 2);
+    traced_cfg.mode = polyroots::core::ExecMode::Dynamic { threads: 1 };
+    let traced = RootApproximator::new(traced_cfg)
+        .approximate_roots(&p)
+        .unwrap();
+    let sim = traced.stats.simulate_speedups(&procs);
+
+    // Measured wall-clock for each real worker count.
+    println!("\n  P  | measured wall | measured speedup | simulated speedup");
+    println!("  ---+---------------+------------------+------------------");
+    let mut t1 = None;
+    for &workers in &procs {
+        let r = RootApproximator::new(SolverConfig::parallel(mu, workers))
+            .approximate_roots(&p)
+            .unwrap();
+        let wall = r.stats.wall;
+        let t1v = *t1.get_or_insert(wall.as_secs_f64());
+        let s_sim = sim.iter().find(|&&(q, _)| q == workers).map(|&(_, s)| s).unwrap();
+        println!(
+            "  {:<2} | {:>12.2?} | {:>16.2} | {:>17.2}",
+            workers,
+            wall,
+            t1v / wall.as_secs_f64(),
+            s_sim
+        );
+    }
+    println!(
+        "\ntrace: {} tasks, total work {:.2?}",
+        traced.stats.traces.iter().map(|t| t.records.len()).sum::<usize>(),
+        traced
+            .stats
+            .traces
+            .iter()
+            .map(|t| t.total_work())
+            .sum::<std::time::Duration>()
+    );
+}

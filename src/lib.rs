@@ -1,0 +1,40 @@
+//! # polyroots — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency, so downstream
+//! users (and this repo's `examples/` and `tests/`) can write
+//! `use polyroots::...` without naming individual crates.
+//!
+//! See the workspace README for the architecture overview and DESIGN.md
+//! for the paper-to-module map.
+
+#![warn(missing_docs)]
+
+pub use rr_baseline as baseline;
+pub use rr_core as core;
+pub use rr_linalg as linalg;
+pub use rr_model as model;
+pub use rr_mp as mp;
+pub use rr_poly as poly;
+pub use rr_sched as sched;
+pub use rr_workload as workload;
+
+pub use rr_core::{Dyadic, RootApproximator, SolveError, SolverConfig};
+pub use rr_mp::Int;
+pub use rr_poly::Poly;
+
+/// One-call convenience: the distinct roots of `p` (which must all be
+/// real) as ceiling `µ`-approximations, computed sequentially.
+///
+/// ```
+/// use polyroots::{find_roots, Int, Poly};
+///
+/// let p = Poly::from_roots(&[Int::from(-2), Int::from(5)]);
+/// let roots = find_roots(&p, 10).unwrap();
+/// assert_eq!(roots.iter().map(Dyadic::to_f64).collect::<Vec<_>>(), vec![-2.0, 5.0]);
+/// # use polyroots::Dyadic;
+/// ```
+pub fn find_roots(p: &Poly, mu: u64) -> Result<Vec<Dyadic>, SolveError> {
+    RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(p)
+        .map(|r| r.roots)
+}

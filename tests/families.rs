@@ -1,0 +1,98 @@
+//! Integration tests on classical real-rooted families with known root
+//! locations, including `f64` closed-form cross-checks.
+
+use polyroots::workload::families::{chebyshev_t, hermite, legendre_scaled, wilkinson};
+use polyroots::workload::with_multiplicities;
+use polyroots::{Int, RootApproximator, SolverConfig};
+
+#[test]
+fn wilkinson_20_exact() {
+    // The classically ill-conditioned Wilkinson polynomial is exact here.
+    let mu = 16;
+    let r = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&wilkinson(20))
+        .unwrap();
+    let expect: Vec<Int> = (1..=20i64).map(|k| Int::from(k) << mu).collect();
+    assert_eq!(r.roots.iter().map(|d| d.num.clone()).collect::<Vec<_>>(), expect);
+}
+
+#[test]
+fn chebyshev_roots_match_closed_form() {
+    let mu = 48;
+    let ulp = (mu as f64).exp2().recip();
+    for n in [8usize, 13, 21] {
+        let r = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&chebyshev_t(n))
+            .unwrap();
+        assert_eq!(r.roots.len(), n);
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| ((2 * k - 1) as f64 * std::f64::consts::PI / (2 * n) as f64).cos())
+            .collect();
+        expect.sort_by(f64::total_cmp);
+        for (got, want) in r.roots.iter().zip(&expect) {
+            let err = got.to_f64() - want;
+            // ceiling semantics: 0 <= err < ulp (f64 noise allowed)
+            assert!(err > -1e-12 && err < ulp + 1e-12, "T_{n}: err {err}");
+        }
+    }
+}
+
+#[test]
+fn hermite_and_legendre_symmetric_spectra() {
+    let mu = 32;
+    let ulp = (mu as f64).exp2().recip();
+    for (name, p, n) in [
+        ("hermite", hermite(11), 11usize),
+        ("legendre", legendre_scaled(10), 10),
+    ] {
+        let r = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.roots.len(), n, "{name}");
+        let roots: Vec<f64> = r.roots.iter().map(|d| d.to_f64()).collect();
+        for (a, b) in roots.iter().zip(roots.iter().rev()) {
+            assert!((a + b).abs() <= 2.0 * ulp, "{name} symmetry: {a} vs {b}");
+        }
+        if n % 2 == 1 {
+            // odd degree: 0 is a root, and its ceiling is exactly 0
+            assert_eq!(roots[n / 2], 0.0, "{name} center root");
+        }
+    }
+}
+
+#[test]
+fn multiplicity_stress() {
+    use polyroots::core::multiple::roots_with_multiplicity;
+    use polyroots::core::RefineStrategy;
+    let spec = [(-7i64, 1usize), (-1, 4), (0, 2), (3, 3), (11, 1)];
+    let p = with_multiplicities(&spec);
+    assert_eq!(p.deg(), 11);
+    let got = roots_with_multiplicity(&p, 8, RefineStrategy::Hybrid).unwrap();
+    let expect: Vec<(Int, usize)> = spec
+        .iter()
+        .map(|&(r, m)| (Int::from(r) << 8, m))
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn high_precision_deep_mu() {
+    // µ = 240 bits on a small irrational-rooted input: exercises long
+    // scaled integers end to end.
+    let p = polyroots::Poly::from_i64(&[0, -7, 0, 1]); // x³ − 7x: roots 0, ±√7
+    let mu = 240;
+    let r = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&p)
+        .unwrap();
+    assert_eq!(r.roots.len(), 3);
+    assert!(r.roots[1].num.is_zero());
+    let x = &r.roots[2].num;
+    // verify the ceiling property exactly: (x−1)² < 7·2^{2µ} ≤ x²
+    let target = Int::from(7) << (2 * mu);
+    assert!(x.square() >= target);
+    assert!((x - Int::one()).square() < target);
+    // and the negative root is the mirrored floor: x̃ = −⌊√7·2^µ⌋
+    let y = &r.roots[0].num;
+    assert!(y.square() <= target);
+    assert!((y - Int::one()).square() > target);
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration tests: the full pipeline on the paper's
+//! workload, cross-checked against the independent Sturm baseline and
+//! across every execution mode.
+
+use polyroots::baseline::{find_real_roots, BaselineConfig};
+use polyroots::core::{ExecMode, Grain, RefineStrategy};
+use polyroots::mp::Int;
+use polyroots::workload::charpoly_input;
+use polyroots::{Poly, RootApproximator, SolverConfig};
+
+fn scaled_roots(r: &polyroots::core::RootsResult) -> Vec<Int> {
+    r.roots.iter().map(|d| d.num.clone()).collect()
+}
+
+#[test]
+fn paper_workload_matches_baseline() {
+    for n in [10usize, 15, 20] {
+        for seed in 0..2u64 {
+            let p = charpoly_input(n, seed);
+            for mu in [13u64, 53] {
+                let ours = RootApproximator::new(SolverConfig::sequential(mu))
+                    .approximate_roots(&p)
+                    .unwrap();
+                let theirs = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+                assert_eq!(scaled_roots(&ours), theirs, "n={n} seed={seed} mu={mu}");
+                assert_eq!(ours.roots.len(), ours.n_star);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_mode_agrees_on_the_paper_workload() {
+    let p = charpoly_input(15, 7);
+    let mu = 24;
+    let reference = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&p)
+        .unwrap();
+    let configs = {
+        let mut v = Vec::new();
+        for threads in [2usize, 4, 8] {
+            let mut c = SolverConfig::parallel(mu, threads);
+            c.grain = Grain::Entry;
+            v.push(c);
+            let mut c = SolverConfig::parallel(mu, threads);
+            c.grain = Grain::Coarse;
+            v.push(c);
+            let mut c = SolverConfig::parallel(mu, threads);
+            c.seq_remainder = true;
+            v.push(c);
+            let mut c = SolverConfig::sequential(mu);
+            c.mode = ExecMode::Static { threads };
+            v.push(c);
+        }
+        let mut c = SolverConfig::sequential(mu);
+        c.refine = RefineStrategy::BisectOnly;
+        v.push(c);
+        v
+    };
+    for cfg in configs {
+        let got = RootApproximator::new(cfg).approximate_roots(&p).unwrap();
+        assert_eq!(reference.roots, got.roots, "{cfg:?}");
+    }
+}
+
+#[test]
+fn parallel_runs_are_deterministic() {
+    let p = charpoly_input(20, 3);
+    let solver = RootApproximator::new(SolverConfig::parallel(32, 8));
+    let first = solver.approximate_roots(&p).unwrap();
+    for _ in 0..4 {
+        let again = solver.approximate_roots(&p).unwrap();
+        assert_eq!(first.roots, again.roots);
+    }
+}
+
+#[test]
+fn precision_sweep_is_nested() {
+    // Ceiling approximations tighten monotonically as µ grows.
+    let p = charpoly_input(12, 1);
+    let mut prev: Option<Vec<polyroots::core::Dyadic>> = None;
+    for mu in [4u64, 8, 16, 24, 32] {
+        let r = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        if let Some(prev) = &prev {
+            for (hi, lo) in r.roots.iter().zip(prev) {
+                assert!(hi <= lo, "ceiling cannot increase with precision");
+                let d = lo.abs_diff(hi);
+                assert!(d.num <= Int::pow2(d.mu - lo.mu), "within one coarse ulp");
+            }
+        }
+        prev = Some(r.roots);
+    }
+}
+
+#[test]
+fn mixed_complex_inputs_rejected_cleanly() {
+    // (x²+1)·(real-rooted): rejected with a real-root count.
+    let p = &Poly::from_i64(&[1, 0, 1]) * &charpoly_input(6, 0);
+    let err = RootApproximator::new(SolverConfig::sequential(8))
+        .approximate_roots(&p)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("real"),
+        "error should explain the real-rootedness failure: {msg}"
+    );
+    // parallel remainder stage detects it too
+    let err = RootApproximator::new(SolverConfig::parallel(8, 4))
+        .approximate_roots(&p)
+        .unwrap_err();
+    assert!(err.to_string().contains("real"));
+}
+
+#[test]
+fn trace_driven_speedups_shape() {
+    // The recorded task graph must show parallel slack: simulated speedup
+    // at 8 virtual processors well above 2, monotone in P, bounded by P.
+    let p = charpoly_input(35, 0);
+    let r = RootApproximator::new(SolverConfig::parallel(53, 2))
+        .approximate_roots(&p)
+        .unwrap();
+    let curve = r.stats.simulate_speedups(&[1, 2, 4, 8, 16]);
+    assert!((curve[0].1 - 1.0).abs() < 1e-9);
+    let mut last = 0.0;
+    for &(pcount, s) in &curve {
+        assert!(s >= last - 1e-9, "monotone at P={pcount}");
+        assert!(s <= pcount as f64 + 1e-9, "bounded at P={pcount}");
+        last = s;
+    }
+    assert!(curve[2].1 > 2.0, "4 processors must beat 2x: {curve:?}");
+}
+
+#[test]
+fn stats_cost_accounting_consistent() {
+    let p = charpoly_input(15, 2);
+    let r = RootApproximator::new(SolverConfig::sequential(16))
+        .approximate_roots(&p)
+        .unwrap();
+    use polyroots::mp::metrics::Phase;
+    let total = r.stats.cost.total().mul_count;
+    let by_phase: u64 = [
+        Phase::RemainderSeq,
+        Phase::TreePoly,
+        Phase::Sort,
+        Phase::PreInterval,
+        Phase::Sieve,
+        Phase::Bisection,
+        Phase::Newton,
+        Phase::Other,
+        Phase::CharPoly,
+        Phase::Baseline,
+    ]
+    .iter()
+    .map(|&ph| r.stats.muls(ph))
+    .sum();
+    assert_eq!(total, by_phase);
+    assert!(r.stats.muls(Phase::RemainderSeq) > 0);
+    assert!(r.stats.muls(Phase::TreePoly) > 0);
+    assert!(r.stats.muls(Phase::Baseline) == 0);
+}

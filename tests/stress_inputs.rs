@@ -1,0 +1,72 @@
+//! Hard-input integration tests: clustered roots at one-ulp separation,
+//! large coefficient magnitudes, and very high output precision.
+
+use polyroots::workload::families::clustered_roots;
+use polyroots::{Int, RootApproximator, SolverConfig};
+
+#[test]
+fn one_ulp_clusters_resolved_exactly() {
+    // 5 roots spaced 2^-8 apart starting at -2: at µ = 12 every root has
+    // a distinct exact ceiling; at µ = 8 they land on consecutive grid
+    // points; at µ = 4 several collapse to equal approximations.
+    let p = clustered_roots(5, 8, -2);
+    for (mu, distinct_expected) in [(12u64, 5usize), (8, 5), (4, 2)] {
+        let r = RootApproximator::new(SolverConfig::sequential(mu))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.roots.len(), 5, "all roots reported at mu={mu}");
+        // exact values: roots are -2 + i/256, ceilings are exact since
+        // they are dyadic with 8 fractional bits
+        if mu >= 8 {
+            for (i, root) in r.roots.iter().enumerate() {
+                let expect = ((Int::from(-2) << 8) + Int::from(i as u64)) << (mu - 8);
+                assert_eq!(root.num, expect, "root {i} at mu={mu}");
+            }
+        }
+        let mut vals: Vec<Int> = r.roots.iter().map(|d| d.num.clone()).collect();
+        vals.dedup();
+        assert_eq!(vals.len(), distinct_expected, "distinct ceilings at mu={mu}");
+    }
+}
+
+#[test]
+fn tight_cluster_with_parallel_driver() {
+    let p = clustered_roots(6, 10, 7);
+    let seq = RootApproximator::new(SolverConfig::sequential(16))
+        .approximate_roots(&p)
+        .unwrap();
+    let par = RootApproximator::new(SolverConfig::parallel(16, 4))
+        .approximate_roots(&p)
+        .unwrap();
+    assert_eq!(seq.roots, par.roots);
+    assert_eq!(seq.roots.len(), 6);
+}
+
+#[test]
+fn huge_coefficients() {
+    // roots at ±10^9 and 0: coefficients ~10^18; exercises multi-limb
+    // arithmetic through every stage.
+    let big = 1_000_000_000i64;
+    let p = polyroots::Poly::from_roots(&[Int::from(-big), Int::from(0), Int::from(big)]);
+    let mu = 20;
+    let r = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&p)
+        .unwrap();
+    let expect: Vec<Int> = [-big, 0, big].iter().map(|&v| Int::from(v) << mu).collect();
+    assert_eq!(r.roots.iter().map(|d| d.num.clone()).collect::<Vec<_>>(), expect);
+}
+
+#[test]
+fn cluster_baseline_agreement() {
+    use polyroots::baseline::{find_real_roots, BaselineConfig};
+    let p = clustered_roots(4, 9, 0);
+    let mu = 14;
+    let ours = RootApproximator::new(SolverConfig::sequential(mu))
+        .approximate_roots(&p)
+        .unwrap();
+    let theirs = find_real_roots(&p, &BaselineConfig::new(mu)).unwrap();
+    assert_eq!(
+        ours.roots.iter().map(|d| d.num.clone()).collect::<Vec<_>>(),
+        theirs
+    );
+}

@@ -1,32 +1,32 @@
-//! Criterion benchmarks of the end-to-end solver on the paper's workload:
+//! Benchmarks of the end-to-end solver on the paper's workload:
 //! representative (n, µ) cells of Table 2, the scheduler variants, the
-//! refinement ablation, and the Sturm baseline for the Figure 8 contrast.
+//! refinement ablation, the multiplication-backend contrast, and the
+//! Sturm baseline for the Figure 8 contrast.
+//!
+//! ```sh
+//! cargo bench -p rr-bench --bench solver [-- <filter>] [-- --quick]
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rr_baseline::{find_real_roots, BaselineConfig};
 use rr_bench::digits_to_bits;
-use rr_core::{ExecMode, RefineStrategy, RootApproximator, SolverConfig};
+use rr_bench::microbench::Bench;
+use rr_core::{ExecMode, MulBackend, RefineStrategy, RootApproximator, SolverConfig};
 use rr_workload::charpoly_input;
 use std::hint::black_box;
 
-fn bench_table2_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_cells");
-    g.sample_size(10);
+fn bench_table2_cells(b: &mut Bench) {
+    b.group("table2_cells");
     for (n, digits) in [(10usize, 8u64), (20, 8), (20, 32), (30, 16)] {
         let p = charpoly_input(n, 0);
         let solver = RootApproximator::new(SolverConfig::sequential(digits_to_bits(digits)));
-        g.bench_with_input(
-            BenchmarkId::new("seq_solve", format!("n{n}_mu{digits}")),
-            &n,
-            |bench, _| bench.iter(|| solver.approximate_roots(black_box(&p)).unwrap()),
-        );
+        b.measure(&format!("table2/seq_solve/n{n}_mu{digits}"), || {
+            solver.approximate_roots(black_box(&p)).unwrap()
+        });
     }
-    g.finish();
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedulers");
-    g.sample_size(10);
+fn bench_schedulers(b: &mut Bench) {
+    b.group("schedulers");
     let n = 25;
     let p = charpoly_input(n, 0);
     let mu = digits_to_bits(16);
@@ -39,52 +39,67 @@ fn bench_schedulers(c: &mut Criterion) {
         cfg.mode = mode;
         cfg.seq_remainder = false;
         let solver = RootApproximator::new(cfg);
-        g.bench_function(BenchmarkId::new("mode", name), |bench| {
-            bench.iter(|| solver.approximate_roots(black_box(&p)).unwrap())
+        b.measure(&format!("schedulers/mode/{name}"), || {
+            solver.approximate_roots(black_box(&p)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_refinement_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("refinement");
-    g.sample_size(10);
+fn bench_refinement_ablation(b: &mut Bench) {
+    b.group("refinement");
     let p = charpoly_input(20, 0);
     let mu = digits_to_bits(32);
-    for (name, strat) in [("hybrid", RefineStrategy::Hybrid), ("bisect_only", RefineStrategy::BisectOnly)] {
+    for (name, strat) in
+        [("hybrid", RefineStrategy::Hybrid), ("bisect_only", RefineStrategy::BisectOnly)]
+    {
         let mut cfg = SolverConfig::sequential(mu);
         cfg.refine = strat;
         let solver = RootApproximator::new(cfg);
-        g.bench_function(BenchmarkId::new("strategy", name), |bench| {
-            bench.iter(|| solver.approximate_roots(black_box(&p)).unwrap())
+        b.measure(&format!("refinement/strategy/{name}"), || {
+            solver.approximate_roots(black_box(&p)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_vs_baseline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_contrast");
-    g.sample_size(10);
+fn bench_mul_backends(b: &mut Bench) {
+    b.group("mul_backends (end-to-end solve)");
+    let mu = digits_to_bits(32);
+    for n in [15usize, 30] {
+        let p = charpoly_input(n, 0);
+        for (name, backend) in [
+            ("schoolbook", MulBackend::Schoolbook),
+            ("fast", MulBackend::Fast),
+        ] {
+            let solver =
+                RootApproximator::new(SolverConfig::sequential(mu).with_backend(backend));
+            b.measure(&format!("backend/{name}/n{n}"), || {
+                solver.approximate_roots(black_box(&p)).unwrap()
+            });
+        }
+    }
+}
+
+fn bench_vs_baseline(b: &mut Bench) {
+    b.group("fig8_contrast");
     let mu = digits_to_bits(30);
     for n in [10usize, 25] {
         let p = charpoly_input(n, 0);
         let solver = RootApproximator::new(SolverConfig::sequential(mu));
-        g.bench_with_input(BenchmarkId::new("tree", n), &n, |bench, _| {
-            bench.iter(|| solver.approximate_roots(black_box(&p)).unwrap())
+        b.measure(&format!("fig8/tree/{n}"), || {
+            solver.approximate_roots(black_box(&p)).unwrap()
         });
         let cfg = BaselineConfig::new(mu);
-        g.bench_with_input(BenchmarkId::new("sturm_baseline", n), &n, |bench, _| {
-            bench.iter(|| find_real_roots(black_box(&p), &cfg).unwrap())
+        b.measure(&format!("fig8/sturm_baseline/{n}"), || {
+            find_real_roots(black_box(&p), &cfg).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table2_cells,
-    bench_schedulers,
-    bench_refinement_ablation,
-    bench_vs_baseline
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_table2_cells(&mut b);
+    bench_schedulers(&mut b);
+    bench_refinement_ablation(&mut b);
+    bench_mul_backends(&mut b);
+    bench_vs_baseline(&mut b);
+}

@@ -19,17 +19,16 @@
 //! ```
 
 use rr_baseline::{find_real_roots, BaselineConfig};
-use rr_bench::{digits_to_bits, maybe_write_json, time_best, Args};
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, time_best, Args};
 use rr_core::{RootApproximator, SolverConfig};
 use rr_workload::charpoly_input;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     n: usize,
     tree_secs: f64,
     baseline_secs: f64,
 }
+impl_to_json!(Row { n, tree_secs, baseline_secs });
 
 fn main() {
     let args = Args::parse();

@@ -15,10 +15,9 @@ use rr_bench::{digits_to_bits, maybe_write_json, Args};
 use rr_core::{RootApproximator, SolverConfig};
 use rr_model::{counts, interval_model};
 use rr_mp::metrics::{self, Phase};
+use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     mu_digits: u64,
     n: usize,
@@ -31,6 +30,18 @@ struct Row {
     observed_interval: u64,
     predicted_interval: f64,
 }
+impl_to_json!(Row {
+    mu_digits,
+    n,
+    observed_total,
+    predicted_total,
+    observed_remainder,
+    predicted_remainder,
+    observed_tree,
+    predicted_tree,
+    observed_interval,
+    predicted_interval,
+});
 
 fn main() {
     let args = Args::parse();

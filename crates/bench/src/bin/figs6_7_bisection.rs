@@ -20,10 +20,9 @@ use rr_core::tree::Tree;
 use rr_core::{RootApproximator, SolverConfig};
 use rr_model::{interval_model, sizes};
 use rr_mp::metrics::{self, Phase};
+use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     n: usize,
     observed_count: u64,
@@ -31,6 +30,13 @@ struct Row {
     observed_bits: u64,
     predicted_bits_bound: f64,
 }
+impl_to_json!(Row {
+    n,
+    observed_count,
+    predicted_count,
+    observed_bits,
+    predicted_bits_bound,
+});
 
 fn main() {
     let args = Args::parse();

@@ -15,16 +15,16 @@
 //!     [--results results] [--out results]
 //! ```
 
+use rr_bench::json::{self, Value};
 use rr_bench::plot::{Chart, Scale, Series};
 use rr_bench::Args;
-use serde_json::Value;
 
 const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
 
 fn load(dir: &str, name: &str) -> Option<Vec<Value>> {
     let path = format!("{dir}/{name}");
     let text = std::fs::read_to_string(&path).ok()?;
-    serde_json::from_str::<Vec<Value>>(&text).ok()
+    json::from_str(&text).ok()?.as_array().cloned()
 }
 
 fn save(out: &str, name: &str, chart: &Chart) {

@@ -20,10 +20,9 @@ use rr_core::tree::{is_spine, Tree};
 use rr_core::treepoly;
 use rr_model::sizes;
 use rr_poly::remainder::remainder_sequence;
+use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Study {
     n: usize,
     m_bits: u64,
@@ -37,6 +36,15 @@ struct Study {
     /// the single worst (largest observed/bound) ratio anywhere
     worst_ratio: f64,
 }
+impl_to_json!(Study {
+    n,
+    m_bits,
+    f_tightness_max,
+    f_tightness_mean,
+    q_tightness_mean,
+    p_tightness_mean,
+    worst_ratio,
+});
 
 fn main() {
     let args = Args::parse();

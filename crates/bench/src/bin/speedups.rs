@@ -17,12 +17,12 @@
 //!     [--full] [--min-n 35] [--max-n 70] [--json speedups.json] [--sched static]
 //! ```
 
-use rr_bench::{digits_to_bits, maybe_write_json, Args, PAPER_MU_DIGITS, PAPER_PROCS};
+use rr_bench::{
+    digits_to_bits, impl_to_json, maybe_write_json, Args, PAPER_MU_DIGITS, PAPER_PROCS,
+};
 use rr_core::{ExecMode, RootApproximator, SolverConfig};
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     n: usize,
     mu_digits: u64,
@@ -30,6 +30,13 @@ struct Cell {
     measured_secs: f64,
     simulated_speedup: f64,
 }
+impl_to_json!(Cell {
+    n,
+    mu_digits,
+    procs,
+    measured_secs,
+    simulated_speedup,
+});
 
 fn main() {
     let args = Args::parse();

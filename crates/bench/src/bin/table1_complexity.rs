@@ -22,10 +22,9 @@ use rr_bench::{digits_to_bits, maybe_write_json, Args};
 use rr_core::{RootApproximator, SolverConfig};
 use rr_model::asymptotic::{self, fit_exponent};
 use rr_mp::metrics::{self, Phase};
+use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Sample {
     n: usize,
     m_bits: u64,
@@ -36,6 +35,16 @@ struct Sample {
     interval_count: u64,
     interval_bits: u64,
 }
+impl_to_json!(Sample {
+    n,
+    m_bits,
+    rem_count,
+    rem_bits,
+    tree_count,
+    tree_bits,
+    interval_count,
+    interval_bits,
+});
 
 fn main() {
     let args = Args::parse();

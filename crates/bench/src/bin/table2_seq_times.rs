@@ -8,18 +8,17 @@
 //!     [--max-n 70] [--polys 3] [--reps 1] [--json table2.json]
 //! ```
 
-use rr_bench::{digits_to_bits, maybe_write_json, Args, PAPER_MU_DIGITS};
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, Args, PAPER_MU_DIGITS};
 use rr_core::{RootApproximator, SolverConfig};
 use rr_workload::{charpoly_input, paper_degrees};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     n: usize,
     m_bits: u64,
     /// seconds per µ (digits), averaged over the polynomials
     times: Vec<(u64, f64)>,
 }
+impl_to_json!(Row { n, m_bits, times });
 
 fn main() {
     let args = Args::parse();

@@ -19,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod microbench;
 pub mod paper_data;
 pub mod plot;
 
-use serde::Serialize;
+use json::ToJson;
 use std::time::{Duration, Instant};
 
 /// Converts the paper's "µ digits" to bits: `⌈µ · log₂ 10⌉`.
@@ -80,9 +82,9 @@ pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
 }
 
 /// Writes `value` as pretty JSON to `path` if given.
-pub fn maybe_write_json<T: Serialize>(path: Option<String>, value: &T) {
+pub fn maybe_write_json<T: ToJson>(path: Option<String>, value: &T) {
     if let Some(path) = path {
-        let s = serde_json::to_string_pretty(value).expect("serializable");
+        let s = value.to_json().to_pretty();
         std::fs::write(&path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("(wrote {path})");
     }

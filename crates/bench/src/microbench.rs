@@ -1,0 +1,161 @@
+//! Minimal microbenchmark harness — the offline stand-in for Criterion
+//! used by `benches/kernels.rs` and `benches/solver.rs` (see DESIGN.md,
+//! "Offline dependency policy").
+//!
+//! Each measurement warms up briefly, picks an iteration count targeting
+//! a fixed measurement window, then reports the median, minimum, and
+//! mean per-iteration time over a handful of samples. Honors
+//! `--quick` (or `RR_BENCH_QUICK=1`) for a fast smoke pass, and an
+//! optional substring filter as the first free argument (matching
+//! `cargo bench -- <filter>` usage).
+
+use std::time::{Duration, Instant};
+
+/// A group of related measurements, printed under a shared heading.
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+    results: Vec<Sample>,
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+impl Bench {
+    /// Builds a harness from the process arguments.
+    pub fn from_args() -> Bench {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("RR_BENCH_QUICK").is_ok_and(|v| v == "1");
+        // First free (non-flag) argument is a substring filter, mirroring
+        // `cargo bench -- <filter>`. `--bench` is passed by cargo itself.
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned();
+        Bench { filter, quick, results: Vec::new() }
+    }
+
+    /// True when running in quick (smoke-test) mode.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Prints a group heading.
+    pub fn group(&self, name: &str) {
+        println!("\n== {name} ==");
+    }
+
+    /// Times `f`, printing and recording the summary. Returns the
+    /// sample, or `None` when the id is filtered out.
+    pub fn measure<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Option<Sample> {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let (window, samples) = if self.quick {
+            (Duration::from_millis(5), 3)
+        } else {
+            (Duration::from_millis(60), 7)
+        };
+
+        // Warm-up, and calibrate iterations so one sample fills the window.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut per_iter: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let sample =
+            Sample { id: id.to_string(), median, min, mean, iters };
+        println!(
+            "{:<44} median {:>12}  min {:>12}  ({iters} iters/sample)",
+            sample.id,
+            fmt_duration(median),
+            fmt_duration(min),
+        );
+        self.results.push(sample.clone());
+        Some(sample)
+    }
+
+    /// All recorded samples, in measurement order.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut b = Bench {
+            filter: None,
+            quick: true,
+            results: Vec::new(),
+        };
+        let s = b.measure("unit/nop", || 1 + 1).unwrap();
+        assert!(s.iters >= 1);
+        assert!(s.min <= s.median);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = Bench {
+            filter: Some("poly".into()),
+            quick: true,
+            results: Vec::new(),
+        };
+        assert!(b.measure("mp/mul", || ()).is_none());
+        assert!(b.measure("poly/mul", || ()).is_some());
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(123)), "123 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(123)), "123.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(123)), "123.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(123)), "123.00 s");
+    }
+}

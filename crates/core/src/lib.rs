@@ -68,6 +68,7 @@ pub mod tree;
 pub mod treepoly;
 
 pub use dyadic::Dyadic;
+pub use rr_mp::MulBackend;
 pub use solver::{
     ExecMode, Grain, RefineStrategy, RootApproximator, RootsResult, SolveError, SolveStats,
     SolverConfig,

@@ -6,6 +6,7 @@ use crate::interval::Inconsistency;
 pub use crate::par_solver::Grain;
 pub use crate::refine::RefineStrategy;
 use rr_mp::metrics::{self, CostSnapshot, Phase};
+use rr_mp::MulBackend;
 use rr_poly::bounds::root_bound_bits;
 use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
 use rr_poly::Poly;
@@ -45,6 +46,11 @@ pub struct SolverConfig {
     /// Task granularity of the tree stage's matrix products (dynamic
     /// mode only).
     pub grain: Grain,
+    /// Magnitude multiplication kernel for the whole solve
+    /// (process-wide; `Schoolbook` is the paper-faithful default, `Fast`
+    /// enables Karatsuba — identical roots and metrics, different
+    /// wall-clock).
+    pub backend: MulBackend,
 }
 
 impl SolverConfig {
@@ -56,6 +62,7 @@ impl SolverConfig {
             seq_remainder: true,
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
+            backend: MulBackend::Schoolbook,
         }
     }
 
@@ -71,7 +78,14 @@ impl SolverConfig {
             seq_remainder: false,
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
+            backend: MulBackend::Schoolbook,
         }
+    }
+
+    /// The same configuration with the given multiplication backend.
+    pub fn with_backend(mut self, backend: MulBackend) -> SolverConfig {
+        self.backend = backend;
+        self
     }
 }
 
@@ -198,6 +212,17 @@ impl RootApproximator {
     /// sequence already produced is the equivalent fix, and is documented
     /// as such in DESIGN.md.)
     pub fn approximate_roots(&self, p: &Poly) -> Result<RootsResult, SolveError> {
+        let cfg = &self.config;
+        // The kernel selection is process-wide: worker threads spawned by
+        // the parallel stages pick it up without any plumbing. Restored
+        // on return so interleaved solvers with different configs behave.
+        let prev_backend = rr_mp::set_mul_backend(cfg.backend);
+        let result = self.approximate_roots_inner(p);
+        rr_mp::set_mul_backend(prev_backend);
+        result
+    }
+
+    fn approximate_roots_inner(&self, p: &Poly) -> Result<RootsResult, SolveError> {
         let cfg = &self.config;
         let cost0 = metrics::snapshot();
         let t0 = Instant::now();

@@ -1,0 +1,106 @@
+//! Process-wide selection of the magnitude multiplication kernel.
+//!
+//! Two kernels compute exactly the same products (the differential suite
+//! in `tests/kernel_diff.rs` holds them bit-for-bit equal):
+//!
+//! * [`MulBackend::Schoolbook`] — the classical quadratic routine in
+//!   [`crate::nat::mul`]. This is the default: the paper's Section 4
+//!   analysis models the UNIX `mp` package, whose multiplication is
+//!   quadratic, so wall-clock *time* measurements reported alongside
+//!   the paper's (Table 2, Figure 8) should use it.
+//! * [`MulBackend::Fast`] — Karatsuba ([`crate::nat::kmul`]) above a
+//!   calibrated limb threshold, falling through to schoolbook below it.
+//!   Opt-in for production-scale runs where raw speed matters.
+//!
+//! Switching backends never changes what the [`crate::metrics`] module
+//! records: every `Int` multiplication is one event costed at
+//! `‖a‖·‖b‖` *before* the kernel runs, and the kernels recurse on raw
+//! limb slices without touching the metrics. Predicted-vs-observed
+//! figures (2–7, Table 1) are therefore invariant under the switch.
+//!
+//! The selection is a process-wide atomic, initialized lazily from the
+//! `RR_MUL_BACKEND` environment variable (`schoolbook` or `fast`;
+//! unset/unknown means schoolbook) and overridable at runtime with
+//! [`set_mul_backend`] — e.g. by the solver when a config requests a
+//! specific backend.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel [`crate::nat::mul_auto`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MulBackend {
+    /// Classical quadratic multiplication — paper-faithful timing.
+    #[default]
+    Schoolbook,
+    /// Karatsuba above [`crate::nat::kmul::KARATSUBA_THRESHOLD`] limbs.
+    Fast,
+}
+
+const SCHOOLBOOK: u8 = 0;
+const FAST: u8 = 1;
+const UNINIT: u8 = 2;
+
+static BACKEND: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The currently selected backend.
+///
+/// First call reads `RR_MUL_BACKEND` from the environment; later calls
+/// return the cached (or explicitly [set](set_mul_backend)) value.
+#[inline]
+pub fn mul_backend() -> MulBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        SCHOOLBOOK => MulBackend::Schoolbook,
+        FAST => MulBackend::Fast,
+        _ => init_from_env(),
+    }
+}
+
+/// Selects the backend for the whole process, returning the previous
+/// selection.
+pub fn set_mul_backend(backend: MulBackend) -> MulBackend {
+    let raw = match backend {
+        MulBackend::Schoolbook => SCHOOLBOOK,
+        MulBackend::Fast => FAST,
+    };
+    match BACKEND.swap(raw, Ordering::Relaxed) {
+        FAST => MulBackend::Fast,
+        // An UNINIT previous value reports the default.
+        _ => MulBackend::Schoolbook,
+    }
+}
+
+#[cold]
+fn init_from_env() -> MulBackend {
+    let choice = match std::env::var("RR_MUL_BACKEND").as_deref() {
+        Ok("fast") => MulBackend::Fast,
+        _ => MulBackend::Schoolbook,
+    };
+    // A racing set_mul_backend wins: only replace UNINIT.
+    let raw = match choice {
+        MulBackend::Schoolbook => SCHOOLBOOK,
+        MulBackend::Fast => FAST,
+    };
+    match BACKEND.compare_exchange(UNINIT, raw, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => choice,
+        Err(FAST) => MulBackend::Fast,
+        Err(_) => MulBackend::Schoolbook,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read_round_trip() {
+        // Single test touching the global so ordering within this
+        // process stays deterministic.
+        let original = mul_backend();
+        set_mul_backend(MulBackend::Fast);
+        assert_eq!(mul_backend(), MulBackend::Fast);
+        let prev = set_mul_backend(MulBackend::Schoolbook);
+        assert_eq!(prev, MulBackend::Fast);
+        assert_eq!(mul_backend(), MulBackend::Schoolbook);
+        set_mul_backend(original);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::limb::Limb;
 use crate::metrics;
-use crate::nat::{self, div, mul};
+use crate::nat::{self, div};
 use std::cmp::Ordering;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Shl, Shr, Sub, SubAssign};
 
@@ -165,9 +165,12 @@ impl Int {
         nat::cmp(&self.mag, &other.mag)
     }
 
-    /// `self * self` (recorded as one multiplication).
+    /// `self * self` (recorded as one multiplication; uses the selected
+    /// backend's squaring kernel).
     pub fn square(&self) -> Int {
-        self * self
+        let bits = self.bit_len();
+        metrics::record_mul(bits, bits);
+        Int::from_sign_mag(self.sign.mul(self.sign), nat::sqr_auto(&self.mag))
     }
 
     /// `self^e` by binary exponentiation.
@@ -403,8 +406,10 @@ fn add_impl(a: &Int, b: &Int) -> Int {
 }
 
 fn mul_impl(a: &Int, b: &Int) -> Int {
+    // Recorded before the kernel dispatch: the event and its ‖a‖·‖b‖ bit
+    // cost are identical under both multiplication backends.
     metrics::record_mul(a.bit_len(), b.bit_len());
-    Int::from_sign_mag(a.sign.mul(b.sign), mul::mul(&a.mag, &b.mag))
+    Int::from_sign_mag(a.sign.mul(b.sign), nat::mul_auto(&a.mag, &b.mag))
 }
 
 macro_rules! binop {

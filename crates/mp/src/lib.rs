@@ -4,18 +4,27 @@
 //! cost model of the UNIX `mp` package used by Narendran & Tiwari (1991):
 //!
 //! * addition and subtraction run in time linear in the operand sizes;
-//! * multiplication is **schoolbook** — quadratic in the operand sizes;
+//! * multiplication is **schoolbook** — quadratic — by default;
 //! * division is Knuth's Algorithm D — quadratic in the operand sizes.
 //!
-//! No subquadratic kernels (Karatsuba, FFT) are provided on purpose: the
-//! paper's entire Section 4 analysis, and its Figures 2–7, assume the
-//! quadratic model, and the benchmark harness in this workspace compares
-//! *predicted* against *observed* multiplication counts and bit costs.
-//!
-//! Every [`Int`] multiplication and division is therefore recorded by the
+//! Every [`Int`] multiplication and division is recorded by the
 //! [`metrics`] module under the currently active [`metrics::Phase`], with
 //! both an operation count and a bit cost `‖a‖·‖b‖` (the product of the
 //! operand bit lengths — the paper's unit of bit complexity).
+//!
+//! ## Two multiplication kernels, one cost model
+//!
+//! The paper's Section 4 analysis, and its Figures 2–7, are stated in
+//! multiplication *events* and operand *bit lengths* — exactly what the
+//! [`metrics`] module records, and it records them at the [`Int`] level
+//! **before** any kernel runs. The limb-level kernel is therefore
+//! swappable without disturbing the reproduction: [`backend`] selects
+//! between the paper-faithful schoolbook routine ([`nat::mul`], the
+//! default, matching the quadratic `mp` package the paper timed) and an
+//! opt-in Karatsuba kernel ([`nat::kmul`], `RR_MUL_BACKEND=fast`) for
+//! production-scale runs. The two are held bit-for-bit equal by the
+//! differential suite in `tests/kernel_diff.rs`; only wall-clock
+//! *seconds* (Table 2, Figure 8) depend on the choice.
 //!
 //! ## Example
 //!
@@ -33,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod gcd;
 pub mod limb;
 pub mod metrics;
@@ -41,4 +51,5 @@ pub mod nat;
 mod fmt;
 mod int;
 
+pub use backend::{mul_backend, set_mul_backend, MulBackend};
 pub use int::{Int, Sign};

@@ -1,0 +1,219 @@
+//! Karatsuba multiplication of magnitudes — the `Fast` backend kernel.
+//!
+//! Above [`KARATSUBA_THRESHOLD`] limbs the routines here recurse with the
+//! three-multiplication split
+//!
+//! ```text
+//! a·b = z₂·B²ᵐ + z₁·Bᵐ + z₀,   B = 2⁶⁴,
+//! z₀ = a₀·b₀,  z₂ = a₁·b₁,  z₁ = (a₀+a₁)(b₀+b₁) − z₀ − z₂,
+//! ```
+//!
+//! and below it fall through to the schoolbook routines in
+//! [`super::mul`], whose constant factor wins on small operands. Very
+//! unbalanced products are first cut into balanced chunks of the short
+//! operand's length so the recursion always splits near the middle.
+//!
+//! These functions work on raw limb slices and record **nothing** in
+//! [`crate::metrics`]: cost attribution happens once per `Int`
+//! multiplication in `Int::mul`/`Int::square`, before any kernel runs,
+//! which is what keeps the paper's predicted-vs-observed counts
+//! identical under both backends (see [`crate::backend`]).
+
+use super::{add, mul, sub, trim};
+use crate::limb::Limb;
+
+/// Limb count at or above which the split pays for its extra additions.
+///
+/// Calibrated with `cargo bench -p rr-bench --bench kernels` (sweep
+/// `kmul_threshold_sweep`); see EXPERIMENTS.md for the measured
+/// crossover on the reference machine.
+pub const KARATSUBA_THRESHOLD: usize = 48;
+
+/// Product of two magnitudes (Karatsuba above [`KARATSUBA_THRESHOLD`]).
+///
+/// Accepts denormalized inputs; the result is normalized, matching
+/// [`mul::mul`] bit-for-bit.
+pub fn mul(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    mul_with_threshold(a, b, KARATSUBA_THRESHOLD)
+}
+
+/// Square of a magnitude (Karatsuba above [`KARATSUBA_THRESHOLD`]).
+pub fn square(a: &[Limb]) -> Vec<Limb> {
+    sqr_with_threshold(a, KARATSUBA_THRESHOLD)
+}
+
+/// [`mul`] with an explicit recursion threshold.
+///
+/// The differential tests drive this with tiny thresholds to force deep
+/// recursion on small operands; `threshold` is clamped to ≥ 2 (a
+/// one-limb split cannot recurse).
+pub fn mul_with_threshold(a: &[Limb], b: &[Limb], threshold: usize) -> Vec<Limb> {
+    let (a, b) = (trimmed(a), trimmed(b));
+    let threshold = threshold.max(2);
+    if a.len().min(b.len()) < threshold {
+        return mul::mul(a, b);
+    }
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if long.len() >= 2 * short.len() {
+        return mul_chunked(long, short, threshold);
+    }
+    let mut out = vec![0 as Limb; long.len() + short.len()];
+    karatsuba(long, short, threshold, &mut out);
+    trim(&mut out);
+    out
+}
+
+/// [`square`] with an explicit recursion threshold (clamped to ≥ 2).
+pub fn sqr_with_threshold(a: &[Limb], threshold: usize) -> Vec<Limb> {
+    let a = trimmed(a);
+    let threshold = threshold.max(2);
+    if a.len() < threshold {
+        return mul::square(a);
+    }
+    // a² = z₂·B²ᵐ + z₁·Bᵐ + z₀ with z₁ = (a₀+a₁)² − z₀ − z₂ — every
+    // sub-product is itself a square, and z₁ never underflows.
+    let m = a.len() / 2;
+    let (a0, a1) = (trimmed(&a[..m]), trimmed(&a[m..]));
+    let z0 = sqr_with_threshold(a0, threshold);
+    let z2 = sqr_with_threshold(a1, threshold);
+    let s = add(a0, a1);
+    let z1 = sub2(&sqr_with_threshold(&s, threshold), &z0, &z2);
+
+    let mut out = vec![0 as Limb; 2 * a.len()];
+    add_into(&mut out, 0, &z0);
+    add_into(&mut out, m, &z1);
+    add_into(&mut out, 2 * m, &z2);
+    trim(&mut out);
+    out
+}
+
+/// Balanced Karatsuba step; requires `long.len() >= short.len()` and
+/// `short.len() > long.len() / 2`, accumulates the product into `out`
+/// (all zero on entry, `long.len() + short.len()` limbs).
+fn karatsuba(long: &[Limb], short: &[Limb], threshold: usize, out: &mut [Limb]) {
+    let m = long.len() / 2;
+    debug_assert!(m >= 1 && short.len() > m);
+    let (a0, a1) = (trimmed(&long[..m]), trimmed(&long[m..]));
+    let (b0, b1) = (trimmed(&short[..m]), trimmed(&short[m..]));
+
+    let z0 = mul_with_threshold(a0, b0, threshold);
+    let z2 = mul_with_threshold(a1, b1, threshold);
+    let sa = add(a0, a1);
+    let sb = add(b0, b1);
+    let z1 = sub2(&mul_with_threshold(&sa, &sb, threshold), &z0, &z2);
+
+    add_into(out, 0, &z0);
+    add_into(out, m, &z1);
+    add_into(out, 2 * m, &z2);
+}
+
+/// Unbalanced product: cuts `long` into `short.len()`-limb chunks so
+/// each partial product recurses on balanced operands.
+fn mul_chunked(long: &[Limb], short: &[Limb], threshold: usize) -> Vec<Limb> {
+    let mut out = vec![0 as Limb; long.len() + short.len()];
+    for (i, chunk) in long.chunks(short.len()).enumerate() {
+        let p = mul_with_threshold(chunk, short, threshold);
+        add_into(&mut out, i * short.len(), &p);
+    }
+    trim(&mut out);
+    out
+}
+
+/// `x − y − z`; never underflows for Karatsuba's middle term.
+fn sub2(x: &[Limb], y: &[Limb], z: &[Limb]) -> Vec<Limb> {
+    sub(&sub(x, y), z)
+}
+
+/// Adds `p` into `out` starting `offset` limbs up, propagating the
+/// carry. The caller guarantees the running sum fits in `out` (partial
+/// sums of a product never exceed the full product).
+fn add_into(out: &mut [Limb], offset: usize, p: &[Limb]) {
+    let mut carry: Limb = 0;
+    let mut i = offset;
+    for &x in p {
+        let s = out[i] as u128 + x as u128 + carry as u128;
+        out[i] = s as Limb;
+        carry = (s >> 64) as Limb;
+        i += 1;
+    }
+    while carry != 0 {
+        let (s, c) = out[i].overflowing_add(carry);
+        out[i] = s;
+        carry = c as Limb;
+        i += 1;
+    }
+}
+
+/// Slice view with trailing zero limbs dropped (split halves of a
+/// normalized magnitude are not themselves normalized).
+fn trimmed(mut a: &[Limb]) -> &[Limb] {
+    while a.last() == Some(&0) {
+        a = &a[..a.len() - 1];
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agrees(a: &[Limb], b: &[Limb], threshold: usize) -> bool {
+        mul_with_threshold(a, b, threshold) == mul::mul(a, b)
+    }
+
+    fn limbs(pattern: impl IntoIterator<Item = u64>) -> Vec<Limb> {
+        pattern.into_iter().collect()
+    }
+
+    #[test]
+    fn trivial_operands() {
+        for t in [2usize, 3, 24] {
+            assert_eq!(mul_with_threshold(&[], &[5], t), Vec::<Limb>::new());
+            assert_eq!(mul_with_threshold(&[5], &[], t), Vec::<Limb>::new());
+            assert_eq!(mul_with_threshold(&[1], &[7], t), vec![7]);
+            assert_eq!(sqr_with_threshold(&[], t), Vec::<Limb>::new());
+        }
+    }
+
+    #[test]
+    fn balanced_recursion_matches_schoolbook() {
+        // All-ones limbs maximize internal carries.
+        let a = limbs((0..9).map(|_| u64::MAX));
+        let b = limbs((0..8).map(|i| u64::MAX - i));
+        assert!(agrees(&a, &b, 2));
+        assert!(agrees(&a, &b, 3));
+    }
+
+    #[test]
+    fn unbalanced_chunking_matches_schoolbook() {
+        let a = limbs((1..=25u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let b = limbs([u64::MAX, 1, u64::MAX]);
+        assert!(agrees(&a, &b, 2));
+        assert!(agrees(&b, &a, 2));
+    }
+
+    #[test]
+    fn denormalized_inputs_are_handled() {
+        let a = limbs([3, 0, 0]);
+        let b = limbs([0, 7, 0]);
+        assert_eq!(
+            mul_with_threshold(&a, &b, 2),
+            mul::mul(&[3], &[0, 7])
+        );
+    }
+
+    #[test]
+    fn square_matches_mul_deep_recursion() {
+        let a = limbs((0..17).map(|i| u64::MAX - (i * i) as u64));
+        assert_eq!(sqr_with_threshold(&a, 2), mul::mul(&a, &a));
+        assert_eq!(sqr_with_threshold(&a, 24), mul::mul(&a, &a));
+    }
+
+    #[test]
+    fn default_threshold_entry_points() {
+        let a = limbs((0..40).map(|i| 0xdead_beef ^ (i as u64) << 17));
+        let b = limbs((0..33).map(|i| u64::MAX - i));
+        assert_eq!(mul(&a, &b), mul::mul(&a, &b));
+        assert_eq!(square(&a), mul::square(&a));
+    }
+}

@@ -5,14 +5,38 @@
 //! zero). All functions here either require normalized inputs or preserve
 //! the invariant on their outputs, as documented.
 //!
-//! These routines are deliberately the classical linear/quadratic
-//! algorithms; see the crate docs for why.
+//! The linear routines (add/sub/shift) and division are the classical
+//! algorithms. Multiplication has two interchangeable kernels — the
+//! classical schoolbook routine in [`mul`] and Karatsuba in [`kmul`] —
+//! selected process-wide via [`crate::backend`]; see the crate docs for
+//! how this coexists with the paper's quadratic cost model.
 
 pub mod div;
+pub mod kmul;
 pub mod mul;
 
+use crate::backend::{mul_backend, MulBackend};
 use crate::limb::{DoubleLimb, Limb, LIMB_BITS};
 use std::cmp::Ordering;
+
+/// Product of two magnitudes using the selected backend
+/// (see [`crate::backend::mul_backend`]).
+#[inline]
+pub fn mul_auto(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    match mul_backend() {
+        MulBackend::Schoolbook => mul::mul(a, b),
+        MulBackend::Fast => kmul::mul(a, b),
+    }
+}
+
+/// Square of a magnitude using the selected backend.
+#[inline]
+pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
+    match mul_backend() {
+        MulBackend::Schoolbook => mul::square(a),
+        MulBackend::Fast => kmul::square(a),
+    }
+}
 
 /// Removes trailing zero limbs, restoring the normalization invariant.
 #[inline]

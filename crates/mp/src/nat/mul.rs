@@ -1,9 +1,14 @@
-//! Schoolbook multiplication of magnitudes.
+//! Schoolbook multiplication of magnitudes — the default backend kernel.
 //!
-//! Quadratic by design: the workspace's cost model (and the paper's
-//! Section 4 analysis) assumes multiplication of a `p`-bit by a `q`-bit
-//! integer costs `Θ(p·q)` bit operations. Do not add Karatsuba here —
-//! the `rr-model` predictors would no longer describe the implementation.
+//! Quadratic: multiplying a `p`-bit by a `q`-bit integer costs
+//! `Θ(p·q)` bit operations, matching the UNIX `mp` package whose
+//! timings the paper's Section 4 analysis models — which is why this
+//! kernel stays the default. The subquadratic alternative lives in
+//! [`super::kmul`] (Karatsuba, opt-in via [`crate::backend`]) and also
+//! serves as the sub-threshold base case of its recursion; the
+//! `rr-model` predictors are stated in multiplication events and bit
+//! lengths, which [`crate::metrics`] records identically under either
+//! kernel.
 
 use super::{normalized, trim};
 use crate::limb::{mac, Limb};
@@ -101,9 +106,10 @@ pub(crate) fn add_back(u: &mut [Limb], v: &[Limb]) -> Limb {
 }
 
 /// Convenience wrapper producing a normalized result from possibly
-/// denormalized inputs (used by tests).
+/// denormalized inputs (used by tests). Dispatches through the selected
+/// backend, so under `Fast` large products divide-and-conquer.
 pub fn mul_normalizing(a: Vec<Limb>, b: Vec<Limb>) -> Vec<Limb> {
-    mul(&normalized(a), &normalized(b))
+    super::mul_auto(&normalized(a), &normalized(b))
 }
 
 #[cfg(test)]

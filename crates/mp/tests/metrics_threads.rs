@@ -1,0 +1,125 @@
+//! Multi-threaded behavior of the `metrics` module.
+//!
+//! The counters are per-thread with a phase that is thread-local state,
+//! so concurrent `with_phase` scopes must never cross-attribute events,
+//! and snapshot subtraction must be exact (not approximate) around
+//! multi-threaded work.
+//!
+//! The metrics registry is process-global, and integration-test files
+//! run as their own process but with tests on concurrent threads — so
+//! every test here uses phases disjoint from the other tests in this
+//! file, making each snapshot difference exact per phase.
+
+use rr_mp::metrics::{self, Phase};
+use rr_mp::Int;
+use std::sync::{Arc, Barrier};
+
+/// Bit cost of one `x * y` at the given operand values.
+fn mul_bits(x: u64, y: u64) -> u64 {
+    let bits = |v: u64| 64 - v.leading_zeros() as u64;
+    bits(x) * bits(y)
+}
+
+#[test]
+fn concurrent_with_phase_scopes_do_not_cross_attribute() {
+    // Worker i multiplies under its own phase, all racing through the
+    // same barrier so the scopes genuinely overlap. Each phase must
+    // receive exactly its own thread's events with its own bit costs.
+    let assignments: [(Phase, u64, u32); 3] = [
+        (Phase::TreePoly, 0xffff, 11),
+        (Phase::Sieve, 0xff, 23),
+        (Phase::Newton, 0x7, 37),
+    ];
+    let before = metrics::snapshot();
+    let barrier = Arc::new(Barrier::new(assignments.len()));
+    let handles: Vec<_> = assignments
+        .iter()
+        .map(|&(phase, value, reps)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                metrics::with_phase(phase, || {
+                    for _ in 0..reps {
+                        let _ = Int::from(value) * Int::from(value);
+                    }
+                });
+                // After the scope the thread is back on its default phase.
+                assert_eq!(metrics::current_phase(), Phase::Other);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let d = metrics::snapshot() - before;
+    for &(phase, value, reps) in &assignments {
+        assert_eq!(d.phase(phase).mul_count, reps as u64, "{phase:?} count");
+        assert_eq!(
+            d.phase(phase).mul_bits,
+            reps as u64 * mul_bits(value, value),
+            "{phase:?} bits"
+        );
+    }
+}
+
+#[test]
+fn nested_scopes_on_many_threads_restore_and_attribute() {
+    let before = metrics::snapshot();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                metrics::with_phase(Phase::PreInterval, || {
+                    let _ = Int::from(3u64) * Int::from(3u64);
+                    metrics::with_phase(Phase::Sort, || {
+                        let _ = Int::from(3u64) * Int::from(3u64);
+                    });
+                    assert_eq!(metrics::current_phase(), Phase::PreInterval);
+                    let _ = Int::from(3u64) * Int::from(3u64);
+                });
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let d = metrics::snapshot() - before;
+    assert_eq!(d.phase(Phase::PreInterval).mul_count, 8);
+    assert_eq!(d.phase(Phase::Sort).mul_count, 4);
+    assert_eq!(d.phase(Phase::PreInterval).mul_bits, 8 * 4);
+    assert_eq!(d.phase(Phase::Sort).mul_bits, 4 * 4);
+}
+
+#[test]
+fn snapshot_subtraction_is_exact_across_thread_churn() {
+    // Threads that exit after recording must stay visible in later
+    // snapshots (the registry owns the counters), or subtraction around
+    // a region would under-count.
+    let before = metrics::snapshot();
+    std::thread::spawn(|| {
+        metrics::with_phase(Phase::Baseline, || {
+            let _ = Int::from(u64::MAX) * Int::from(u64::MAX);
+        });
+    })
+    .join()
+    .unwrap();
+    let mid = metrics::snapshot();
+    std::thread::spawn(|| {
+        metrics::with_phase(Phase::Baseline, || {
+            let _ = Int::from(u64::MAX) * Int::from(u64::MAX);
+            let _ = Int::from(u64::MAX) / Int::from(3u64);
+        });
+    })
+    .join()
+    .unwrap();
+    let after = metrics::snapshot();
+
+    assert_eq!((mid - before).phase(Phase::Baseline).mul_count, 1);
+    let d = after - mid;
+    assert_eq!(d.phase(Phase::Baseline).mul_count, 1);
+    assert_eq!(d.phase(Phase::Baseline).div_count, 1);
+    assert_eq!(d.phase(Phase::Baseline).mul_bits, 64 * 64);
+    // Totals compose exactly: (after − before) = (after − mid) + (mid − before).
+    let whole = (after - before).phase(Phase::Baseline);
+    let parts = (after - mid).phase(Phase::Baseline) + (mid - before).phase(Phase::Baseline);
+    assert_eq!(whole, parts);
+}

@@ -247,7 +247,10 @@ fn sub_impl(a: &Poly, b: &Poly) -> Poly {
 }
 
 /// Schoolbook product: `(d_a+1)(d_b+1)` coefficient multiplications, the
-/// count the paper's Section 4.2 analysis assumes.
+/// count the paper's Section 4.2 analysis assumes. This coefficient loop
+/// is the same under both `rr_mp::MulBackend`s — each `x * y` below is
+/// one recorded event regardless of which limb kernel computes it — so
+/// predicted-vs-observed multiplication counts are backend-invariant.
 fn mul_impl(a: &Poly, b: &Poly) -> Poly {
     if a.is_zero() || b.is_zero() {
         return Poly::zero();

@@ -1,0 +1,63 @@
+//! End-to-end differential test of the multiplication backends, plus
+//! metrics exactness around a parallel solve.
+//!
+//! Everything lives in one `#[test]` on purpose: the metrics registry is
+//! process-global, and the assertions below compare *exact* per-phase
+//! event counts, so no other test in this file may run concurrently and
+//! record events.
+
+use polyroots::core::{MulBackend, RootsResult};
+use polyroots::mp::metrics;
+use polyroots::workload::charpoly_input;
+use polyroots::{RootApproximator, SolverConfig};
+
+fn solve(cfg: SolverConfig, p: &polyroots::Poly) -> (RootsResult, metrics::CostSnapshot) {
+    let before = metrics::snapshot();
+    let r = RootApproximator::new(cfg).approximate_roots(p).unwrap();
+    (r, metrics::snapshot() - before)
+}
+
+#[test]
+fn backends_differ_only_in_wall_clock() {
+    let mu = 53;
+    for (n, seed) in [(12usize, 0u64), (18, 1), (24, 0)] {
+        let p = charpoly_input(n, seed);
+
+        let (school, school_cost) =
+            solve(SolverConfig::sequential(mu).with_backend(MulBackend::Schoolbook), &p);
+        let (fast, fast_cost) =
+            solve(SolverConfig::sequential(mu).with_backend(MulBackend::Fast), &p);
+
+        // Identical mathematics: same roots, same degree bookkeeping.
+        assert_eq!(school.roots, fast.roots, "roots n={n} seed={seed}");
+        assert_eq!(school.n_star, fast.n_star, "n_star n={n} seed={seed}");
+        assert_eq!(school.n, fast.n);
+
+        // Identical cost model: the metrics record events and operand
+        // bit lengths *above* the kernel, so every phase's counts and
+        // bit costs must match event-for-event across backends.
+        assert_eq!(school_cost, fast_cost, "metrics snapshot n={n} seed={seed}");
+        assert_eq!(school.stats.cost, fast.stats.cost, "stats.cost n={n} seed={seed}");
+        assert!(school_cost.total().mul_count > 0, "instrumentation alive");
+    }
+
+    // Metrics exactness around a parallel solve: the externally observed
+    // snapshot difference must equal the solve's own internally measured
+    // cost (no events lost or double-counted across worker threads), and
+    // the parallel run must do the same per-phase work as sequential
+    // reruns of the same configuration.
+    let p = charpoly_input(20, 0);
+    let par_cfg = SolverConfig::parallel(mu, 4);
+    let (par1, par1_cost) = solve(par_cfg, &p);
+    assert_eq!(par1_cost, par1.stats.cost, "external diff == internal diff");
+    let (par2, par2_cost) = solve(par_cfg, &p);
+    assert_eq!(par1_cost, par2_cost, "parallel solve cost is deterministic");
+    assert_eq!(par1.roots, par2.roots);
+
+    // And the parallel backend differential: same roots and same
+    // snapshot under Fast.
+    let (par_fast, par_fast_cost) = solve(par_cfg.with_backend(MulBackend::Fast), &p);
+    assert_eq!(par1.roots, par_fast.roots);
+    assert_eq!(par1.n_star, par_fast.n_star);
+    assert_eq!(par1_cost, par_fast_cost, "parallel metrics backend-invariant");
+}

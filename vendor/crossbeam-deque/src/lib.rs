@@ -1,0 +1,114 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! The workspace only uses the global FIFO [`Injector`] (the paper's
+//! single shared task queue) and the [`Steal`] result enum. This shim
+//! implements them over a mutex-protected `VecDeque`. The lock-free
+//! performance characteristics of the real crate are not reproduced —
+//! the scheduler's correctness does not depend on them, and the
+//! reproduction's speedup numbers come from the trace-driven simulator,
+//! not from queue throughput.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was taken.
+    Success(T),
+    /// The operation lost a race and should be retried. This shim never
+    /// returns it (the mutex serializes stealers), but callers written
+    /// against the real crate match on it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A FIFO injector queue: tasks pushed at the back, stolen from the front.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Injector<T> {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Takes the oldest task, if any.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Success(3));
+        assert_eq!(q.steal(), Steal::Empty);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_task() {
+        let q = std::sync::Arc::new(Injector::new());
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Steal::Success(v) = q.steal() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 999 * 1000 / 2);
+    }
+}

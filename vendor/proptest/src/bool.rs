@@ -1,0 +1,17 @@
+//! Boolean strategies: `ANY`.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for arbitrary booleans (see [`ANY`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = core::primitive::bool;
+    fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: Any = Any;

@@ -1,0 +1,115 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::{SizeRange, Strategy, TestRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick_size(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick_size(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set, so generate until the target size is
+        // reached; the attempt cap mirrors real proptest's local-reject
+        // limit and fires only if the element domain is too small.
+        let mut attempts = 0usize;
+        while out.len() < target {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+            if attempts > 100 * target + 1000 {
+                assert!(
+                    out.len() >= self.size.lo,
+                    "btree_set: element domain too small for minimum size {} (got {})",
+                    self.size.lo,
+                    out.len(),
+                );
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// A set of values from `element`, sized within `size`.
+///
+/// The element domain must contain at least `size.lo` distinct values.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>` with a size drawn from
+/// `size`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.pick_size(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0usize;
+        while out.len() < target {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+            if attempts > 100 * target + 1000 {
+                assert!(
+                    out.len() >= self.size.lo,
+                    "btree_map: key domain too small for minimum size {} (got {})",
+                    self.size.lo,
+                    out.len(),
+                );
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// A map with keys from `key` and values from `value`, sized within
+/// `size`. The key domain must contain at least `size.lo` distinct keys.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies: `select`.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy yielding a uniformly chosen element of a fixed list.
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// Uniformly selects one of `items`.
+///
+/// # Panics
+/// Panics (at generation time) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs a non-empty list");
+    Select { items }
+}

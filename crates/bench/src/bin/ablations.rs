@@ -16,7 +16,6 @@
 
 use rr_bench::{digits_to_bits, Args};
 use rr_core::{ExecMode, Grain, RefineStrategy, RootApproximator, SolverConfig};
-use rr_mp::metrics;
 use rr_workload::charpoly_input;
 
 fn main() {
@@ -81,9 +80,8 @@ fn main() {
     ] {
         let mut cfg = SolverConfig::sequential(mu);
         cfg.refine = strat;
-        let before = metrics::snapshot();
         let r = RootApproximator::new(cfg).approximate_roots(&p).unwrap();
-        let d = metrics::snapshot() - before;
+        let d = r.stats.cost;
         use rr_mp::metrics::Phase;
         let interval: u64 = [Phase::Sieve, Phase::Bisection, Phase::Newton]
             .iter()

@@ -14,7 +14,7 @@
 use rr_bench::{digits_to_bits, maybe_write_json, Args};
 use rr_core::{RootApproximator, SolverConfig};
 use rr_model::{counts, interval_model};
-use rr_mp::metrics::{self, Phase};
+use rr_mp::metrics::Phase;
 use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
 
@@ -55,11 +55,10 @@ fn main() {
         println!(" ----+------------+------------+-------+---------------+-----------------+-------------");
         for n in paper_degrees().into_iter().filter(|&n| n <= max_n) {
             let p = charpoly_input(n, 0);
-            let before = metrics::snapshot();
             let r = RootApproximator::new(SolverConfig::sequential(mu))
                 .approximate_roots(&p)
                 .expect("real-rooted workload");
-            let d = metrics::snapshot() - before;
+            let d = r.stats.cost;
             let interval_phases = [Phase::PreInterval, Phase::Sieve, Phase::Bisection, Phase::Newton];
             let obs_interval: u64 = interval_phases.iter().map(|&ph| d.phase(ph).mul_count).sum();
             let obs_rem = d.phase(Phase::RemainderSeq).mul_count;

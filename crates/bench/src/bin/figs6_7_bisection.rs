@@ -19,7 +19,7 @@ use rr_bench::{digits_to_bits, maybe_write_json, Args};
 use rr_core::tree::Tree;
 use rr_core::{RootApproximator, SolverConfig};
 use rr_model::{interval_model, sizes};
-use rr_mp::metrics::{self, Phase};
+use rr_mp::metrics::Phase;
 use rr_bench::impl_to_json;
 use rr_workload::{charpoly_input, paper_degrees};
 
@@ -51,11 +51,10 @@ fn main() {
     for n in paper_degrees().into_iter().filter(|&n| n <= max_n) {
         let p = charpoly_input(n, 0);
         let m = p.coeff_bits();
-        let before = metrics::snapshot();
         let r = RootApproximator::new(SolverConfig::sequential(mu))
             .approximate_roots(&p)
             .expect("real-rooted workload");
-        let d = metrics::snapshot() - before;
+        let d = r.stats.cost;
         let observed_count = d.phase(Phase::Bisection).mul_count;
         let observed_bits = d.phase(Phase::Bisection).mul_bits;
 

@@ -62,6 +62,7 @@ pub mod par_solver;
 pub mod refine;
 pub mod rem_stage;
 pub mod seq_solver;
+pub mod session;
 pub mod solver;
 pub mod static_solver;
 pub mod tree;
@@ -69,6 +70,7 @@ pub mod treepoly;
 
 pub use dyadic::Dyadic;
 pub use rr_mp::MulBackend;
+pub use session::{solve_batch, solve_batch_on, Runtime, Session};
 pub use solver::{
     ExecMode, Grain, RefineStrategy, RootApproximator, RootsResult, SolveError, SolveStats,
     SolverConfig,

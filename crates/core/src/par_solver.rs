@@ -29,8 +29,8 @@ use rr_mp::metrics::{with_phase, Phase};
 use rr_mp::Int;
 use rr_poly::remainder::RemainderSeq;
 use rr_poly::Poly;
-use rr_sched::{Gate, PoolStats, Scope, TaskTrace};
-use std::sync::OnceLock;
+use rr_sched::{Gate, Pool, PoolStats, Scope, ScopeConfig, TaskTrace, TaskWrapper};
+use std::sync::{Arc, OnceLock};
 
 /// Task granularity of the tree stage's matrix products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,7 +118,8 @@ pub fn solve_parallel(
 }
 
 /// [`solve_parallel`] plus the recorded task trace, for the trace-driven
-/// speedup simulation (`rr_sched::sim`).
+/// speedup simulation (`rr_sched::sim`). One-shot entry point on a
+/// dedicated pool; the solver routes through [`solve_parallel_on`].
 pub fn solve_parallel_traced(
     rs: &RemainderSeq,
     mu: u64,
@@ -126,6 +127,33 @@ pub fn solve_parallel_traced(
     strategy: RefineStrategy,
     grain: Grain,
     threads: usize,
+) -> Result<(Vec<Int>, PoolStats, TaskTrace), Inconsistency> {
+    let pool = Pool::new(threads.max(1));
+    solve_parallel_on(
+        &pool,
+        threads,
+        Arc::new(|task| task()),
+        rs,
+        mu,
+        bound_bits,
+        strategy,
+        grain,
+    )
+}
+
+/// Runs the tree stage in a scope of the given `pool`, capped at
+/// `threads` concurrent workers, with `wrapper` run around every task
+/// (installing the solve's session context on the executing worker).
+#[allow(clippy::too_many_arguments)] // internal plumbing mirror of solve_parallel_traced
+pub(crate) fn solve_parallel_on(
+    pool: &Pool,
+    threads: usize,
+    wrapper: TaskWrapper,
+    rs: &RemainderSeq,
+    mu: u64,
+    bound_bits: u64,
+    strategy: RefineStrategy,
+    grain: Grain,
 ) -> Result<(Vec<Int>, PoolStats, TaskTrace), Inconsistency> {
     let tree = Tree::build(rs.n);
     let nodes: Vec<NodeSt> = tree
@@ -179,8 +207,11 @@ pub fn solve_parallel_traced(
         error: Mutex::new(None),
     };
     let ctx_ref = &ctx;
-    let (stats, trace) =
-        rr_sched::run_traced(threads, move |s| recurse(ctx_ref, ctx_ref.root, s));
+    let (stats, trace) = pool.scope(
+        ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper) },
+        move |s| recurse(ctx_ref, ctx_ref.root, s),
+    );
+    let trace = trace.expect("tracing was enabled");
     if let Some(e) = ctx.error.lock().take() {
         return Err(e);
     }

@@ -20,8 +20,8 @@ use rr_poly::remainder::{
     next_f_coeff, quotient_coeffs, remainder_sequence, RemainderSeq, SeqError,
 };
 use rr_poly::Poly;
-use rr_sched::{Gate, Scope};
-use std::sync::OnceLock;
+use rr_sched::{Gate, Pool, Scope, ScopeConfig, TaskWrapper};
+use std::sync::{Arc, OnceLock};
 
 struct IterData {
     q0: Int,
@@ -57,16 +57,32 @@ pub fn parallel_remainder(p0: &Poly, threads: usize) -> Result<RemainderSeq, Seq
 }
 
 /// [`parallel_remainder`] plus the recorded task trace (empty when the
-/// sequential fallback ran).
+/// sequential fallback ran). One-shot entry point on a dedicated pool;
+/// the solver routes through [`parallel_remainder_on`] instead.
 pub fn parallel_remainder_traced(
     p0: &Poly,
     threads: usize,
+) -> Result<(RemainderSeq, rr_sched::TaskTrace), SeqError> {
+    let pool = Pool::new(threads.max(1));
+    parallel_remainder_on(&pool, threads, Arc::new(|task| task()), p0)
+}
+
+/// Computes the extended standard remainder sequence in a scope of the
+/// given `pool`, capped at `threads` concurrent workers, with `wrapper`
+/// run around every task (installing the solve's session context).
+pub(crate) fn parallel_remainder_on(
+    pool: &Pool,
+    threads: usize,
+    wrapper: TaskWrapper,
+    p0: &Poly,
 ) -> Result<(RemainderSeq, rr_sched::TaskTrace), SeqError> {
     let n = match p0.degree() {
         None | Some(0) => return Err(SeqError::DegreeTooSmall),
         Some(n) => n,
     };
     if n == 1 || threads == 1 {
+        // Sequential fallback on the calling thread (which already has
+        // the session context installed).
         return remainder_sequence(p0).map(|rs| (rs, rr_sched::TaskTrace::default()));
     }
     let stage = Stage {
@@ -84,13 +100,15 @@ pub fn parallel_remainder_traced(
         .set(with_phase(Phase::RemainderSeq, || p0.derivative())).expect("fresh");
 
     let stage_ref = &stage;
-    let (_stats, trace) =
-        rr_sched::run_traced(threads, move |s| start_iteration(stage_ref, 1, s));
+    let (_stats, trace) = pool.scope(
+        ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper) },
+        move |s| start_iteration(stage_ref, 1, s),
+    );
 
     if let Some(e) = stage.error.lock().take() {
         return Err(e);
     }
-    assemble(stage).map(|rs| (rs, trace))
+    assemble(stage).map(|rs| (rs, trace.expect("tracing was enabled")))
 }
 
 fn fail(stage: &Stage, e: SeqError) {

@@ -1,0 +1,301 @@
+//! Sessions and the shared runtime: concurrent solves without shared
+//! mutable state.
+//!
+//! The paper ran one solve at a time on a dedicated 20-processor
+//! machine. A production service runs many at once, which requires the
+//! three pieces of per-solve context that used to be process-global to
+//! be owned explicitly:
+//!
+//! * **Backend** — which multiplication kernel a solve uses, carried by
+//!   the solve's [`rr_mp::SolveCtx`] and inherited by every worker task
+//!   (no more swapping the process-wide atomic around each run).
+//! * **Metrics** — each solve records into its own private sink, so
+//!   per-phase counts (Figures 2–7) are exact even while other solves
+//!   run concurrently; `stats.cost` needs no snapshot subtraction.
+//! * **Workers** — a [`Runtime`] owns one persistent
+//!   [`rr_sched::Pool`]; each solve opens an independent scope on it
+//!   (own task ids, quiescence, trace, concurrency cap) instead of
+//!   spinning up and tearing down threads per solve.
+//!
+//! [`Session`] binds a [`SolverConfig`] to a runtime and solves any
+//! number of polynomials, sequentially or from concurrent threads;
+//! [`solve_batch`] fans a whole workload out over the shared pool and
+//! returns per-solve results in input order.
+//!
+//! ```
+//! use rr_core::{solve_batch, Session, SolverConfig};
+//! use rr_mp::Int;
+//! use rr_poly::Poly;
+//!
+//! let p = Poly::from_roots(&[Int::from(1), Int::from(2), Int::from(3)]);
+//! let session = Session::new(SolverConfig::sequential(8));
+//! let r = session.solve(&p).unwrap();
+//! assert_eq!(r.roots.iter().map(|d| d.to_f64()).collect::<Vec<_>>(),
+//!            vec![1.0, 2.0, 3.0]);
+//!
+//! // A batch: independent solves, deterministic per-solve results.
+//! let batch = solve_batch(&[p.clone(), p], SolverConfig::sequential(8));
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch[0].as_ref().unwrap().roots, batch[1].as_ref().unwrap().roots);
+//! ```
+
+use crate::solver::{solve_with, RootsResult, SolveError, SolverConfig};
+use parking_lot::Mutex;
+use rr_mp::metrics::CostSnapshot;
+use rr_mp::SolveCtx;
+use rr_poly::Poly;
+use rr_sched::Pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A shared solve runtime: one persistent worker pool that any number of
+/// concurrent sessions open scopes on. Cloning is cheap and shares the
+/// pool.
+#[derive(Clone)]
+pub struct Runtime {
+    pool: Arc<Pool>,
+}
+
+impl Runtime {
+    /// A runtime with its own pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Runtime {
+        Runtime {
+            pool: Arc::new(Pool::new(threads)),
+        }
+    }
+
+    /// The process-wide default runtime, created on first use with
+    /// `RR_POOL_THREADS` workers (default: the host's available
+    /// parallelism). Solves through the convenience APIs
+    /// ([`Session::new`], [`solve_batch`], the legacy
+    /// [`crate::RootApproximator`]) share this pool.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("RR_POOL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(4, |n| n.get())
+                });
+            Runtime::new(threads)
+        })
+    }
+
+    /// The underlying worker pool.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Current number of pool workers (scopes with a larger cap grow it).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+/// A solve session: a [`SolverConfig`] bound to a [`Runtime`].
+///
+/// Each [`Session::solve`] call runs under a fresh [`rr_mp::SolveCtx`]
+/// — its own backend selection and metrics sink — on a fresh pool scope,
+/// so sessions (and concurrent calls on one session) never share mutable
+/// state. The session also accumulates the total cost of its solves.
+pub struct Session {
+    config: SolverConfig,
+    runtime: Runtime,
+    cumulative: Mutex<CostSnapshot>,
+}
+
+impl Session {
+    /// A session on the [global runtime](Runtime::global).
+    pub fn new(config: SolverConfig) -> Session {
+        Session::with_runtime(config, Runtime::global())
+    }
+
+    /// A session on a specific runtime.
+    pub fn with_runtime(config: SolverConfig, runtime: &Runtime) -> Session {
+        Session {
+            config,
+            runtime: runtime.clone(),
+            cumulative: Mutex::new(CostSnapshot::default()),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// The runtime this session solves on.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Approximates all distinct roots of `p` (all roots must be real)
+    /// under this session's configuration. See
+    /// [`crate::RootApproximator::approximate_roots`] for the algorithm.
+    ///
+    /// Safe to call from multiple threads at once: each call owns its
+    /// context, pool scope, and `stats.cost`.
+    pub fn solve(&self, p: &Poly) -> Result<RootsResult, SolveError> {
+        let ctx = SolveCtx::new(self.config.backend);
+        let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p));
+        if let Ok(r) = &result {
+            *self.cumulative.lock() += r.stats.cost;
+        }
+        result
+    }
+
+    /// Total cost of every successful [`solve`](Session::solve) so far.
+    pub fn cumulative_cost(&self) -> CostSnapshot {
+        *self.cumulative.lock()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+/// Solves every input concurrently over the [global
+/// runtime](Runtime::global)'s pool, returning per-solve results in
+/// input order.
+pub fn solve_batch(inputs: &[Poly], config: SolverConfig) -> Vec<Result<RootsResult, SolveError>> {
+    solve_batch_on(Runtime::global(), inputs, config)
+}
+
+/// [`solve_batch`] on a specific runtime.
+///
+/// Each input is an independent solve with its own context, metrics, and
+/// pool scope; driver threads (bounded by the pool size) pull inputs
+/// from a shared cursor. Results are deterministic per input — batching
+/// changes scheduling, never roots, `n_star`, or per-solve counts.
+pub fn solve_batch_on(
+    runtime: &Runtime,
+    inputs: &[Poly],
+    config: SolverConfig,
+) -> Vec<Result<RootsResult, SolveError>> {
+    let session = Session::with_runtime(config, runtime);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RootsResult, SolveError>>>> =
+        inputs.iter().map(|_| Mutex::new(None)).collect();
+    let drivers = inputs.len().min(runtime.workers().max(1));
+    std::thread::scope(|ts| {
+        for _ in 0..drivers {
+            ts.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(p) = inputs.get(i) else { return };
+                *slots[i].lock() = Some(session.solve(p));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every input solved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_mp::metrics::Phase;
+    use rr_mp::{Int, MulBackend};
+
+    fn wilkinson(n: i64) -> Poly {
+        Poly::from_roots(&(1..=n).map(Int::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn session_solve_matches_legacy_api() {
+        let p = wilkinson(10);
+        let cfg = SolverConfig::sequential(8);
+        let legacy = crate::RootApproximator::new(cfg).approximate_roots(&p).unwrap();
+        let session = Session::new(cfg).solve(&p).unwrap();
+        assert_eq!(legacy.roots, session.roots);
+        assert_eq!(legacy.n_star, session.n_star);
+    }
+
+    #[test]
+    fn per_solve_cost_is_exact_not_cumulative() {
+        let session = Session::new(SolverConfig::sequential(6));
+        let r1 = session.solve(&wilkinson(8)).unwrap();
+        let r2 = session.solve(&wilkinson(8)).unwrap();
+        // Fresh context per solve: identical solves report identical
+        // per-solve cost, and the session accumulates both.
+        assert_eq!(r1.stats.cost, r2.stats.cost);
+        assert!(r1.stats.muls(Phase::RemainderSeq) > 0);
+        assert_eq!(
+            session.cumulative_cost().total().mul_count,
+            2 * r1.stats.cost.total().mul_count
+        );
+    }
+
+    #[test]
+    fn session_solves_leave_global_metrics_untouched() {
+        let before = rr_mp::metrics::snapshot();
+        let session = Session::new(SolverConfig::parallel(6, 2));
+        session.solve(&wilkinson(9)).unwrap();
+        let d = rr_mp::metrics::snapshot() - before;
+        assert_eq!(d.phase(Phase::RemainderSeq).mul_count, 0);
+        assert_eq!(d.phase(Phase::TreePoly).mul_count, 0);
+    }
+
+    #[test]
+    fn batch_matches_isolated_solves() {
+        let inputs: Vec<Poly> = (6..=10).map(wilkinson).collect();
+        let cfg = SolverConfig::parallel(6, 2);
+        let batch = solve_batch(&inputs, cfg);
+        for (p, got) in inputs.iter().zip(&batch) {
+            let got = got.as_ref().unwrap();
+            let alone = Session::new(cfg).solve(p).unwrap();
+            assert_eq!(got.roots, alone.roots);
+            assert_eq!(got.n_star, alone.n_star);
+            assert_eq!(got.stats.cost, alone.stats.cost);
+        }
+    }
+
+    #[test]
+    fn batch_propagates_per_input_errors() {
+        let good = wilkinson(5);
+        let bad = Poly::from_i64(&[1, 0, 1]); // complex roots
+        let results = solve_batch(&[good, bad], SolverConfig::sequential(4));
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SolveError::Seq(_))));
+    }
+
+    #[test]
+    fn sessions_with_different_backends_coexist() {
+        let p = wilkinson(9);
+        let school = Session::new(SolverConfig::sequential(6));
+        let fast =
+            Session::new(SolverConfig::sequential(6).with_backend(MulBackend::Fast));
+        let a = school.solve(&p).unwrap();
+        let b = fast.solve(&p).unwrap();
+        assert_eq!(a.roots, b.roots);
+        assert_eq!(a.stats.cost, b.stats.cost); // metrics backend-invariant
+    }
+
+    #[test]
+    fn private_runtime_is_isolated() {
+        let rt = Runtime::new(2);
+        let session = Session::with_runtime(SolverConfig::parallel(6, 2), &rt);
+        let r = session.solve(&wilkinson(10)).unwrap();
+        assert_eq!(r.stats.pool.as_ref().unwrap().workers, 2);
+        assert!(rt.workers() >= 2);
+    }
+}

@@ -6,12 +6,13 @@ use crate::interval::Inconsistency;
 pub use crate::par_solver::Grain;
 pub use crate::refine::RefineStrategy;
 use rr_mp::metrics::{self, CostSnapshot, Phase};
-use rr_mp::MulBackend;
+use rr_mp::{MulBackend, SolveCtx};
 use rr_poly::bounds::root_bound_bits;
 use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
 use rr_poly::Poly;
-use rr_sched::{PoolStats, TaskTrace};
+use rr_sched::{Pool, PoolStats, TaskTrace, TaskWrapper};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the solver executes.
@@ -46,10 +47,10 @@ pub struct SolverConfig {
     /// Task granularity of the tree stage's matrix products (dynamic
     /// mode only).
     pub grain: Grain,
-    /// Magnitude multiplication kernel for the whole solve
-    /// (process-wide; `Schoolbook` is the paper-faithful default, `Fast`
-    /// enables Karatsuba — identical roots and metrics, different
-    /// wall-clock).
+    /// Magnitude multiplication kernel for this solve, carried by the
+    /// solve's session context and inherited by its worker tasks
+    /// (`Schoolbook` is the paper-faithful default, `Fast` enables
+    /// Karatsuba — identical roots and metrics, different wall-clock).
     pub backend: MulBackend,
 }
 
@@ -131,8 +132,9 @@ pub struct SolveStats {
     pub remainder_wall: Duration,
     /// Wall-clock time of the tree + interval stage.
     pub tree_wall: Duration,
-    /// Per-phase multiprecision operation counts for this solve (the
-    /// difference of global snapshots around the run).
+    /// Per-phase multiprecision operation counts for this solve, read
+    /// from the solve's private session sink — exact even while other
+    /// solves run concurrently in the process.
     pub cost: CostSnapshot,
     /// Pool statistics (dynamic mode only).
     pub pool: Option<PoolStats>,
@@ -212,98 +214,123 @@ impl RootApproximator {
     /// sequence already produced is the equivalent fix, and is documented
     /// as such in DESIGN.md.)
     pub fn approximate_roots(&self, p: &Poly) -> Result<RootsResult, SolveError> {
-        let cfg = &self.config;
-        // The kernel selection is process-wide: worker threads spawned by
-        // the parallel stages pick it up without any plumbing. Restored
-        // on return so interleaved solvers with different configs behave.
-        let prev_backend = rr_mp::set_mul_backend(cfg.backend);
-        let result = self.approximate_roots_inner(p);
-        rr_mp::set_mul_backend(prev_backend);
-        result
+        // Legacy single-solve entry point: one throwaway session on the
+        // shared global runtime. The config's backend travels with the
+        // session context instead of a process-wide swap, so interleaved
+        // solvers with different configs no longer corrupt each other.
+        crate::session::Session::new(self.config).solve(p)
     }
+}
 
-    fn approximate_roots_inner(&self, p: &Poly) -> Result<RootsResult, SolveError> {
-        let cfg = &self.config;
-        let cost0 = metrics::snapshot();
-        let t0 = Instant::now();
+/// A per-task hook installing `ctx` on the executing worker, so pool
+/// tasks inherit the solve's backend and record into its sink.
+fn ctx_wrapper(ctx: &SolveCtx) -> TaskWrapper {
+    let ctx = ctx.clone();
+    Arc::new(move |task| ctx.run(task))
+}
 
-        // Stage 1: remainder/quotient sequences (+ squarefree reduction
-        // when the input had repeated roots).
-        let mut traces = Vec::new();
-        let rs0 = self.remainder_stage(p, &mut traces)?;
-        let (n, n_star) = (rs0.n, rs0.n_star);
-        let (rs, work_poly) = if rs0.squarefree() {
-            (rs0, p.clone())
-        } else {
-            let p_star = metrics::with_phase(Phase::RemainderSeq, || rs0.squarefree_input());
-            let rs_star = self.remainder_stage(&p_star, &mut traces)?;
-            debug_assert!(rs_star.squarefree());
-            (rs_star, p_star)
-        };
-        let remainder_wall = t0.elapsed();
+/// One full solve under an installed session context, on `pool`.
+///
+/// The caller ([`crate::Session::solve`]) installs `ctx` on this thread
+/// for the sequential parts; the parallel stages open scopes on `pool`
+/// whose tasks re-install it via [`ctx_wrapper`].
+pub(crate) fn solve_with(
+    cfg: &SolverConfig,
+    ctx: &SolveCtx,
+    pool: &Arc<Pool>,
+    p: &Poly,
+) -> Result<RootsResult, SolveError> {
+    let cost0 = ctx.snapshot();
+    let t0 = Instant::now();
 
-        // Stage 2+3: tree polynomials and interval problems.
-        let bound_bits = root_bound_bits(&work_poly);
-        let t1 = Instant::now();
-        let (scaled, pool) = self.tree_stage(&rs, bound_bits, &mut traces)?;
-        let tree_wall = t1.elapsed();
+    // Stage 1: remainder/quotient sequences (+ squarefree reduction
+    // when the input had repeated roots).
+    let mut traces = Vec::new();
+    let rs0 = remainder_stage(cfg, ctx, pool, p, &mut traces)?;
+    let (n, n_star) = (rs0.n, rs0.n_star);
+    let (rs, work_poly) = if rs0.squarefree() {
+        (rs0, p.clone())
+    } else {
+        let p_star = metrics::with_phase(Phase::RemainderSeq, || rs0.squarefree_input());
+        let rs_star = remainder_stage(cfg, ctx, pool, &p_star, &mut traces)?;
+        debug_assert!(rs_star.squarefree());
+        (rs_star, p_star)
+    };
+    let remainder_wall = t0.elapsed();
 
-        let stats = SolveStats {
-            wall: t0.elapsed(),
-            remainder_wall,
-            tree_wall,
-            cost: metrics::snapshot() - cost0,
-            pool,
-            traces,
-            bound_bits,
-        };
-        Ok(RootsResult {
-            roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
-            n,
-            n_star,
-            stats,
-        })
-    }
+    // Stage 2+3: tree polynomials and interval problems.
+    let bound_bits = root_bound_bits(&work_poly);
+    let t1 = Instant::now();
+    let (scaled, pool_stats) = tree_stage(cfg, ctx, pool, &rs, bound_bits, &mut traces)?;
+    let tree_wall = t1.elapsed();
 
-    fn remainder_stage(
-        &self,
-        p: &Poly,
-        traces: &mut Vec<TaskTrace>,
-    ) -> Result<RemainderSeq, SeqError> {
-        match self.config.mode {
-            ExecMode::Dynamic { threads } if !self.config.seq_remainder => {
-                let (rs, trace) = crate::rem_stage::parallel_remainder_traced(p, threads)?;
-                traces.push(trace);
-                Ok(rs)
-            }
-            _ => metrics::with_phase(Phase::RemainderSeq, || remainder_sequence(p)),
+    let stats = SolveStats {
+        wall: t0.elapsed(),
+        remainder_wall,
+        tree_wall,
+        cost: ctx.snapshot() - cost0,
+        pool: pool_stats,
+        traces,
+        bound_bits,
+    };
+    Ok(RootsResult {
+        roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
+        n,
+        n_star,
+        stats,
+    })
+}
+
+fn remainder_stage(
+    cfg: &SolverConfig,
+    ctx: &SolveCtx,
+    pool: &Arc<Pool>,
+    p: &Poly,
+    traces: &mut Vec<TaskTrace>,
+) -> Result<RemainderSeq, SeqError> {
+    match cfg.mode {
+        ExecMode::Dynamic { threads } if !cfg.seq_remainder => {
+            let (rs, trace) =
+                crate::rem_stage::parallel_remainder_on(pool, threads, ctx_wrapper(ctx), p)?;
+            traces.push(trace);
+            Ok(rs)
         }
+        _ => metrics::with_phase(Phase::RemainderSeq, || remainder_sequence(p)),
     }
+}
 
-    fn tree_stage(
-        &self,
-        rs: &RemainderSeq,
-        bound_bits: u64,
-        traces: &mut Vec<TaskTrace>,
-    ) -> Result<(Vec<rr_mp::Int>, Option<PoolStats>), SolveError> {
-        let cfg = &self.config;
-        match cfg.mode {
-            ExecMode::Sequential => {
-                let roots = crate::seq_solver::solve_sequential(rs, cfg.mu, bound_bits, cfg.refine)?;
-                Ok((roots, None))
-            }
-            ExecMode::Dynamic { threads } => {
-                let (roots, stats, trace) = crate::par_solver::solve_parallel_traced(
-                    rs, cfg.mu, bound_bits, cfg.refine, cfg.grain, threads,
-                )?;
-                traces.push(trace);
-                Ok((roots, Some(stats)))
-            }
-            ExecMode::Static { threads } => {
-                let (roots, _stats) =
-                    crate::static_solver::solve_static(rs, cfg.mu, bound_bits, cfg.refine, threads)?;
-                Ok((roots, None))
-            }
+fn tree_stage(
+    cfg: &SolverConfig,
+    ctx: &SolveCtx,
+    pool: &Arc<Pool>,
+    rs: &RemainderSeq,
+    bound_bits: u64,
+    traces: &mut Vec<TaskTrace>,
+) -> Result<(Vec<rr_mp::Int>, Option<PoolStats>), SolveError> {
+    match cfg.mode {
+        ExecMode::Sequential => {
+            let roots = crate::seq_solver::solve_sequential(rs, cfg.mu, bound_bits, cfg.refine)?;
+            Ok((roots, None))
+        }
+        ExecMode::Dynamic { threads } => {
+            let (roots, stats, trace) = crate::par_solver::solve_parallel_on(
+                pool,
+                threads,
+                ctx_wrapper(ctx),
+                rs,
+                cfg.mu,
+                bound_bits,
+                cfg.refine,
+                cfg.grain,
+            )?;
+            traces.push(trace);
+            Ok((roots, Some(stats)))
+        }
+        ExecMode::Static { threads } => {
+            let (roots, _stats) = crate::static_solver::solve_static_with_ctx(
+                rs, cfg.mu, bound_bits, cfg.refine, threads, Some(ctx),
+            )?;
+            Ok((roots, None))
         }
     }
 }

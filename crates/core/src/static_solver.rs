@@ -34,6 +34,20 @@ pub fn solve_static(
     strategy: RefineStrategy,
     threads: usize,
 ) -> Result<(Vec<Int>, StaticStats), Inconsistency> {
+    solve_static_with_ctx(rs, mu, bound_bits, strategy, threads, None)
+}
+
+/// [`solve_static`] with an optional session context installed around
+/// every task (the static scheduler spawns its own round threads, which
+/// would otherwise fall back to the process-global backend and sink).
+pub fn solve_static_with_ctx(
+    rs: &RemainderSeq,
+    mu: u64,
+    bound_bits: u64,
+    strategy: RefineStrategy,
+    threads: usize,
+    ctx: Option<&rr_mp::SolveCtx>,
+) -> Result<(Vec<Int>, StaticStats), Inconsistency> {
     let tree = Tree::build(rs.n);
     let slots: Vec<NodeSlot> = (0..tree.nodes.len())
         .map(|_| NodeSlot { tmat: Mutex::new(None), roots: Mutex::new(None) })
@@ -56,14 +70,22 @@ pub fn solve_static(
                 .map(|&idx| -> StaticTask<'_> {
                     let (tree, rs, slots, error) = (&tree, rs, &slots, &error);
                     Box::new(move || {
-                        if error.lock().is_some() {
-                            return;
-                        }
-                        if let Err(e) = node_task(tree, rs, slots, idx, mu, bound_bits, strategy) {
-                            let mut g = error.lock();
-                            if g.is_none() {
-                                *g = Some(e);
+                        let body = || {
+                            if error.lock().is_some() {
+                                return;
                             }
+                            if let Err(e) =
+                                node_task(tree, rs, slots, idx, mu, bound_bits, strategy)
+                            {
+                                let mut g = error.lock();
+                                if g.is_none() {
+                                    *g = Some(e);
+                                }
+                            }
+                        };
+                        match ctx {
+                            Some(c) => c.run(body),
+                            None => body(),
                         }
                     })
                 })

@@ -153,12 +153,11 @@ mod tests {
         for n in [3usize, 5, 8, 12, 17] {
             let roots: Vec<Int> = (0..n as i64).map(|r| Int::from(5 * r - 7)).collect();
             let p = Poly::from_roots(&roots);
-            let before = metrics::snapshot();
-            let _ = RootApproximator::new(SolverConfig::sequential(8))
+            let r = RootApproximator::new(SolverConfig::sequential(8))
                 .approximate_roots(&p)
                 .unwrap();
-            let d = metrics::snapshot() - before;
-            let observed = d.phase(Phase::TreePoly).mul_count;
+            // the solve owns its metrics: stats.cost is the exact count
+            let observed = r.stats.cost.phase(Phase::TreePoly).mul_count;
             let predicted = tree_mults(n);
             assert!(observed <= predicted, "n={n}: {observed} > {predicted}");
             assert!(

@@ -1,4 +1,13 @@
-//! Process-wide selection of the magnitude multiplication kernel.
+//! Process-wide selection of the magnitude multiplication kernel — the
+//! **compatibility layer** behind the session API.
+//!
+//! **Deprecated in favor of [`crate::SolveCtx`]:** process-global
+//! selection is inherently racy under concurrent solves (two solves
+//! swapping the atomic corrupt each other's choice). New code should
+//! carry the backend in a [`crate::SolveCtx`], which kernel dispatch
+//! consults *first*; this module remains the fallback for threads with
+//! no context installed, so single-solve CLI use (`RR_MUL_BACKEND=fast
+//! cargo run --release --bin ...`) keeps working unchanged.
 //!
 //! Two kernels compute exactly the same products (the differential suite
 //! in `tests/kernel_diff.rs` holds them bit-for-bit equal):
@@ -21,8 +30,9 @@
 //! The selection is a process-wide atomic, initialized lazily from the
 //! `RR_MUL_BACKEND` environment variable (`schoolbook` or `fast`;
 //! unset/unknown means schoolbook) and overridable at runtime with
-//! [`set_mul_backend`] — e.g. by the solver when a config requests a
-//! specific backend.
+//! [`set_mul_backend`]. It applies only when no [`crate::SolveCtx`] is
+//! installed on the current thread — an installed context's backend
+//! always wins.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -57,6 +67,11 @@ pub fn mul_backend() -> MulBackend {
 
 /// Selects the backend for the whole process, returning the previous
 /// selection.
+///
+/// **Deprecated:** prefer carrying the backend in a [`crate::SolveCtx`]
+/// — a process-wide swap is racy under concurrent solves. Kept for
+/// single-solve CLI use; it has no effect on threads that have a
+/// context installed.
 pub fn set_mul_backend(backend: MulBackend) -> MulBackend {
     let raw = match backend {
         MulBackend::Schoolbook => SCHOOLBOOK,

@@ -26,6 +26,17 @@
 //! differential suite in `tests/kernel_diff.rs`; only wall-clock
 //! *seconds* (Table 2, Figure 8) depend on the choice.
 //!
+//! ## Sessions
+//!
+//! Backend selection and metrics attribution are carried per solve by a
+//! [`SolveCtx`] (see the [`session`] module): while a context is
+//! installed on a thread, its backend drives kernel dispatch and its
+//! private sink receives every recorded event, so concurrent solves
+//! with different backends neither corrupt each other's selection nor
+//! cross-attribute counts. The process-global [`backend`] atomic and the
+//! [`metrics::snapshot`] default sink remain as the compatibility layer
+//! for code running outside any session.
+//!
 //! ## Example
 //!
 //! ```
@@ -47,9 +58,12 @@ pub mod gcd;
 pub mod limb;
 pub mod metrics;
 pub mod nat;
+pub mod session;
 
 mod fmt;
 mod int;
 
 pub use backend::{mul_backend, set_mul_backend, MulBackend};
 pub use int::{Int, Sign};
+pub use metrics::MetricsSink;
+pub use session::{CtxGuard, SolveCtx};

@@ -10,9 +10,26 @@
 //! the thread's *current phase*, set with [`set_phase`] or scoped with
 //! [`with_phase`]. Counters are per-thread (each thread owns its cache
 //! line; only the owner writes), so instrumentation stays off the
-//! contention path of the parallel solver. [`snapshot`] aggregates across
-//! all threads that ever recorded an event; experiments measure a region
-//! by subtracting the snapshots taken around it.
+//! contention path of the parallel solver.
+//!
+//! ## Sinks: session-scoped and process-global accounting
+//!
+//! Counters live in a [`MetricsSink`]: a registry of per-thread counter
+//! blocks that can be aggregated at any time with
+//! [`MetricsSink::snapshot`]. There are two kinds of sink:
+//!
+//! * **Session sinks** — each [`crate::SolveCtx`] owns a private sink.
+//!   While a context is installed on a thread (see
+//!   [`crate::SolveCtx::install`]), every event that thread records goes
+//!   to the session's sink and *only* there. Concurrent solves therefore
+//!   never cross-attribute each other's events, which is what the
+//!   per-solve figures (2–7) depend on.
+//! * **The process-global default sink** — the compatibility layer.
+//!   Arithmetic performed with no context installed (library use outside
+//!   a solve, the `rr-baseline` comparator, tests exercising `Int`
+//!   directly) records here, and the free function [`snapshot`]
+//!   aggregates it, so the historical measure-by-subtraction idiom keeps
+//!   working for non-session code.
 //!
 //! ```
 //! use rr_mp::{metrics, Int};
@@ -25,6 +42,22 @@
 //! assert_eq!(p, Int::from(123456789u64 * 987654321u64));
 //! assert_eq!(cost.phase(metrics::Phase::Newton).mul_count, 1);
 //! assert_eq!(cost.phase(metrics::Phase::Bisection).mul_count, 0);
+//! ```
+//!
+//! Session-scoped accounting needs no subtraction — the sink starts
+//! empty and [`crate::SolveCtx::snapshot`] is the exact cost of the
+//! session:
+//!
+//! ```
+//! use rr_mp::{metrics::Phase, Int, MulBackend, SolveCtx};
+//!
+//! let ctx = SolveCtx::new(MulBackend::Schoolbook);
+//! ctx.run(|| {
+//!     rr_mp::metrics::with_phase(Phase::Sieve, || {
+//!         let _ = Int::from(11u64) * Int::from(13u64);
+//!     })
+//! });
+//! assert_eq!(ctx.snapshot().phase(Phase::Sieve).mul_count, 1);
 //! ```
 
 use parking_lot::Mutex;
@@ -98,25 +131,114 @@ impl Phase {
 }
 
 #[derive(Default)]
-struct ThreadCounters {
+pub(crate) struct ThreadCounters {
     mul_count: [AtomicU64; NUM_PHASES],
     mul_bits: [AtomicU64; NUM_PHASES],
     div_count: [AtomicU64; NUM_PHASES],
     div_bits: [AtomicU64; NUM_PHASES],
 }
 
-fn registry() -> &'static Mutex<Vec<Arc<ThreadCounters>>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadCounters>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+impl ThreadCounters {
+    #[inline]
+    pub(crate) fn record_mul(&self, phase: usize, a_bits: u64, b_bits: u64) {
+        self.mul_count[phase].fetch_add(1, Ordering::Relaxed);
+        self.mul_bits[phase].fetch_add(a_bits.saturating_mul(b_bits), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_div(&self, phase: usize, q_bits: u64, b_bits: u64) {
+        self.div_count[phase].fetch_add(1, Ordering::Relaxed);
+        self.div_bits[phase].fetch_add(q_bits.saturating_mul(b_bits), Ordering::Relaxed);
+    }
+}
+
+/// A registry of per-thread event counters that can be aggregated at any
+/// time. The recording path is contention-free: each thread that records
+/// into a sink owns its own counter block (only the owner writes; the
+/// aggregator only reads), and blocks outlive their threads so snapshot
+/// subtraction stays exact across thread churn.
+///
+/// Cloning a sink is cheap and yields a handle to the same registry.
+#[derive(Clone)]
+pub struct MetricsSink {
+    inner: Arc<SinkInner>,
+}
+
+struct SinkInner {
+    id: u64,
+    threads: Mutex<Vec<Arc<ThreadCounters>>>,
+}
+
+impl Default for MetricsSink {
+    fn default() -> MetricsSink {
+        MetricsSink::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSink").field("id", &self.inner.id).finish()
+    }
+}
+
+impl MetricsSink {
+    /// A fresh, empty sink.
+    pub fn new() -> MetricsSink {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        MetricsSink {
+            inner: Arc::new(SinkInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Process-unique identity of this sink's registry (stable across
+    /// clones of the same sink).
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Registers a new per-thread counter block with this sink. The
+    /// caller (the session machinery) caches the block per thread so the
+    /// recording path never takes this lock.
+    pub(crate) fn register_thread(&self) -> Arc<ThreadCounters> {
+        let c = Arc::new(ThreadCounters::default());
+        self.inner.threads.lock().push(Arc::clone(&c));
+        c
+    }
+
+    /// Aggregates the counters of every thread that has recorded into
+    /// this sink. Monotone: the cost of a region is the difference of the
+    /// snapshots taken after and before it.
+    pub fn snapshot(&self) -> CostSnapshot {
+        let mut out = CostSnapshot::default();
+        for c in self.inner.threads.lock().iter() {
+            for i in 0..NUM_PHASES {
+                out.phases[i] += PhaseCost {
+                    mul_count: c.mul_count[i].load(Ordering::Relaxed),
+                    mul_bits: c.mul_bits[i].load(Ordering::Relaxed),
+                    div_count: c.div_count[i].load(Ordering::Relaxed),
+                    div_bits: c.div_bits[i].load(Ordering::Relaxed),
+                };
+            }
+        }
+        out
+    }
+}
+
+/// The process-global default sink — the compatibility layer that
+/// receives every event recorded with no [`crate::SolveCtx`] installed.
+pub(crate) fn default_sink() -> &'static MetricsSink {
+    static DEFAULT: OnceLock<MetricsSink> = OnceLock::new();
+    DEFAULT.get_or_init(MetricsSink::new)
 }
 
 thread_local! {
     static CURRENT_PHASE: Cell<usize> = const { Cell::new(Phase::Other as usize) };
-    static LOCAL: Arc<ThreadCounters> = {
-        let c = Arc::new(ThreadCounters::default());
-        registry().lock().push(Arc::clone(&c));
-        c
-    };
+    /// This thread's counter block in the default sink (the no-session
+    /// fast path, resolved once per thread).
+    static LOCAL: Arc<ThreadCounters> = default_sink().register_thread();
 }
 
 /// Sets the calling thread's current phase, returning the previous one.
@@ -147,13 +269,17 @@ pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
 
 /// Records one multiplication of operands with the given bit lengths.
 /// Called from `Int`'s arithmetic; not usually called directly.
+///
+/// The event goes to the installed session sink if the thread is inside
+/// a [`crate::SolveCtx`] scope, and to the process-global default sink
+/// otherwise.
 #[inline]
 pub fn record_mul(a_bits: u64, b_bits: u64) {
     let phase = CURRENT_PHASE.with(Cell::get);
-    LOCAL.with(|c| {
-        c.mul_count[phase].fetch_add(1, Ordering::Relaxed);
-        c.mul_bits[phase].fetch_add(a_bits.saturating_mul(b_bits), Ordering::Relaxed);
-    });
+    if crate::session::record_session_mul(phase, a_bits, b_bits) {
+        return;
+    }
+    LOCAL.with(|c| c.record_mul(phase, a_bits, b_bits));
 }
 
 /// Records one division; the bit cost model is `(‖a‖ − ‖b‖ + 1)·‖b‖`
@@ -162,10 +288,10 @@ pub fn record_mul(a_bits: u64, b_bits: u64) {
 pub fn record_div(a_bits: u64, b_bits: u64) {
     let phase = CURRENT_PHASE.with(Cell::get);
     let q_bits = a_bits.saturating_sub(b_bits) + 1;
-    LOCAL.with(|c| {
-        c.div_count[phase].fetch_add(1, Ordering::Relaxed);
-        c.div_bits[phase].fetch_add(q_bits.saturating_mul(b_bits), Ordering::Relaxed);
-    });
+    if crate::session::record_session_div(phase, q_bits, b_bits) {
+        return;
+    }
+    LOCAL.with(|c| c.record_div(phase, q_bits, b_bits));
 }
 
 /// Cost totals for one phase.
@@ -211,7 +337,7 @@ impl AddAssign for PhaseCost {
     }
 }
 
-/// A point-in-time aggregation of all threads' counters.
+/// A point-in-time aggregation of one sink's counters.
 ///
 /// Snapshots are monotone, so the cost of a region of code is the
 /// difference of the snapshots taken after and before it.
@@ -250,20 +376,30 @@ impl Sub for CostSnapshot {
     }
 }
 
-/// Aggregates the counters of every thread that has recorded an event.
-pub fn snapshot() -> CostSnapshot {
-    let mut out = CostSnapshot::default();
-    for c in registry().lock().iter() {
+impl Add for CostSnapshot {
+    type Output = CostSnapshot;
+    fn add(self, rhs: CostSnapshot) -> CostSnapshot {
+        let mut out = CostSnapshot::default();
         for i in 0..NUM_PHASES {
-            out.phases[i] += PhaseCost {
-                mul_count: c.mul_count[i].load(Ordering::Relaxed),
-                mul_bits: c.mul_bits[i].load(Ordering::Relaxed),
-                div_count: c.div_count[i].load(Ordering::Relaxed),
-                div_bits: c.div_bits[i].load(Ordering::Relaxed),
-            };
+            out.phases[i] = self.phases[i] + rhs.phases[i];
         }
+        out
     }
-    out
+}
+
+impl AddAssign for CostSnapshot {
+    fn add_assign(&mut self, rhs: CostSnapshot) {
+        *self = *self + rhs;
+    }
+}
+
+/// Aggregates the process-global default sink: every event recorded by
+/// any thread that was *not* inside a [`crate::SolveCtx`] scope.
+///
+/// Session-scoped events are invisible here by design — read them from
+/// the owning [`crate::SolveCtx`] instead.
+pub fn snapshot() -> CostSnapshot {
+    default_sink().snapshot()
 }
 
 #[cfg(test)]
@@ -354,5 +490,27 @@ mod tests {
         });
         let d = snapshot() - before;
         assert_eq!(d.total().mul_count, 2);
+    }
+
+    #[test]
+    fn fresh_sink_is_isolated_from_global() {
+        let sink = MetricsSink::new();
+        let before_global = snapshot();
+        with_phase(Phase::Sort, || {
+            let _ = Int::from(3u64) * Int::from(5u64);
+        });
+        // The raw (no-session) event went to the global sink only.
+        assert_eq!(sink.snapshot().total().mul_count, 0);
+        assert_eq!((snapshot() - before_global).phase(Phase::Sort).mul_count, 1);
+    }
+
+    #[test]
+    fn cost_snapshot_add_is_inverse_of_sub() {
+        let before = snapshot();
+        with_phase(Phase::Newton, || {
+            let _ = Int::from(17u64) * Int::from(19u64);
+        });
+        let after = snapshot();
+        assert_eq!(before + (after - before), after);
     }
 }

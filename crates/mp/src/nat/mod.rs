@@ -8,8 +8,10 @@
 //! The linear routines (add/sub/shift) and division are the classical
 //! algorithms. Multiplication has two interchangeable kernels — the
 //! classical schoolbook routine in [`mul`] and Karatsuba in [`kmul`] —
-//! selected process-wide via [`crate::backend`]; see the crate docs for
-//! how this coexists with the paper's quadratic cost model.
+//! selected per session via [`crate::SolveCtx`], falling back to the
+//! process-wide [`crate::backend`] compatibility layer when no context
+//! is installed; see the crate docs for how this coexists with the
+//! paper's quadratic cost model.
 
 pub mod div;
 pub mod kmul;
@@ -19,20 +21,27 @@ use crate::backend::{mul_backend, MulBackend};
 use crate::limb::{DoubleLimb, Limb, LIMB_BITS};
 use std::cmp::Ordering;
 
-/// Product of two magnitudes using the selected backend
-/// (see [`crate::backend::mul_backend`]).
+/// The backend to dispatch to: the installed session's choice, else the
+/// process-global selection.
+#[inline]
+fn active_backend() -> MulBackend {
+    crate::session::current_backend().unwrap_or_else(mul_backend)
+}
+
+/// Product of two magnitudes using the active backend (the installed
+/// [`crate::SolveCtx`]'s, else [`crate::backend::mul_backend`]).
 #[inline]
 pub fn mul_auto(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
-    match mul_backend() {
+    match active_backend() {
         MulBackend::Schoolbook => mul::mul(a, b),
         MulBackend::Fast => kmul::mul(a, b),
     }
 }
 
-/// Square of a magnitude using the selected backend.
+/// Square of a magnitude using the active backend.
 #[inline]
 pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
-    match mul_backend() {
+    match active_backend() {
         MulBackend::Schoolbook => mul::square(a),
         MulBackend::Fast => kmul::square(a),
     }

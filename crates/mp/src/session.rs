@@ -1,0 +1,299 @@
+//! Session contexts: per-solve backend selection and metrics ownership.
+//!
+//! A [`SolveCtx`] bundles the two pieces of runtime context that used to
+//! be process-global mutable state:
+//!
+//! * the multiplication **backend** ([`crate::MulBackend`]) to dispatch
+//!   [`crate::Int`] kernels to, and
+//! * a private **metrics sink** ([`crate::metrics::MetricsSink`]) that
+//!   receives every arithmetic event performed under the context.
+//!
+//! A context is *installed* on a thread for a scope
+//! ([`SolveCtx::install`] / [`SolveCtx::run`]); while installed, all
+//! `Int` arithmetic on that thread dispatches to the context's backend
+//! and records into the context's sink. Worker threads executing tasks
+//! on behalf of a solve install the solve's context around each task, so
+//! the context follows the *work*, not the thread — two solves can
+//! interleave tasks on the same worker without cross-attributing a
+//! single event.
+//!
+//! Installation is scoped and stack-shaped: contexts nest, the innermost
+//! wins, and the guard restores the previous state on drop (including
+//! unwind). A thread with no context installed falls back to the
+//! process-global compatibility layer: the [`crate::mul_backend`] atomic
+//! (seeded from `RR_MUL_BACKEND`) and the default metrics sink read by
+//! [`crate::metrics::snapshot`].
+//!
+//! The recording path stays contention-free: the first install of a
+//! given context on a thread registers one per-thread counter block with
+//! the context's sink and caches it in thread-local storage, so steady
+//! state recording is two thread-local reads and a relaxed atomic add —
+//! identical in shape to the pre-session path.
+//!
+//! ```
+//! use rr_mp::{metrics::Phase, Int, MulBackend, SolveCtx};
+//!
+//! let fast = SolveCtx::new(MulBackend::Fast);
+//! let school = SolveCtx::new(MulBackend::Schoolbook);
+//! let product = fast.run(|| Int::from(3u64) * Int::from(5u64));
+//! school.run(|| {
+//!     let _ = Int::from(7u64) * Int::from(9u64);
+//! });
+//! assert_eq!(product, Int::from(15u64));
+//! // Each context saw exactly its own event.
+//! assert_eq!(fast.snapshot().total().mul_count, 1);
+//! assert_eq!(school.snapshot().total().mul_count, 1);
+//! ```
+
+use crate::backend::MulBackend;
+use crate::metrics::{CostSnapshot, MetricsSink, ThreadCounters};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Weak};
+
+/// Per-solve context: a multiplication backend plus a private metrics
+/// sink. Cheap to clone (all clones share the sink); `Send + Sync`, so a
+/// solve can hand clones to its worker tasks.
+#[derive(Clone, Debug)]
+pub struct SolveCtx {
+    backend: MulBackend,
+    sink: MetricsSink,
+}
+
+/// One installed context on a thread's ambient stack, with the
+/// per-(sink, thread) counter block resolved once at install time.
+struct ActiveCtx {
+    backend: MulBackend,
+    counters: Arc<ThreadCounters>,
+}
+
+thread_local! {
+    /// Stack of installed contexts; the innermost (last) one receives
+    /// this thread's arithmetic events.
+    static AMBIENT: RefCell<Vec<ActiveCtx>> = const { RefCell::new(Vec::new()) };
+    /// Cache of this thread's counter block per sink id, so re-installing
+    /// the same context never re-locks the sink registry.
+    static COUNTER_CACHE: RefCell<Vec<(u64, Weak<ThreadCounters>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl SolveCtx {
+    /// A fresh context with the given backend and an empty private sink.
+    pub fn new(backend: MulBackend) -> SolveCtx {
+        SolveCtx {
+            backend,
+            sink: MetricsSink::new(),
+        }
+    }
+
+    /// A fresh context on the process-default backend
+    /// ([`crate::mul_backend`], i.e. `RR_MUL_BACKEND` or schoolbook).
+    pub fn with_default_backend() -> SolveCtx {
+        SolveCtx::new(crate::backend::mul_backend())
+    }
+
+    /// The backend this context dispatches `Int` kernels to.
+    pub fn backend(&self) -> MulBackend {
+        self.backend
+    }
+
+    /// Aggregates every event recorded under this context, on any
+    /// thread, since its creation. The sink starts empty, so no
+    /// before/after subtraction is needed: this *is* the context's cost.
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.sink.snapshot()
+    }
+
+    /// This thread's counter block in the context's sink, from the
+    /// thread-local cache when possible.
+    fn thread_counters(&self) -> Arc<ThreadCounters> {
+        let id = self.sink.id();
+        COUNTER_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            // Drop cache entries whose sink died (its Arc'd counters are
+            // kept alive only by the sink registry).
+            cache.retain(|(_, weak)| weak.strong_count() > 0);
+            if let Some((_, weak)) = cache.iter().find(|(cached, _)| *cached == id) {
+                if let Some(c) = weak.upgrade() {
+                    return c;
+                }
+            }
+            let c = self.sink.register_thread();
+            cache.push((id, Arc::downgrade(&c)));
+            c
+        })
+    }
+
+    /// Installs this context on the calling thread until the returned
+    /// guard drops. Nested installs stack; the innermost wins.
+    ///
+    /// The guard is not `Send`: it must drop on the thread that created
+    /// it (context installation is per-thread state).
+    pub fn install(&self) -> CtxGuard {
+        let active = ActiveCtx {
+            backend: self.backend,
+            counters: self.thread_counters(),
+        };
+        AMBIENT.with(|stack| stack.borrow_mut().push(active));
+        CtxGuard {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Runs `f` with this context installed, restoring the previous
+    /// ambient state afterwards (also on unwind).
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.install();
+        f()
+    }
+}
+
+/// Uninstalls the innermost context when dropped. Returned by
+/// [`SolveCtx::install`].
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub struct CtxGuard {
+    // Raw-pointer marker makes the guard !Send + !Sync: it manipulates
+    // the installing thread's ambient stack and must drop there.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// The backend of the innermost installed context, if any. Kernel
+/// dispatch (`nat::mul_auto`) consults this before the process-global
+/// atomic.
+#[inline]
+pub(crate) fn current_backend() -> Option<MulBackend> {
+    AMBIENT.with(|stack| stack.borrow().last().map(|a| a.backend))
+}
+
+/// True if the calling thread currently has a context installed.
+pub fn has_current() -> bool {
+    AMBIENT.with(|stack| !stack.borrow().is_empty())
+}
+
+/// Records a multiplication into the innermost installed context's sink.
+/// Returns false (and records nothing) if no context is installed.
+#[inline]
+pub(crate) fn record_session_mul(phase: usize, a_bits: u64, b_bits: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_mul(phase, a_bits, b_bits);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records a division into the innermost installed context's sink.
+/// Returns false (and records nothing) if no context is installed.
+#[inline]
+pub(crate) fn record_session_div(phase: usize, q_bits: u64, b_bits: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_div(phase, q_bits, b_bits);
+            true
+        }
+        None => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{self, Phase};
+    use crate::Int;
+
+    #[test]
+    fn session_events_do_not_reach_global_sink() {
+        let before = metrics::snapshot();
+        let ctx = SolveCtx::new(MulBackend::Schoolbook);
+        ctx.run(|| {
+            metrics::with_phase(Phase::TreePoly, || {
+                let _ = Int::from(12345u64) * Int::from(99999u64);
+            })
+        });
+        let global = metrics::snapshot() - before;
+        assert_eq!(global.phase(Phase::TreePoly).mul_count, 0);
+        assert_eq!(ctx.snapshot().phase(Phase::TreePoly).mul_count, 1);
+        assert_eq!(ctx.snapshot().phase(Phase::TreePoly).mul_bits, 14 * 17);
+    }
+
+    #[test]
+    fn nested_contexts_innermost_wins_and_restores() {
+        let outer = SolveCtx::new(MulBackend::Schoolbook);
+        let inner = SolveCtx::new(MulBackend::Fast);
+        outer.run(|| {
+            let _ = Int::from(3u64) * Int::from(5u64);
+            inner.run(|| {
+                let _ = Int::from(3u64) * Int::from(5u64);
+                let _ = Int::from(3u64) * Int::from(5u64);
+            });
+            let _ = Int::from(3u64) * Int::from(5u64);
+        });
+        assert_eq!(outer.snapshot().total().mul_count, 2);
+        assert_eq!(inner.snapshot().total().mul_count, 2);
+        assert!(!has_current());
+    }
+
+    #[test]
+    fn guard_restores_on_unwind() {
+        let ctx = SolveCtx::new(MulBackend::Schoolbook);
+        let r = std::panic::catch_unwind(|| {
+            ctx.run(|| panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(!has_current());
+    }
+
+    #[test]
+    fn context_aggregates_across_threads() {
+        let ctx = SolveCtx::new(MulBackend::Fast);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ctx = ctx.clone();
+                std::thread::spawn(move || {
+                    ctx.run(|| {
+                        metrics::with_phase(Phase::Sieve, || {
+                            let _ = Int::from(7u64) * Int::from(9u64);
+                        })
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ctx.snapshot().phase(Phase::Sieve).mul_count, 4);
+    }
+
+    #[test]
+    fn reinstall_on_same_thread_uses_one_counter_block() {
+        // Repeated install/uninstall must not grow the sink registry per
+        // install: the per-thread block is cached. (Observable effect:
+        // totals still exact; this exercises the cache path.)
+        let ctx = SolveCtx::new(MulBackend::Schoolbook);
+        for _ in 0..100 {
+            ctx.run(|| {
+                let _ = Int::from(3u64) * Int::from(5u64);
+            });
+        }
+        assert_eq!(ctx.snapshot().total().mul_count, 100);
+    }
+
+    #[test]
+    fn ambient_backend_overrides_global() {
+        let prev = crate::backend::set_mul_backend(MulBackend::Schoolbook);
+        let ctx = SolveCtx::new(MulBackend::Fast);
+        ctx.run(|| {
+            assert_eq!(current_backend(), Some(MulBackend::Fast));
+        });
+        assert_eq!(current_backend(), None);
+        crate::backend::set_mul_backend(prev);
+    }
+}

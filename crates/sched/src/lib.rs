@@ -6,10 +6,15 @@
 //! from the queue; completing a task usually adds other tasks to the
 //! queue. This crate is that runtime:
 //!
-//! * [`pool::run`] — drain a shared FIFO task queue with `P` workers
-//!   until quiescence; tasks may spawn further tasks through
-//!   [`pool::Scope`]. The queue is `crossbeam_deque::Injector` (FIFO,
-//!   like the paper's queue) and idle workers park on a condvar.
+//! * [`pool::Pool`] — persistent worker threads draining per-solve
+//!   [`Pool::scope`](pool::Pool::scope)s to quiescence; tasks may spawn
+//!   further tasks through [`pool::Scope`]. Each scope is an independent
+//!   FIFO queue (`crossbeam_deque::Injector`, like the paper's queue)
+//!   with its own task-id space, quiescence counter, concurrency cap and
+//!   optional trace, so concurrent solves share workers without sharing
+//!   state; idle workers park on a condvar. [`pool::run`] /
+//!   [`pool::run_traced`] are the one-shot entry points on a dedicated
+//!   pool.
 //! * [`graph::Gate`] — the "status data structure" of Section 3.2: a
 //!   dependency counter whose final arrival tells the completing task to
 //!   spawn the gated successor.
@@ -30,4 +35,6 @@ pub mod sim;
 pub mod static_sched;
 
 pub use graph::Gate;
-pub use pool::{run, run_traced, PoolStats, Scope, TaskRecord, TaskTrace};
+pub use pool::{
+    run, run_traced, Pool, PoolStats, Scope, ScopeConfig, TaskRecord, TaskTrace, TaskWrapper,
+};

@@ -1,26 +1,53 @@
-//! The dynamic task pool: a shared FIFO queue drained by `P` workers.
+//! The dynamic task pool: shared persistent workers draining per-solve
+//! FIFO scopes.
 //!
-//! Semantics follow the paper's description exactly: one global queue,
-//! idle processors take the oldest task, tasks may enqueue further tasks,
-//! and the run ends when every task has completed (quiescence). Worker
-//! parking uses a condvar with a short timeout, so the rare
-//! missed-wakeup race costs at most one timeout period rather than a
-//! deadlock.
+//! Semantics follow the paper's description exactly: one FIFO queue per
+//! computation, idle processors take the oldest task, tasks may enqueue
+//! further tasks, and the computation ends when every task has completed
+//! (quiescence). What the paper ran once per experiment, this module
+//! runs many times over the same threads: a [`Pool`] owns long-lived
+//! worker threads, and each solve opens a [`Pool::scope`] — an
+//! independent queue with its own task-id space, quiescence counter,
+//! panic flag, optional trace, and a *cap* on how many workers may drain
+//! it concurrently. Scopes are what make concurrent solves composable:
+//! two solves on the same pool interleave tasks on the same workers
+//! without sharing ids, counters, or traces.
+//!
+//! Worker parking uses a condvar with a short timeout while any scope is
+//! open, so the rare missed-wakeup race costs at most one timeout period
+//! rather than a deadlock; with no scopes open the workers park
+//! indefinitely (a fully idle pool burns no CPU).
+//!
+//! The one-shot entry points [`run`] / [`run_traced`] remain for code
+//! that wants the historical pool-per-run behavior (a dedicated pool is
+//! created and torn down around the single scope).
 
 use crossbeam_deque::{Injector, Steal};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
+use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A task: runs once, may spawn more tasks through the scope.
 pub type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
 
-struct Queued<'env> {
+/// A hook run around every task of a scope (e.g. to install a per-solve
+/// session context on the executing worker). Receives the task as a
+/// callable and must invoke it exactly once.
+pub type TaskWrapper = Arc<dyn Fn(&mut dyn FnMut()) + Send + Sync>;
+
+/// Type-erased task as stored in a scope's queue. The `'env` lifetime is
+/// erased at spawn time; [`Pool::scope`] blocks until quiescence, so no
+/// task (or captured borrow) outlives the environment.
+type ErasedTask = Box<dyn FnOnce(&Scope<'static>) + Send + 'static>;
+
+struct Queued {
     id: u64,
     parent: Option<u64>,
-    f: Task<'env>,
+    f: ErasedTask,
 }
 
 /// One executed task in a [`TaskTrace`]: its spawner and its measured
@@ -30,7 +57,7 @@ struct Queued<'env> {
 /// in this run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskRecord {
-    /// Task id (spawn order).
+    /// Task id (spawn order within the scope, starting at 0).
     pub id: u64,
     /// Id of the task that spawned this one (`None` for the seed).
     pub parent: Option<u64>,
@@ -38,10 +65,13 @@ pub struct TaskRecord {
     pub nanos: u64,
 }
 
-/// The recorded task graph of one pool run — input to
+/// The recorded task graph of one scope — input to
 /// [`crate::sim::simulate_makespan`], which replays it on any number of
 /// virtual processors. This is how the speedup experiments run on hosts
 /// with fewer cores than the paper's 20-processor Sequent Symmetry.
+///
+/// Ids are scope-local (every scope counts from 0), so traces from
+/// concurrent solves on a shared pool never alias.
 #[derive(Debug, Clone, Default)]
 pub struct TaskTrace {
     /// Executed tasks (unordered; ids are spawn order).
@@ -59,71 +89,164 @@ thread_local! {
     static CURRENT_TASK: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
-/// Handle through which tasks spawn further tasks (the paper's
-/// "add to the task queue").
-pub struct Scope<'env> {
-    injector: Injector<Queued<'env>>,
+/// The shared state of one scope: queue, quiescence counter, id space,
+/// panic flag, concurrency cap, stats, and optional trace/wrapper.
+struct ScopeCore {
+    injector: Injector<Queued>,
     /// Tasks spawned but not yet completed (queued + running).
     pending: AtomicUsize,
     next_id: AtomicU64,
     panicked: AtomicBool,
-    lock: Mutex<()>,
-    cv: Condvar,
+    /// Max workers draining this scope concurrently.
+    cap: usize,
+    /// Workers currently holding a drain slot.
+    active: AtomicUsize,
+    wrapper: Option<TaskWrapper>,
     trace: Option<Mutex<Vec<TaskRecord>>>,
+    /// (tasks, busy) per pool-worker index.
+    stats: Mutex<Vec<(u64, Duration)>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
 }
 
-impl<'env> Scope<'env> {
-    fn new(traced: bool) -> Scope<'env> {
-        Scope {
+impl ScopeCore {
+    fn new(cap: usize, traced: bool, wrapper: Option<TaskWrapper>) -> ScopeCore {
+        assert!(cap > 0, "need at least one worker");
+        ScopeCore {
             injector: Injector::new(),
             pending: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
+            cap,
+            active: AtomicUsize::new(0),
+            wrapper,
             trace: traced.then(|| Mutex::new(Vec::new())),
+            stats: Mutex::new(Vec::new()),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Claims a drain slot if the cap allows; release with `release`.
+    fn try_claim(&self) -> bool {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cap {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::Release);
+    }
+
+    fn finish_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last task out: wake the scope owner waiting for quiescence.
+            let _g = self.done_lock.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Discards every queued task of a poisoned scope so it can still
+    /// quiesce. Every worker drains after each task it runs once the
+    /// scope is poisoned; a task's spawns precede its own `finish_task`,
+    /// so when `pending` reaches zero the queue is provably empty.
+    fn drain_poisoned(&self) {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(q) => {
+                    drop(q.f);
+                    self.finish_task();
+                }
+                Steal::Retry => continue,
+                Steal::Empty => return,
+            }
+        }
+    }
+
+    /// Credits one executed task to `worker_idx`. Called *before* the
+    /// task's `finish_task`, so by the time the scope owner observes
+    /// quiescence every executed task is visible in the stats.
+    fn record_task(&self, worker_idx: usize, busy: Duration) {
+        let mut stats = self.stats.lock();
+        if stats.len() <= worker_idx {
+            stats.resize(worker_idx + 1, (0, Duration::ZERO));
+        }
+        stats[worker_idx].0 += 1;
+        stats[worker_idx].1 += busy;
+    }
+}
+
+/// Handle through which tasks spawn further tasks (the paper's
+/// "add to the task queue"). Each handle is bound to one scope of one
+/// [`Pool`]; spawned tasks join that scope's queue and id space.
+pub struct Scope<'env> {
+    core: Arc<ScopeCore>,
+    _env: PhantomData<&'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    fn handle(core: Arc<ScopeCore>) -> Scope<'env> {
+        Scope {
+            core,
+            _env: PhantomData,
         }
     }
 
     /// Enqueues a task. May be called from inside tasks or before the
-    /// workers start.
+    /// workers attach.
     pub fn spawn(&self, f: impl FnOnce(&Scope<'env>) + Send + 'env) {
         self.spawn_boxed(Box::new(f));
     }
 
     /// Enqueues an already-boxed task (avoids double boxing in helpers).
     pub fn spawn_boxed(&self, f: Task<'env>) {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let parent = CURRENT_TASK.with(Cell::get);
-        self.pending.fetch_add(1, Ordering::SeqCst);
-        self.injector.push(Queued { id, parent, f });
-        self.cv.notify_one();
-    }
-
-    /// True once any task has panicked (the run is being abandoned).
-    pub fn is_poisoned(&self) -> bool {
-        self.panicked.load(Ordering::Relaxed)
-    }
-
-    fn finish_task(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Last task out: wake everyone so the workers can exit.
-            let _g = self.lock.lock();
-            self.cv.notify_all();
+        if self.core.panicked.load(Ordering::Relaxed) {
+            // The scope is being abandoned; new work is dropped so the
+            // scope can quiesce.
+            return;
         }
+        // SAFETY: erases `'env` to store the task in the 'static core.
+        // `Pool::scope` does not return until `pending` is zero, i.e.
+        // until every erased task has been consumed (run or dropped), so
+        // no captured `'env` borrow is touched after `'env` ends.
+        let f: ErasedTask = unsafe { std::mem::transmute::<Task<'env>, ErasedTask>(f) };
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_TASK.with(Cell::get);
+        self.core.pending.fetch_add(1, Ordering::SeqCst);
+        self.core.injector.push(Queued { id, parent, f });
+    }
+
+    /// True once any task has panicked (the scope is being abandoned).
+    pub fn is_poisoned(&self) -> bool {
+        self.core.panicked.load(Ordering::Relaxed)
     }
 }
 
-/// Per-run execution statistics.
+/// Per-scope execution statistics.
 #[derive(Debug, Clone)]
 pub struct PoolStats {
-    /// Number of worker threads used.
+    /// Concurrency cap of the scope (for a dedicated [`run`] pool this
+    /// equals the pool's thread count).
     pub workers: usize,
-    /// Tasks executed by each worker.
+    /// Tasks executed by each pool worker (indexed by worker id; at most
+    /// `workers` of them are nonzero concurrently).
     pub tasks_per_worker: Vec<u64>,
-    /// Time each worker spent executing tasks (excludes idle/parked time).
+    /// Time each pool worker spent executing this scope's tasks
+    /// (excludes idle/parked time and other scopes' tasks).
     pub busy_per_worker: Vec<Duration>,
-    /// Wall-clock duration of the whole run.
+    /// Wall-clock duration from scope open to quiescence.
     pub wall: Duration,
 }
 
@@ -143,8 +266,248 @@ impl PoolStats {
     }
 }
 
+/// Configuration of one [`Pool::scope`].
+#[derive(Clone, Default)]
+pub struct ScopeConfig {
+    /// Max workers draining the scope concurrently (0 = the whole pool).
+    pub cap: usize,
+    /// Record a [`TaskTrace`] of the scope.
+    pub traced: bool,
+    /// Hook run around every task (e.g. session-context installation).
+    pub wrapper: Option<TaskWrapper>,
+}
+
+struct PoolShared {
+    /// Open scopes; workers round-robin over this registry.
+    scopes: Mutex<Vec<Arc<ScopeCore>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent worker pool. Workers live as long as the pool and drain
+/// any number of concurrent [`Pool::scope`]s; an idle pool parks all its
+/// workers. Dropping the pool joins them.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// A pool with `workers` threads.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Pool {
+        assert!(workers > 0, "need at least one worker");
+        let pool = Pool {
+            shared: Arc::new(PoolShared {
+                scopes: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            handles: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// Current number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.lock().len()
+    }
+
+    /// Grows the pool to at least `n` workers (never shrinks). Lets a
+    /// scope with `cap > workers()` oversubscribe the host, as the
+    /// paper's 20-processor runs require on smaller machines.
+    pub fn ensure_workers(&self, n: usize) {
+        let mut handles = self.handles.lock();
+        while handles.len() < n {
+            let shared = Arc::clone(&self.shared);
+            let idx = handles.len();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rr-pool-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn pool worker"),
+            );
+        }
+    }
+
+    /// Runs `seed` (and everything it transitively spawns) to quiescence
+    /// in a fresh scope, returning its statistics and (if requested) its
+    /// trace. Blocks until the scope quiesces; concurrent callers get
+    /// independent scopes drained by the same workers.
+    ///
+    /// # Panics
+    /// Re-panics if any task of the scope panicked.
+    pub fn scope<'env, F>(&self, cfg: ScopeConfig, seed: F) -> (PoolStats, Option<TaskTrace>)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        let cap = if cfg.cap == 0 { self.workers() } else { cfg.cap };
+        self.ensure_workers(cap.min(MAX_AUTO_GROW));
+        let core = Arc::new(ScopeCore::new(cap, cfg.traced, cfg.wrapper));
+        let handle = Scope::handle(Arc::clone(&core));
+        handle.spawn(seed);
+        let start = Instant::now();
+        {
+            let mut scopes = self.shared.scopes.lock();
+            scopes.push(Arc::clone(&core));
+            self.shared.cv.notify_all();
+        }
+        // Wait for quiescence. The timeout backstops the finish-vs-wait
+        // race the same way worker parking does.
+        {
+            let mut g = core.done_lock.lock();
+            while core.pending.load(Ordering::SeqCst) != 0 {
+                core.done_cv
+                    .wait_for(&mut g, Duration::from_micros(200));
+            }
+        }
+        let wall = start.elapsed();
+        {
+            let mut scopes = self.shared.scopes.lock();
+            scopes.retain(|s| !Arc::ptr_eq(s, &core));
+        }
+        drop(handle);
+        if core.panicked.load(Ordering::SeqCst) {
+            panic!("a task panicked; pool run abandoned");
+        }
+        // Workers may still hold Arc clones of the core from their
+        // registry snapshots, so read results through the Arc rather
+        // than unwrapping it. All per-task recording happened before the
+        // final `finish_task`, so these reads see every executed task.
+        let mut tasks_per_worker: Vec<u64> = Vec::new();
+        let mut busy_per_worker: Vec<Duration> = Vec::new();
+        for &(tasks, busy) in core.stats.lock().iter() {
+            tasks_per_worker.push(tasks);
+            busy_per_worker.push(busy);
+        }
+        tasks_per_worker.resize(tasks_per_worker.len().max(cap), 0);
+        busy_per_worker.resize(busy_per_worker.len().max(cap), Duration::ZERO);
+        let trace = core
+            .trace
+            .as_ref()
+            .map(|records| TaskTrace { records: std::mem::take(&mut *records.lock()) });
+        (
+            PoolStats { workers: cap, tasks_per_worker, busy_per_worker, wall },
+            trace,
+        )
+    }
+}
+
+/// Upper bound on automatic pool growth from an oversized scope cap, so
+/// a misconfigured cap cannot spawn unbounded threads. `ensure_workers`
+/// can still grow past this explicitly.
+const MAX_AUTO_GROW: usize = 256;
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.scopes.lock();
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.get_mut().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker_idx: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Snapshot the open scopes and rotate by worker index so workers
+        // spread over scopes instead of convoying on the first.
+        let scopes: Vec<Arc<ScopeCore>> = shared.scopes.lock().clone();
+        let n = scopes.len();
+        let mut did_work = false;
+        for i in 0..n {
+            let core = &scopes[(i + worker_idx) % n];
+            if !core.try_claim() {
+                continue;
+            }
+            did_work |= drain_scope(core, worker_idx);
+            core.release();
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        if did_work {
+            continue;
+        }
+        // Nothing stealable anywhere: park. With scopes open, use a
+        // timeout (covers the push-vs-wait race); with none open, sleep
+        // until a scope registers (registration notifies under the lock).
+        let mut scopes = shared.scopes.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if scopes.is_empty() {
+            shared.cv.wait(&mut scopes);
+        } else {
+            shared.cv.wait_for(&mut scopes, Duration::from_micros(200));
+        }
+    }
+}
+
+/// Steals and runs this scope's tasks until its queue is empty. Returns
+/// whether any task was executed.
+fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
+    let mut did_work = false;
+    loop {
+        if core.panicked.load(Ordering::Relaxed) {
+            core.drain_poisoned();
+            break;
+        }
+        match core.injector.steal() {
+            Steal::Success(task) => {
+                let Queued { id, parent, f } = task;
+                let scope: Scope<'static> = Scope::handle(Arc::clone(core));
+                let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
+                let t0 = Instant::now();
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut f = Some(f);
+                    let mut call = || (f.take().expect("task runs once"))(&scope);
+                    match &core.wrapper {
+                        Some(w) => w(&mut call),
+                        None => call(),
+                    }
+                }));
+                let elapsed = t0.elapsed();
+                CURRENT_TASK.with(|c| c.set(prev));
+                if let Some(trace) = &core.trace {
+                    trace.lock().push(TaskRecord {
+                        id,
+                        parent,
+                        nanos: elapsed.as_nanos() as u64,
+                    });
+                }
+                core.record_task(worker_idx, elapsed);
+                did_work = true;
+                if result.is_err() {
+                    core.panicked.store(true, Ordering::SeqCst);
+                }
+                if core.panicked.load(Ordering::Relaxed) {
+                    // Our spawns precede our finish; clear them now so
+                    // the scope can quiesce.
+                    core.drain_poisoned();
+                }
+                core.finish_task();
+            }
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    did_work
+}
+
 /// Runs `seed` (and everything it transitively spawns) to quiescence on
-/// `workers` threads, returning execution statistics.
+/// a dedicated pool of `workers` threads, returning execution
+/// statistics. One-shot compatibility entry point; long-lived callers
+/// should hold a [`Pool`] and open [`Pool::scope`]s on it instead.
 ///
 /// # Panics
 /// Re-panics if any task panicked. Panics if `workers == 0`.
@@ -152,7 +515,12 @@ pub fn run<'env, F>(workers: usize, seed: F) -> PoolStats
 where
     F: FnOnce(&Scope<'env>) + Send + 'env,
 {
-    run_inner(workers, false, seed).0
+    let pool = Pool::new(workers);
+    let (stats, _) = pool.scope(
+        ScopeConfig { cap: workers, traced: false, wrapper: None },
+        seed,
+    );
+    stats
 }
 
 /// Like [`run`], but also records the executed task graph (ids, spawner
@@ -161,85 +529,12 @@ pub fn run_traced<'env, F>(workers: usize, seed: F) -> (PoolStats, TaskTrace)
 where
     F: FnOnce(&Scope<'env>) + Send + 'env,
 {
-    let (stats, trace) = run_inner(workers, true, seed);
+    let pool = Pool::new(workers);
+    let (stats, trace) = pool.scope(
+        ScopeConfig { cap: workers, traced: true, wrapper: None },
+        seed,
+    );
     (stats, trace.expect("tracing was enabled"))
-}
-
-fn run_inner<'env, F>(workers: usize, traced: bool, seed: F) -> (PoolStats, Option<TaskTrace>)
-where
-    F: FnOnce(&Scope<'env>) + Send + 'env,
-{
-    assert!(workers > 0, "need at least one worker");
-    let scope = Scope::new(traced);
-    scope.spawn(seed);
-    let start = Instant::now();
-    let mut tasks_per_worker = vec![0u64; workers];
-    let mut busy_per_worker = vec![Duration::ZERO; workers];
-    std::thread::scope(|ts| {
-        let scope = &scope;
-        for (tasks, busy) in tasks_per_worker.iter_mut().zip(busy_per_worker.iter_mut()) {
-            ts.spawn(move || worker_loop(scope, tasks, busy));
-        }
-    });
-    let wall = start.elapsed();
-    if scope.panicked.load(Ordering::SeqCst) {
-        panic!("a task panicked; pool run abandoned");
-    }
-    let trace = scope
-        .trace
-        .map(|records| TaskTrace { records: records.into_inner() });
-    (
-        PoolStats { workers, tasks_per_worker, busy_per_worker, wall },
-        trace,
-    )
-}
-
-fn worker_loop<'env>(scope: &Scope<'env>, tasks: &mut u64, busy: &mut Duration) {
-    loop {
-        if scope.panicked.load(Ordering::Relaxed) {
-            return;
-        }
-        match scope.injector.steal() {
-            Steal::Success(task) => {
-                let Queued { id, parent, f } = task;
-                let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
-                let t0 = Instant::now();
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(scope)));
-                let elapsed = t0.elapsed();
-                CURRENT_TASK.with(|c| c.set(prev));
-                if let Some(trace) = &scope.trace {
-                    trace.lock().push(TaskRecord {
-                        id,
-                        parent,
-                        nanos: elapsed.as_nanos() as u64,
-                    });
-                }
-                *busy += elapsed;
-                *tasks += 1;
-                if result.is_err() {
-                    scope.panicked.store(true, Ordering::SeqCst);
-                    let _g = scope.lock.lock();
-                    scope.cv.notify_all();
-                }
-                scope.finish_task();
-            }
-            Steal::Retry => continue,
-            Steal::Empty => {
-                if scope.pending.load(Ordering::SeqCst) == 0 {
-                    return;
-                }
-                // Park briefly; the timeout covers the push-vs-wait race.
-                let mut g = scope.lock.lock();
-                if scope.pending.load(Ordering::SeqCst) == 0
-                    || !scope.injector.is_empty()
-                    || scope.panicked.load(Ordering::Relaxed)
-                {
-                    continue;
-                }
-                scope.cv.wait_for(&mut g, Duration::from_micros(200));
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -340,5 +635,168 @@ mod tests {
         });
         let u = stats.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn persistent_pool_reuses_workers_across_scopes() {
+        let pool = Pool::new(3);
+        for round in 0..5u64 {
+            let count = AtomicU64::new(0);
+            let (stats, trace) = pool.scope(
+                ScopeConfig { cap: 3, traced: true, wrapper: None },
+                |s| {
+                    for _ in 0..20 {
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                },
+            );
+            assert_eq!(count.load(Ordering::SeqCst), 20, "round {round}");
+            assert_eq!(stats.total_tasks(), 21);
+            // Per-scope id space restarts at 0 every time.
+            let trace = trace.unwrap();
+            let mut ids: Vec<u64> = trace.records.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..21).collect::<Vec<u64>>(), "round {round}");
+        }
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_share_tasks() {
+        let pool = Arc::new(Pool::new(4));
+        let handles: Vec<_> = (0..3u64)
+            .map(|k| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let count = AtomicU64::new(0);
+                    let spawns = 10 * (k + 1);
+                    let (stats, trace) = pool.scope(
+                        ScopeConfig { cap: 2, traced: true, wrapper: None },
+                        |s| {
+                            for _ in 0..spawns {
+                                s.spawn(|_| {
+                                    count.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        },
+                    );
+                    (count.into_inner(), stats.total_tasks(), spawns, trace.unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (count, total, spawns, trace) = h.join().unwrap();
+            assert_eq!(count, spawns);
+            assert_eq!(total, spawns + 1);
+            assert_eq!(trace.records.len() as u64, spawns + 1);
+            assert_eq!(
+                trace.records.iter().filter(|r| r.parent.is_none()).count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn scope_cap_bounds_concurrency() {
+        let pool = Pool::new(4);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (stats, _) = pool.scope(
+            ScopeConfig { cap: 2, traced: false, wrapper: None },
+            |s| {
+                for _ in 0..16 {
+                    let live = Arc::clone(&live);
+                    let peak = Arc::clone(&peak);
+                    s.spawn(move |_| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(1));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            },
+        );
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap exceeded");
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.total_tasks(), 17);
+    }
+
+    #[test]
+    fn wrapper_runs_around_every_task() {
+        let wrapped = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&wrapped);
+        let wrapper: TaskWrapper = Arc::new(move |task| {
+            w.fetch_add(1, Ordering::Relaxed);
+            task();
+        });
+        let pool = Pool::new(2);
+        let count = AtomicU64::new(0);
+        let (stats, _) = pool.scope(
+            ScopeConfig { cap: 2, traced: false, wrapper: Some(wrapper) },
+            |s| {
+                for _ in 0..10 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            },
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.total_tasks(), 11);
+        assert_eq!(wrapped.load(Ordering::SeqCst), 11); // seed included
+    }
+
+    #[test]
+    fn poisoned_scope_quiesces_and_pool_survives() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+                for i in 0..50 {
+                    s.spawn(move |_| {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The same pool keeps working after a poisoned scope.
+        let count = AtomicU64::new(0);
+        let (stats, _) = pool.scope(ScopeConfig::default(), |s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.total_tasks(), 11);
+    }
+
+    #[test]
+    fn zero_cap_means_whole_pool() {
+        let pool = Pool::new(3);
+        let (stats, _) = pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+            s.spawn(|_| {});
+        });
+        assert_eq!(stats.workers, 3);
+    }
+
+    #[test]
+    fn ensure_workers_grows_for_oversized_cap() {
+        let pool = Pool::new(2);
+        let (stats, _) = pool.scope(
+            ScopeConfig { cap: 6, traced: false, wrapper: None },
+            |s: &Scope<'_>| {
+                for _ in 0..12 {
+                    s.spawn(|_| std::thread::sleep(Duration::from_micros(100)));
+                }
+            },
+        );
+        assert_eq!(stats.workers, 6);
+        assert!(pool.workers() >= 6);
     }
 }

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use polyroots::{Int, Poly, RootApproximator, SolverConfig};
+use polyroots::{Int, Poly, Session, SolverConfig};
 
 fn main() {
     // p(x) = (x + 3)(x − 1)(x − 4)(x − 10) — integer roots, and
@@ -12,10 +12,13 @@ fn main() {
     let p = Poly::from_roots(&[Int::from(-3), Int::from(1), Int::from(4), Int::from(10)]);
     let q = Poly::from_i64(&[-2, 0, 1]);
 
-    let solver = RootApproximator::new(SolverConfig::sequential(24));
+    // A session owns its configuration and its metrics: every solve's
+    // `stats.cost` is exact for that solve, even with other sessions
+    // running concurrently elsewhere in the process.
+    let session = Session::new(SolverConfig::sequential(24));
 
     for (name, poly) in [("p", &p), ("q", &q)] {
-        let result = solver.approximate_roots(poly).expect("all roots are real");
+        let result = session.solve(poly).expect("all roots are real");
         println!("{name}(x) = {poly}");
         println!(
             "  degree {}, {} distinct roots, bound 2^{}",
@@ -31,10 +34,16 @@ fn main() {
         );
         println!();
     }
+    println!(
+        "session cumulative cost: {} multiplications over both solves\n",
+        session.cumulative_cost().total().mul_count
+    );
 
-    // The same, in parallel with the paper's dynamic task queue:
-    let par = RootApproximator::new(SolverConfig::parallel(24, 4));
-    let result = par.approximate_roots(&p).unwrap();
+    // The same, in parallel with the paper's dynamic task queue. Parallel
+    // sessions run on a persistent worker pool shared across the process
+    // (sized by RR_POOL_THREADS, default: available parallelism).
+    let par = Session::new(SolverConfig::parallel(24, 4));
+    let result = par.solve(&p).unwrap();
     let pool = result.stats.pool.expect("dynamic mode reports pool stats");
     println!(
         "parallel run: {} workers, {} tasks, utilization {:.0}%",

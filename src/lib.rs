@@ -18,7 +18,10 @@ pub use rr_poly as poly;
 pub use rr_sched as sched;
 pub use rr_workload as workload;
 
-pub use rr_core::{Dyadic, RootApproximator, SolveError, SolverConfig};
+pub use rr_core::{
+    solve_batch, solve_batch_on, Dyadic, RootApproximator, Runtime, Session, SolveError,
+    SolverConfig,
+};
 pub use rr_mp::Int;
 pub use rr_poly::Poly;
 

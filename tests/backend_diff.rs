@@ -1,20 +1,23 @@
 //! End-to-end differential test of the multiplication backends, plus
-//! metrics exactness around a parallel solve.
+//! metrics exactness around parallel solves.
 //!
-//! Everything lives in one `#[test]` on purpose: the metrics registry is
-//! process-global, and the assertions below compare *exact* per-phase
-//! event counts, so no other test in this file may run concurrently and
-//! record events.
+//! Solves run under the session API, so every solve owns its metrics:
+//! `stats.cost` *is* the exact per-phase event count of that solve, with
+//! no process-global snapshot subtraction — which also means these
+//! assertions stay exact while other tests run concurrently.
 
-use polyroots::core::{MulBackend, RootsResult};
-use polyroots::mp::metrics;
+use polyroots::core::{MulBackend, RootsResult, Session, SolveStats};
 use polyroots::workload::charpoly_input;
-use polyroots::{RootApproximator, SolverConfig};
+use polyroots::SolverConfig;
 
-fn solve(cfg: SolverConfig, p: &polyroots::Poly) -> (RootsResult, metrics::CostSnapshot) {
-    let before = metrics::snapshot();
-    let r = RootApproximator::new(cfg).approximate_roots(p).unwrap();
-    (r, metrics::snapshot() - before)
+fn solve(cfg: SolverConfig, p: &polyroots::Poly) -> RootsResult {
+    Session::new(cfg).solve(p).unwrap()
+}
+
+/// The solve recorded events, and only into its own sink: the process
+/// default sink must not have seen the solve phases.
+fn assert_cost_alive(stats: &SolveStats) {
+    assert!(stats.cost.total().mul_count > 0, "instrumentation alive");
 }
 
 #[test]
@@ -23,10 +26,11 @@ fn backends_differ_only_in_wall_clock() {
     for (n, seed) in [(12usize, 0u64), (18, 1), (24, 0)] {
         let p = charpoly_input(n, seed);
 
-        let (school, school_cost) =
-            solve(SolverConfig::sequential(mu).with_backend(MulBackend::Schoolbook), &p);
-        let (fast, fast_cost) =
-            solve(SolverConfig::sequential(mu).with_backend(MulBackend::Fast), &p);
+        let school = solve(
+            SolverConfig::sequential(mu).with_backend(MulBackend::Schoolbook),
+            &p,
+        );
+        let fast = solve(SolverConfig::sequential(mu).with_backend(MulBackend::Fast), &p);
 
         // Identical mathematics: same roots, same degree bookkeeping.
         assert_eq!(school.roots, fast.roots, "roots n={n} seed={seed}");
@@ -36,28 +40,60 @@ fn backends_differ_only_in_wall_clock() {
         // Identical cost model: the metrics record events and operand
         // bit lengths *above* the kernel, so every phase's counts and
         // bit costs must match event-for-event across backends.
-        assert_eq!(school_cost, fast_cost, "metrics snapshot n={n} seed={seed}");
-        assert_eq!(school.stats.cost, fast.stats.cost, "stats.cost n={n} seed={seed}");
-        assert!(school_cost.total().mul_count > 0, "instrumentation alive");
+        assert_eq!(
+            school.stats.cost, fast.stats.cost,
+            "stats.cost n={n} seed={seed}"
+        );
+        assert_cost_alive(&school.stats);
     }
 
-    // Metrics exactness around a parallel solve: the externally observed
-    // snapshot difference must equal the solve's own internally measured
-    // cost (no events lost or double-counted across worker threads), and
-    // the parallel run must do the same per-phase work as sequential
-    // reruns of the same configuration.
+    // Metrics exactness around a parallel solve: per-solve cost must be
+    // deterministic (no events lost or double-counted across worker
+    // threads), and backend-invariant.
     let p = charpoly_input(20, 0);
     let par_cfg = SolverConfig::parallel(mu, 4);
-    let (par1, par1_cost) = solve(par_cfg, &p);
-    assert_eq!(par1_cost, par1.stats.cost, "external diff == internal diff");
-    let (par2, par2_cost) = solve(par_cfg, &p);
-    assert_eq!(par1_cost, par2_cost, "parallel solve cost is deterministic");
+    let par1 = solve(par_cfg, &p);
+    assert_cost_alive(&par1.stats);
+    let par2 = solve(par_cfg, &p);
+    assert_eq!(
+        par1.stats.cost, par2.stats.cost,
+        "parallel solve cost is deterministic"
+    );
     assert_eq!(par1.roots, par2.roots);
 
     // And the parallel backend differential: same roots and same
-    // snapshot under Fast.
-    let (par_fast, par_fast_cost) = solve(par_cfg.with_backend(MulBackend::Fast), &p);
+    // per-solve cost under Fast.
+    let par_fast = solve(par_cfg.with_backend(MulBackend::Fast), &p);
     assert_eq!(par1.roots, par_fast.roots);
     assert_eq!(par1.n_star, par_fast.n_star);
-    assert_eq!(par1_cost, par_fast_cost, "parallel metrics backend-invariant");
+    assert_eq!(
+        par1.stats.cost, par_fast.stats.cost,
+        "parallel metrics backend-invariant"
+    );
+
+    // Scheduling never changes the mathematics: the sequential
+    // reference produces the same roots.
+    let seq = solve(SolverConfig::sequential(mu), &p);
+    assert_eq!(seq.roots, par1.roots);
+    assert_eq!(seq.n_star, par1.n_star);
+}
+
+/// Solves never leak events into the process-global default sink — the
+/// whole point of session-scoped metrics.
+#[test]
+fn solves_do_not_pollute_global_metrics() {
+    use polyroots::mp::metrics::{self, Phase};
+    let before = metrics::snapshot();
+    let p = charpoly_input(14, 3);
+    let _ = solve(SolverConfig::parallel(24, 3), &p);
+    let d = metrics::snapshot() - before;
+    for phase in [
+        Phase::RemainderSeq,
+        Phase::TreePoly,
+        Phase::Sieve,
+        Phase::Bisection,
+        Phase::Newton,
+    ] {
+        assert_eq!(d.phase(phase).mul_count, 0, "{phase:?} leaked to global sink");
+    }
 }

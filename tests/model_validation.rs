@@ -4,7 +4,7 @@
 //! of the paper's Figures 2–5.
 
 use polyroots::model::{counts, interval_model};
-use polyroots::mp::metrics::{self, Phase};
+use polyroots::mp::metrics::Phase;
 use polyroots::workload::charpoly_input;
 use polyroots::{RootApproximator, SolverConfig};
 
@@ -12,11 +12,10 @@ use polyroots::{RootApproximator, SolverConfig};
 fn remainder_stage_prediction_exact_on_paper_workload() {
     for n in [10usize, 15, 20] {
         let p = charpoly_input(n, 0);
-        let before = metrics::snapshot();
         let r = RootApproximator::new(SolverConfig::sequential(8))
             .approximate_roots(&p)
             .unwrap();
-        let observed = (metrics::snapshot() - before).phase(Phase::RemainderSeq).mul_count;
+        let observed = r.stats.cost.phase(Phase::RemainderSeq).mul_count;
         assert!(r.n_star == n, "workload should be squarefree");
         assert_eq!(observed, counts::remainder_mults(n), "n={n}");
     }
@@ -26,11 +25,10 @@ fn remainder_stage_prediction_exact_on_paper_workload() {
 fn tree_stage_prediction_tight_on_paper_workload() {
     for n in [10usize, 15, 20, 25] {
         let p = charpoly_input(n, 1);
-        let before = metrics::snapshot();
-        let _ = RootApproximator::new(SolverConfig::sequential(8))
+        let r = RootApproximator::new(SolverConfig::sequential(8))
             .approximate_roots(&p)
             .unwrap();
-        let observed = (metrics::snapshot() - before).phase(Phase::TreePoly).mul_count;
+        let observed = r.stats.cost.phase(Phase::TreePoly).mul_count;
         let predicted = counts::tree_mults(n);
         assert!(observed <= predicted, "n={n}: {observed} > {predicted}");
         assert!(
@@ -47,11 +45,10 @@ fn interval_stage_prediction_order_of_magnitude() {
     // modest factor rather than exactly.
     for (n, mu) in [(15usize, 27u64), (20, 53), (25, 80)] {
         let p = charpoly_input(n, 2);
-        let before = metrics::snapshot();
         let r = RootApproximator::new(SolverConfig::sequential(mu))
             .approximate_roots(&p)
             .unwrap();
-        let d = metrics::snapshot() - before;
+        let d = r.stats.cost;
         let observed = [Phase::PreInterval, Phase::Sieve, Phase::Bisection, Phase::Newton]
             .iter()
             .map(|&ph| d.phase(ph).mul_count)
@@ -75,11 +72,11 @@ fn per_phase_breakdown_has_paper_proportions() {
     let n = 20;
     let p = charpoly_input(n, 0);
     let run = |mu: u64| {
-        let before = metrics::snapshot();
-        let _ = RootApproximator::new(SolverConfig::sequential(mu))
+        RootApproximator::new(SolverConfig::sequential(mu))
             .approximate_roots(&p)
-            .unwrap();
-        metrics::snapshot() - before
+            .unwrap()
+            .stats
+            .cost
     };
     let lo = run(13);
     let hi = run(106);
@@ -112,12 +109,10 @@ fn bit_cost_bounds_are_upper_bounds() {
     let mu = 106;
     let p = charpoly_input(n, 0);
     let m = p.coeff_bits();
-    let before = metrics::snapshot();
     let r = RootApproximator::new(SolverConfig::sequential(mu))
         .approximate_roots(&p)
         .unwrap();
-    let d = metrics::snapshot() - before;
-    let observed_bits = d.phase(Phase::Bisection).mul_bits as f64;
+    let observed_bits = r.stats.cost.phase(Phase::Bisection).mul_bits as f64;
     // upper bound: every bisection eval at the worst node size
     let x = (r.stats.bound_bits + mu) as f64;
     let worst_coeff = sizes::p_bound(n, m, 1, n - 1) + x * n as f64; // scaled coeffs

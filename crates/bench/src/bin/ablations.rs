@@ -94,4 +94,5 @@ fn main() {
     }
     println!("\n(the hybrid wins by a factor that grows with µ — the sieve skips the");
     println!(" long plateau and Newton replaces the last ~µ bisections with ~log µ steps)");
+    rr_bench::maybe_trace(&args, SolverConfig::parallel(mu, 2), &p);
 }

@@ -84,4 +84,9 @@ fn main() {
         );
     }
     maybe_write_json(args.get::<String>("json"), &rows);
+    rr_bench::maybe_trace(
+        &args,
+        SolverConfig::sequential(digits_to_bits(30)),
+        &charpoly_input(max_n, 0),
+    );
 }

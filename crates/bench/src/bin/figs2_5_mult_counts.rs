@@ -96,4 +96,10 @@ fn main() {
     println!("\n(the paper's observation: \"the predicted counts match the observed counts");
     println!(" quite well, especially for larger input parameters\" — the ratio column");
     println!(" should approach a constant as n grows)");
+    let rep = paper_degrees().into_iter().rfind(|&n| n <= max_n).unwrap_or(10);
+    rr_bench::maybe_trace(
+        &args,
+        SolverConfig::sequential(digits_to_bits(8)),
+        &charpoly_input(rep, 0),
+    );
 }

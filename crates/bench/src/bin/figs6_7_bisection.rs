@@ -98,4 +98,6 @@ fn main() {
     println!("\n(Fig 6: count ratio ≈ 1 — the \"excellent fit\"; Fig 7: the bit bound is");
     println!(" loose by design — the paper's \"rather weak upper bound\" from Collins'");
     println!(" coefficient-size estimates)");
+    let rep = paper_degrees().into_iter().rfind(|&n| n <= max_n).unwrap_or(10);
+    rr_bench::maybe_trace(&args, SolverConfig::sequential(mu), &charpoly_input(rep, 0));
 }

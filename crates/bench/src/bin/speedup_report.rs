@@ -1,0 +1,130 @@
+//! **Figures 9–13 from timed traces**: re-derives the paper's speedup
+//! tables from the observability layer instead of wall-clock reruns.
+//!
+//! For each degree, one *traced* dynamic solve on a single worker
+//! records the full task graph with per-task wall-clock durations
+//! (single worker ⇒ no timesharing skew in the durations; the spawn
+//! DAG is identical). From that one trace this binary reports, per
+//! degree:
+//!
+//! * the **available parallelism** `T_1 / T_∞` (total work over
+//!   critical path) — the ceiling no processor count can beat,
+//! * the **simulated speedup** on the paper's processor grid
+//!   (list-scheduled replay, `rr_sched::sim`), and
+//! * the **paper's published speedup** where tabulated, for
+//!   side-by-side comparison.
+//!
+//! Writes `results/speedup_observed.json` by default.
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin speedup_report -- \
+//!     [--digits 8] [--min-n 10] [--max-n 45] [--json results/speedup_observed.json]
+//! ```
+
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, Args, PAPER_PROCS};
+use rr_core::{ExecMode, Session, SolverConfig};
+use rr_sched::sim;
+use rr_workload::{charpoly_input, paper_degrees};
+
+struct Row {
+    n: usize,
+    mu_digits: u64,
+    total_tasks: u64,
+    work_secs: f64,
+    critical_path_secs: f64,
+    available_parallelism: f64,
+    procs: usize,
+    simulated_speedup: f64,
+    paper_speedup: f64, // -1 when the paper does not tabulate the cell
+}
+impl_to_json!(Row {
+    n,
+    mu_digits,
+    total_tasks,
+    work_secs,
+    critical_path_secs,
+    available_parallelism,
+    procs,
+    simulated_speedup,
+    paper_speedup,
+});
+
+fn main() {
+    let args = Args::parse();
+    let digits: u64 = args.get("digits").unwrap_or(8);
+    let min_n: usize = args.get("min-n").unwrap_or(10);
+    let max_n: usize = args.get("max-n").unwrap_or(45);
+    let mu = digits_to_bits(digits);
+    let json_path = args
+        .get::<String>("json")
+        .unwrap_or_else(|| "results/speedup_observed.json".into());
+
+    println!("Speedups from timed traces (µ = {digits} digits = {mu} bits)");
+    println!(
+        "  n  | tasks | work (s)  | T_inf (s) | avail ∥ | {}",
+        PAPER_PROCS.map(|p| format!("S({p:>2})/paper")).join(" | ")
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for n in paper_degrees().into_iter().filter(|&n| (min_n..=max_n).contains(&n)) {
+        let p = charpoly_input(n, 0);
+        // One worker: exact per-task durations, same spawn DAG.
+        let mut cfg = SolverConfig::parallel(mu, 2);
+        cfg.mode = ExecMode::Dynamic { threads: 1 };
+        let (result, report) = Session::new(cfg)
+            .solve_traced(&p)
+            .expect("real-rooted workload");
+
+        // Replay the recorded graphs back to back on the paper's grid.
+        let speedups: Vec<(usize, f64)> = result.stats.simulate_speedups(&PAPER_PROCS);
+        debug_assert!(
+            (report.critical_path.as_secs_f64()
+                - result
+                    .stats
+                    .traces
+                    .iter()
+                    .map(|t| sim::critical_path(t).as_secs_f64())
+                    .sum::<f64>())
+            .abs()
+                < 1e-12
+        );
+
+        let cells: Vec<String> = speedups
+            .iter()
+            .map(|&(procs, s)| {
+                let paper = rr_bench::paper_data::paper_speedup(digits, n, procs);
+                rows.push(Row {
+                    n,
+                    mu_digits: digits,
+                    total_tasks: report.total_tasks,
+                    work_secs: report.total_work.as_secs_f64(),
+                    critical_path_secs: report.critical_path.as_secs_f64(),
+                    available_parallelism: report.observed_parallelism,
+                    procs,
+                    simulated_speedup: s,
+                    paper_speedup: paper.unwrap_or(-1.0),
+                });
+                format!(
+                    "{s:>5.2}/{:<5}",
+                    paper.map_or("-".to_string(), |v| format!("{v:.2}"))
+                )
+            })
+            .collect();
+        println!(
+            " {:>3} | {:>5} | {:>9.4} | {:>9.4} | {:>7.2} | {}",
+            n,
+            report.total_tasks,
+            report.total_work.as_secs_f64(),
+            report.critical_path.as_secs_f64(),
+            report.observed_parallelism,
+            cells.join(" | "),
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    maybe_write_json(Some(json_path), &rows);
+}

@@ -133,4 +133,11 @@ fn main() {
     }
 
     maybe_write_json(args.get::<String>("json"), &cells);
+    if let Some(&rep) = degrees.last() {
+        rr_bench::maybe_trace(
+            &args,
+            SolverConfig::parallel(digits_to_bits(8), 4),
+            &charpoly_input(rep, 0),
+        );
+    }
 }

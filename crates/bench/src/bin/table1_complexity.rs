@@ -144,4 +144,6 @@ fn main() {
     println!(" regresses the measurement against the paper's complete formula including");
     println!(" m(n) — values near 1.0 mean the measured growth matches Table 1.)");
     maybe_write_json(args.get::<String>("json"), &samples);
+    let rep = paper_degrees().into_iter().rfind(|&n| n <= max_n).unwrap_or(10);
+    rr_bench::maybe_trace(&args, SolverConfig::sequential(mu), &charpoly_input(rep, 0));
 }

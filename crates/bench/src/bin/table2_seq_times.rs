@@ -86,4 +86,10 @@ fn main() {
              precomputation dominates — 4.4x @ n=10, 5.4x @ n=30, 1.5x @ n=70)"
         );
     }
+    let rep = paper_degrees().into_iter().rfind(|&n| n <= max_n).unwrap_or(10);
+    rr_bench::maybe_trace(
+        &args,
+        SolverConfig::sequential(digits_to_bits(8)),
+        &charpoly_input(rep, 0),
+    );
 }

@@ -3,7 +3,11 @@
 //! One binary per table/figure of the paper's evaluation; see DESIGN.md's
 //! per-experiment index. Run with `cargo run --release -p rr-bench --bin
 //! <name> -- [flags]`; every binary prints a human-readable table and, if
-//! `--json <path>` is given, a machine-readable record.
+//! `--json <path>` is given, a machine-readable record. Every binary
+//! also accepts `--trace <path>` to write a Chrome trace of one
+//! representative traced solve (see the [`trace`] module), and
+//! `speedup_report` re-derives the paper's speedup tables from timed
+//! task traces.
 //!
 //! | binary                | reproduces |
 //! |-----------------------|------------|
@@ -13,6 +17,7 @@
 //! | `figs6_7_bisection`   | Figures 6–7 (bisection-phase counts and bit complexity) |
 //! | `fig8_baseline`       | Figure 8 (comparison with the PARI stand-in) |
 //! | `table1_complexity`   | Table 1 (asymptotic growth-order fits) |
+//! | `speedup_report`      | Figures 9–13 speedup tables re-derived from timed traces → `results/speedup_observed.json` |
 //!
 //! The µ values on the command line are the paper's **decimal digits**,
 //! converted with [`digits_to_bits`].
@@ -23,6 +28,9 @@ pub mod json;
 pub mod microbench;
 pub mod paper_data;
 pub mod plot;
+pub mod trace;
+
+pub use trace::{maybe_trace, report_to_json};
 
 use json::ToJson;
 use std::time::{Duration, Instant};

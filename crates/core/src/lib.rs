@@ -61,6 +61,7 @@ pub mod multiple;
 pub mod par_solver;
 pub mod refine;
 pub mod rem_stage;
+pub mod report;
 pub mod seq_solver;
 pub mod session;
 pub mod solver;
@@ -69,6 +70,7 @@ pub mod tree;
 pub mod treepoly;
 
 pub use dyadic::Dyadic;
+pub use report::{PhaseReport, SolveReport};
 pub use rr_mp::MulBackend;
 pub use session::{solve_batch, solve_batch_on, Runtime, Session};
 pub use solver::{

@@ -39,14 +39,45 @@
 //! assert_eq!(batch[0].as_ref().unwrap().roots, batch[1].as_ref().unwrap().roots);
 //! ```
 
+use crate::report::SolveReport;
 use crate::solver::{solve_with, RootsResult, SolveError, SolverConfig};
 use parking_lot::Mutex;
 use rr_mp::metrics::CostSnapshot;
 use rr_mp::SolveCtx;
 use rr_poly::Poly;
 use rr_sched::Pool;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// The `RR_TRACE` destination, read once per process. `None` (the
+/// overwhelmingly common case) costs one branch per solve.
+fn trace_env() -> Option<&'static str> {
+    static TRACE: OnceLock<Option<String>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| std::env::var("RR_TRACE").ok().filter(|s| !s.is_empty()))
+        .as_deref()
+}
+
+/// A distinct output path per traced solve: the first solve writes
+/// `base` itself, later ones insert a counter before the extension
+/// (`trace.json`, `trace.1.json`, `trace.2.json`, …).
+fn unique_trace_path(base: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let k = NEXT.fetch_add(1, Ordering::Relaxed);
+    if k == 0 {
+        return PathBuf::from(base);
+    }
+    let p = std::path::Path::new(base);
+    match (p.file_stem(), p.extension()) {
+        (Some(stem), Some(ext)) => p.with_file_name(format!(
+            "{}.{k}.{}",
+            stem.to_string_lossy(),
+            ext.to_string_lossy()
+        )),
+        _ => PathBuf::from(format!("{base}.{k}")),
+    }
+}
 
 /// A shared solve runtime: one persistent worker pool that any number of
 /// concurrent sessions open scopes on. Cloning is cheap and shares the
@@ -148,13 +179,45 @@ impl Session {
     ///
     /// Safe to call from multiple threads at once: each call owns its
     /// context, pool scope, and `stats.cost`.
+    ///
+    /// If `RR_TRACE=<path>` is set in the environment (read once per
+    /// process), every solve is traced and its Chrome trace is written
+    /// to `<path>` (subsequent solves get `<path>.1`, `<path>.2`, …).
+    /// With the variable unset this check is a single branch and the
+    /// solve is untraced — results and metrics are bit-identical either
+    /// way; tracing only observes.
     pub fn solve(&self, p: &Poly) -> Result<RootsResult, SolveError> {
+        if let Some(base) = trace_env() {
+            let (result, report) = self.solve_traced(p)?;
+            let path = unique_trace_path(base);
+            if let Err(e) = report.write_chrome(&path) {
+                eprintln!("rr-core: failed to write RR_TRACE file {}: {e}", path.display());
+            }
+            return Ok(result);
+        }
         let ctx = SolveCtx::new(self.config.backend);
         let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p));
         if let Ok(r) = &result {
             *self.cumulative.lock() += r.stats.cost;
         }
         result
+    }
+
+    /// [`solve`](Session::solve) with tracing: carries an
+    /// [`rr_obs::Recorder`] through every thread that works on the
+    /// solve and returns the fused [`SolveReport`] (per-phase wall time
+    /// and operation counts, per-task scheduler records, observed
+    /// parallelism, Chrome-trace export) alongside the result.
+    ///
+    /// Roots, `n_star`, and `stats.cost` are identical to an untraced
+    /// solve: tracing only observes.
+    pub fn solve_traced(&self, p: &Poly) -> Result<(RootsResult, SolveReport), SolveError> {
+        let recorder = rr_obs::Recorder::new();
+        let ctx = SolveCtx::new(self.config.backend).with_recorder(recorder.clone());
+        let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p))?;
+        *self.cumulative.lock() += result.stats.cost;
+        let report = crate::report::build_report(&result, &recorder);
+        Ok((result, report))
     }
 
     /// Total cost of every successful [`solve`](Session::solve) so far.

@@ -242,9 +242,14 @@ pub(crate) fn solve_with(
 ) -> Result<RootsResult, SolveError> {
     let cost0 = ctx.snapshot();
     let t0 = Instant::now();
+    // Stage spans bracket the two pipeline halves on the solve's trace
+    // (inert single-branch guards when the solve is untraced).
+    let solve_span =
+        rr_obs::stage_span("solve").with_arg("n", p.degree().unwrap_or(0) as u64);
 
     // Stage 1: remainder/quotient sequences (+ squarefree reduction
     // when the input had repeated roots).
+    let rem_span = rr_obs::stage_span("remainder-stage");
     let mut traces = Vec::new();
     let rs0 = remainder_stage(cfg, ctx, pool, p, &mut traces)?;
     let (n, n_star) = (rs0.n, rs0.n_star);
@@ -256,12 +261,16 @@ pub(crate) fn solve_with(
         debug_assert!(rs_star.squarefree());
         (rs_star, p_star)
     };
+    drop(rem_span);
     let remainder_wall = t0.elapsed();
 
     // Stage 2+3: tree polynomials and interval problems.
     let bound_bits = root_bound_bits(&work_poly);
     let t1 = Instant::now();
+    let tree_span = rr_obs::stage_span("tree-stage");
     let (scaled, pool_stats) = tree_stage(cfg, ctx, pool, &rs, bound_bits, &mut traces)?;
+    drop(tree_span);
+    drop(solve_span);
     let tree_wall = t1.elapsed();
 
     let stats = SolveStats {

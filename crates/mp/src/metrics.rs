@@ -256,6 +256,12 @@ pub fn current_phase() -> Phase {
 
 /// Runs `f` with the current phase set to `p`, restoring the previous
 /// phase afterwards (also on unwind).
+///
+/// If the thread is inside a traced solve (an `rr-obs` recorder is
+/// installed, via [`crate::SolveCtx::with_recorder`]), the region is
+/// also recorded as a wall-clock phase span, so per-phase times line up
+/// with per-phase operation counts. With no recorder installed the span
+/// call is a single branch.
 pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
     struct Restore(Phase);
     impl Drop for Restore {
@@ -263,6 +269,7 @@ pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
             set_phase(self.0);
         }
     }
+    let _span = rr_obs::phase_span(p.label());
     let _restore = Restore(set_phase(p));
     f()
 }

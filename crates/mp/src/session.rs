@@ -52,12 +52,14 @@ use std::marker::PhantomData;
 use std::sync::{Arc, Weak};
 
 /// Per-solve context: a multiplication backend plus a private metrics
-/// sink. Cheap to clone (all clones share the sink); `Send + Sync`, so a
-/// solve can hand clones to its worker tasks.
+/// sink, and optionally an `rr-obs` span recorder for traced solves.
+/// Cheap to clone (all clones share the sink); `Send + Sync`, so a solve
+/// can hand clones to its worker tasks.
 #[derive(Clone, Debug)]
 pub struct SolveCtx {
     backend: MulBackend,
     sink: MetricsSink,
+    recorder: Option<rr_obs::Recorder>,
 }
 
 /// One installed context on a thread's ambient stack, with the
@@ -82,6 +84,7 @@ impl SolveCtx {
         SolveCtx {
             backend,
             sink: MetricsSink::new(),
+            recorder: None,
         }
     }
 
@@ -89,6 +92,20 @@ impl SolveCtx {
     /// ([`crate::mul_backend`], i.e. `RR_MUL_BACKEND` or schoolbook).
     pub fn with_default_backend() -> SolveCtx {
         SolveCtx::new(crate::backend::mul_backend())
+    }
+
+    /// Attaches a span recorder: while this context is installed, the
+    /// recorder is installed too (so `metrics::with_phase` sites emit
+    /// wall-clock phase spans alongside their operation counts), and it
+    /// follows the context onto worker threads.
+    pub fn with_recorder(mut self, recorder: rr_obs::Recorder) -> SolveCtx {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The span recorder attached to this context, if any.
+    pub fn recorder(&self) -> Option<&rr_obs::Recorder> {
+        self.recorder.as_ref()
     }
 
     /// The backend this context dispatches `Int` kernels to.
@@ -124,17 +141,21 @@ impl SolveCtx {
     }
 
     /// Installs this context on the calling thread until the returned
-    /// guard drops. Nested installs stack; the innermost wins.
+    /// guard drops. Nested installs stack; the innermost wins. A
+    /// recorder attached via [`SolveCtx::with_recorder`] is installed
+    /// for the same extent.
     ///
     /// The guard is not `Send`: it must drop on the thread that created
     /// it (context installation is per-thread state).
     pub fn install(&self) -> CtxGuard {
+        let obs = self.recorder.as_ref().map(rr_obs::Recorder::install);
         let active = ActiveCtx {
             backend: self.backend,
             counters: self.thread_counters(),
         };
         AMBIENT.with(|stack| stack.borrow_mut().push(active));
         CtxGuard {
+            _obs: obs,
             _not_send: PhantomData,
         }
     }
@@ -151,6 +172,9 @@ impl SolveCtx {
 /// [`SolveCtx::install`].
 #[must_use = "dropping the guard immediately uninstalls the context"]
 pub struct CtxGuard {
+    // Uninstalls the attached recorder after the context pops (struct
+    // fields drop after the `Drop::drop` body runs).
+    _obs: Option<rr_obs::InstallGuard>,
     // Raw-pointer marker makes the guard !Send + !Sync: it manipulates
     // the installing thread's ambient stack and must drop there.
     _not_send: PhantomData<*const ()>,
@@ -284,6 +308,62 @@ mod tests {
             });
         }
         assert_eq!(ctx.snapshot().total().mul_count, 100);
+    }
+
+    #[test]
+    fn attached_recorder_is_installed_with_the_context() {
+        let rec = rr_obs::Recorder::new();
+        let traced = SolveCtx::new(MulBackend::Schoolbook).with_recorder(rec.clone());
+        let plain = SolveCtx::new(MulBackend::Schoolbook);
+        traced.run(|| {
+            assert!(rr_obs::active());
+            metrics::with_phase(Phase::Newton, || {
+                let _ = Int::from(17u64) * Int::from(19u64);
+            });
+        });
+        assert!(!rr_obs::active());
+        plain.run(|| {
+            assert!(!rr_obs::active());
+            metrics::with_phase(Phase::Newton, || {
+                let _ = Int::from(17u64) * Int::from(19u64);
+            });
+        });
+        // Only the traced context produced a span, and both contexts
+        // counted their own multiplication: spans and counts agree.
+        let trace = rec.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "newton");
+        assert_eq!(trace.spans[0].cat, "phase");
+        assert_eq!(traced.snapshot().phase(Phase::Newton).mul_count, 1);
+        assert_eq!(plain.snapshot().phase(Phase::Newton).mul_count, 1);
+    }
+
+    #[test]
+    fn recorder_follows_context_across_threads() {
+        let rec = rr_obs::Recorder::new();
+        let ctx = SolveCtx::new(MulBackend::Fast).with_recorder(rec.clone());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let ctx = ctx.clone();
+                std::thread::spawn(move || {
+                    ctx.run(|| {
+                        metrics::with_phase(Phase::Sieve, || {
+                            let _ = Int::from(7u64) * Int::from(9u64);
+                        })
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = rec.finish();
+        assert_eq!(trace.spans.len(), 3);
+        assert!(trace.spans.iter().all(|s| s.name == "sieve"));
+        // One track per recording thread.
+        let tids: std::collections::HashSet<u32> = trace.spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 3);
+        assert_eq!(ctx.snapshot().phase(Phase::Sieve).mul_count, 3);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Merged trace data and exporters.
+//!
+//! A [`Trace`] is what [`Recorder::finish`](crate::Recorder::finish)
+//! returns: every thread's spans and counter samples merged onto one
+//! timeline (nanoseconds since the recorder epoch). Higher layers may
+//! append records rebased from external clocks (the scheduler's
+//! per-task timings arrive this way) before exporting.
+//!
+//! The primary exporter is [`Trace::to_chrome_json`], which emits the
+//! Chrome `trace_event` format understood by Perfetto and
+//! `chrome://tracing`: an object with a `traceEvents` array of `"X"`
+//! (complete) duration events, `"C"` counter events, and `"M"`
+//! metadata events naming the tracks. Timestamps (`ts`) and durations
+//! (`dur`) are microseconds, kept fractional to preserve nanosecond
+//! resolution.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A closed span: a named interval of work on one track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. a phase label like `"remainder"`).
+    pub name: Cow<'static, str>,
+    /// Category: `"phase"`, `"stage"`, `"task"`, …
+    pub cat: &'static str,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Track id: recorder-local thread index, or a synthetic track
+    /// (e.g. [`WORKER_TRACK_BASE`]` + worker`) for rebased records.
+    pub tid: u32,
+    /// Numeric arguments shown in the trace viewer's detail pane.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A timestamped counter sample (rendered as a graph track by Chrome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRecord {
+    /// Counter series name (e.g. `"queue-depth"`).
+    pub name: &'static str,
+    /// Sample time, nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Track ids at and above this value are synthetic scheduler-worker
+/// tracks (`WORKER_TRACK_BASE + worker_index`), disjoint by
+/// construction from recorder-assigned thread indices.
+pub const WORKER_TRACK_BASE: u32 = 1000;
+
+/// A merged, time-sorted collection of spans and counters.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All spans, sorted by `(start_ns, Reverse(dur_ns), tid)` so an
+    /// enclosing span precedes the spans nested within it.
+    pub spans: Vec<SpanRecord>,
+    /// All counter samples, sorted by time.
+    pub counters: Vec<CounterRecord>,
+    /// `(tid, label)` for every track that recorded, sorted by tid.
+    pub threads: Vec<(u32, String)>,
+}
+
+impl Trace {
+    /// Total wall-clock extent: from the earliest span start to the
+    /// latest span end.
+    pub fn extent(&self) -> Duration {
+        let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0);
+        Duration::from_nanos(end.saturating_sub(start))
+    }
+
+    /// Per-name *self* time for spans of category `cat`: each span's
+    /// duration minus the time covered by same-category spans nested
+    /// within it on the same track. This mirrors the cost-model rule
+    /// that the innermost phase owns the operation count, so per-phase
+    /// wall times line up with per-phase mul counts. Returns
+    /// `(name, self_time, span_count)` sorted by descending self time.
+    pub fn self_time_by_name(&self, cat: &str) -> Vec<(String, Duration, usize)> {
+        let mut totals: BTreeMap<&str, (u64, usize)> = BTreeMap::new();
+        // Spans are sorted with parents before children, so a per-track
+        // stack of open spans identifies each span's innermost enclosing
+        // same-category span; the child's duration is charged to itself
+        // and subtracted from the parent.
+        let mut stacks: BTreeMap<u32, Vec<(usize, u64)>> = BTreeMap::new();
+        let mut net: Vec<i128> = Vec::with_capacity(self.spans.len());
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.cat != cat {
+                continue;
+            }
+            net.resize(i + 1, 0);
+            net[i] = i128::from(s.dur_ns);
+            let stack = stacks.entry(s.tid).or_default();
+            while let Some(&(_, end)) = stack.last() {
+                if end <= s.start_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(parent, _)) = stack.last() {
+                net[parent] -= i128::from(s.dur_ns);
+            }
+            stack.push((i, s.start_ns + s.dur_ns));
+        }
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.cat != cat || i >= net.len() {
+                continue;
+            }
+            let e = totals.entry(&s.name).or_default();
+            e.0 += u64::try_from(net[i].max(0)).unwrap_or(0);
+            e.1 += 1;
+        }
+        let mut out: Vec<(String, Duration, usize)> = totals
+            .into_iter()
+            .map(|(name, (ns, count))| (name.to_owned(), Duration::from_nanos(ns), count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Sum of durations of spans of category `cat` (busy time across
+    /// all tracks; overlapping spans count multiply).
+    pub fn busy_time(&self, cat: &str) -> Duration {
+        Duration::from_nanos(
+            self.spans
+                .iter()
+                .filter(|s| s.cat == cat)
+                .map(|s| s.dur_ns)
+                .sum(),
+        )
+    }
+
+    /// Serializes the trace as Chrome `trace_event` JSON, loadable in
+    /// Perfetto or `chrome://tracing`. All events use `pid` 1; each
+    /// trace track becomes a `tid` with an `"M"` `thread_name` record.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+        for (tid, label) in &self.threads {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(label)
+            );
+        }
+        for s in &self.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":{},\"name\":{},\
+                 \"ts\":{},\"dur\":{}",
+                s.tid,
+                json_str(s.cat),
+                json_str(&s.name),
+                micros(s.start_ns),
+                micros(s.dur_ns),
+            );
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in s.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{v}", json_str(k));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        for c in &self.counters {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":{},\"ts\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                json_str(c.name),
+                micros(c.t_ns),
+                fmt_f64(c.value),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`Trace::to_chrome_json`] to `path`.
+    pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+/// Nanoseconds → microseconds with fractional part, trailing zeros
+/// trimmed (`1500` → `"1.5"`, `2000` → `"2"`).
+fn micros(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let mut s = format!("{whole}.{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(name: &'static str, cat: &'static str, start: u64, dur: u64, tid: u32) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            cat,
+            start_ns: start,
+            dur_ns: dur,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_same_category_spans() {
+        let trace = Trace {
+            spans: vec![
+                sp("outer", "phase", 0, 1_000, 0),
+                sp("inner", "phase", 200, 300, 0),
+                sp("other-cat", "stage", 400, 100, 0), // ignored: different cat
+                sp("inner", "phase", 600, 100, 0),
+            ],
+            ..Trace::default()
+        };
+        let selfs = trace.self_time_by_name("phase");
+        let get = |n: &str| selfs.iter().find(|(name, ..)| name == n).unwrap();
+        assert_eq!(get("outer").1, Duration::from_nanos(600));
+        assert_eq!(get("inner").1, Duration::from_nanos(400));
+        assert_eq!(get("inner").2, 2);
+        // Descending self-time order.
+        assert_eq!(selfs[0].0, "outer");
+    }
+
+    #[test]
+    fn self_time_separates_tracks() {
+        let trace = Trace {
+            spans: vec![sp("a", "phase", 0, 500, 0), sp("b", "phase", 100, 300, 1)],
+            ..Trace::default()
+        };
+        // Same window but different tracks: no nesting, no subtraction.
+        let selfs = trace.self_time_by_name("phase");
+        assert_eq!(selfs.iter().map(|s| s.1.as_nanos()).sum::<u128>(), 800);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let trace = Trace {
+            spans: vec![{
+                let mut s = sp("remainder", "phase", 1_500, 2_000, 0);
+                s.args.push(("n", 20));
+                s
+            }],
+            counters: vec![CounterRecord { name: "queue-depth", t_ns: 2_000, value: 3.0 }],
+            threads: vec![(0, "main".to_owned())],
+        };
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"main\"}}"
+        ));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"remainder\""));
+        assert!(json.contains("\"ts\":1.5"));
+        assert!(json.contains("\"dur\":2"));
+        assert!(json.contains("\"args\":{\"n\":20}"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(2_000), "2");
+        assert_eq!(micros(1_500), "1.5");
+        assert_eq!(micros(1_001), "1.001");
+        assert_eq!(micros(999), "0.999");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn extent_and_busy() {
+        let trace = Trace {
+            spans: vec![sp("a", "task", 100, 400, 0), sp("b", "task", 300, 500, 1)],
+            ..Trace::default()
+        };
+        assert_eq!(trace.extent(), Duration::from_nanos(700));
+        assert_eq!(trace.busy_time("task"), Duration::from_nanos(900));
+        assert_eq!(trace.busy_time("phase"), Duration::ZERO);
+    }
+}

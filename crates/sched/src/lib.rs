@@ -25,7 +25,15 @@
 //! * [`sim`] — trace-driven scheduling simulation: replays a recorded
 //!   task graph on `P` *virtual* processors, so the paper's speedup
 //!   tables can be reproduced even on hosts with fewer cores than the
-//!   Sequent Symmetry's 20.
+//!   Sequent Symmetry's 20; [`sim::critical_path`] gives the `T_∞`
+//!   bound.
+//!
+//! Observability: traced scopes record per-task start timestamps and
+//! executing-worker ids ([`TaskRecord`]), queue-depth samples
+//! ([`TaskTrace::queue_samples`]), and steal/idle counters
+//! ([`PoolStats::steal_retries`] / [`PoolStats::empty_polls`]); the
+//! `rr-core` report layer fuses these with `rr-obs` phase spans into
+//! Chrome-trace exports.
 
 #![warn(missing_docs)]
 
@@ -38,3 +46,4 @@ pub use graph::Gate;
 pub use pool::{
     run, run_traced, Pool, PoolStats, Scope, ScopeConfig, TaskRecord, TaskTrace, TaskWrapper,
 };
+pub use sim::{critical_path, simulate_makespan, simulate_speedups};

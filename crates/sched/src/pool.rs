@@ -50,11 +50,11 @@ struct Queued {
     f: ErasedTask,
 }
 
-/// One executed task in a [`TaskTrace`]: its spawner and its measured
-/// duration. The spawner edge is the task's *last-arriving* dependency
-/// (a gated task is enqueued by whichever prerequisite finishes last), so
-/// replaying the trace respects the true precedence constraints observed
-/// in this run.
+/// One executed task in a [`TaskTrace`]: its spawner, its measured
+/// timing, and the worker that ran it. The spawner edge is the task's
+/// *last-arriving* dependency (a gated task is enqueued by whichever
+/// prerequisite finishes last), so replaying the trace respects the true
+/// precedence constraints observed in this run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskRecord {
     /// Task id (spawn order within the scope, starting at 0).
@@ -63,6 +63,11 @@ pub struct TaskRecord {
     pub parent: Option<u64>,
     /// Measured execution time in nanoseconds.
     pub nanos: u64,
+    /// Execution start, nanoseconds since the scope opened
+    /// ([`TaskTrace::epoch`]).
+    pub start_ns: u64,
+    /// Pool-worker index that executed the task.
+    pub worker: usize,
 }
 
 /// The recorded task graph of one scope — input to
@@ -76,6 +81,14 @@ pub struct TaskRecord {
 pub struct TaskTrace {
     /// Executed tasks (unordered; ids are spawn order).
     pub records: Vec<TaskRecord>,
+    /// The `Instant` the scope opened; all `start_ns` values and
+    /// queue-sample times are offsets from it. `None` for synthetic
+    /// traces built by hand (e.g. in the simulator tests).
+    pub epoch: Option<Instant>,
+    /// `(t_ns, depth)` samples of the scope's pending-task count, taken
+    /// by workers as they steal. Exported as a `"queue-depth"` counter
+    /// track in Chrome traces.
+    pub queue_samples: Vec<(u64, u32)>,
 }
 
 impl TaskTrace {
@@ -87,6 +100,13 @@ impl TaskTrace {
 
 thread_local! {
     static CURRENT_TASK: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Buffers for a traced scope: executed-task records plus queue-depth
+/// samples, both stamped against the scope's epoch.
+struct TraceBuf {
+    records: Mutex<Vec<TaskRecord>>,
+    queue: Mutex<Vec<(u64, u32)>>,
 }
 
 /// The shared state of one scope: queue, quiescence counter, id space,
@@ -101,8 +121,14 @@ struct ScopeCore {
     cap: usize,
     /// Workers currently holding a drain slot.
     active: AtomicUsize,
+    /// Time zero for all of this scope's task timestamps.
+    epoch: Instant,
+    /// `Steal::Retry` collisions observed while draining this scope.
+    steal_retries: AtomicU64,
+    /// Empty polls: a worker claimed a drain slot and found no task.
+    empty_polls: AtomicU64,
     wrapper: Option<TaskWrapper>,
-    trace: Option<Mutex<Vec<TaskRecord>>>,
+    trace: Option<TraceBuf>,
     /// (tasks, busy) per pool-worker index.
     stats: Mutex<Vec<(u64, Duration)>>,
     done_lock: Mutex<()>,
@@ -119,12 +145,26 @@ impl ScopeCore {
             panicked: AtomicBool::new(false),
             cap,
             active: AtomicUsize::new(0),
+            epoch: Instant::now(),
+            steal_retries: AtomicU64::new(0),
+            empty_polls: AtomicU64::new(0),
             wrapper,
-            trace: traced.then(|| Mutex::new(Vec::new())),
+            trace: traced.then(|| TraceBuf {
+                records: Mutex::new(Vec::new()),
+                queue: Mutex::new(Vec::new()),
+            }),
             stats: Mutex::new(Vec::new()),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
         }
+    }
+
+    /// Nanoseconds since the scope opened (saturating: a worker whose
+    /// first steal races the epoch read reports 0).
+    fn now_ns(&self) -> u64 {
+        Instant::now()
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_nanos() as u64)
     }
 
     /// Claims a drain slot if the cap allows; release with `release`.
@@ -248,6 +288,12 @@ pub struct PoolStats {
     pub busy_per_worker: Vec<Duration>,
     /// Wall-clock duration from scope open to quiescence.
     pub wall: Duration,
+    /// `Steal::Retry` collisions observed while draining the scope —
+    /// contention on the shared queue.
+    pub steal_retries: u64,
+    /// Times a worker claimed a drain slot and found the queue empty —
+    /// a proxy for worker idling (starvation) while the scope was open.
+    pub empty_polls: u64,
 }
 
 impl PoolStats {
@@ -263,6 +309,23 @@ impl PoolStats {
         }
         let busy: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
         busy / (self.wall.as_secs_f64() * self.workers as f64)
+    }
+}
+
+impl std::fmt::Display for PoolStats {
+    /// One-line human summary, e.g.
+    /// `4 workers, 123 tasks, 87.3% utilized, wall 1.24ms, 2 steal retries, 17 empty polls`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers, {} tasks, {:.1}% utilized, wall {:.2?}, {} steal retries, {} empty polls",
+            self.workers,
+            self.total_tasks(),
+            self.utilization() * 100.0,
+            self.wall,
+            self.steal_retries,
+            self.empty_polls,
+        )
     }
 }
 
@@ -385,12 +448,20 @@ impl Pool {
         }
         tasks_per_worker.resize(tasks_per_worker.len().max(cap), 0);
         busy_per_worker.resize(busy_per_worker.len().max(cap), Duration::ZERO);
-        let trace = core
-            .trace
-            .as_ref()
-            .map(|records| TaskTrace { records: std::mem::take(&mut *records.lock()) });
+        let trace = core.trace.as_ref().map(|buf| TaskTrace {
+            records: std::mem::take(&mut *buf.records.lock()),
+            epoch: Some(core.epoch),
+            queue_samples: std::mem::take(&mut *buf.queue.lock()),
+        });
         (
-            PoolStats { workers: cap, tasks_per_worker, busy_per_worker, wall },
+            PoolStats {
+                workers: cap,
+                tasks_per_worker,
+                busy_per_worker,
+                wall,
+                steal_retries: core.steal_retries.load(Ordering::Relaxed),
+                empty_polls: core.empty_polls.load(Ordering::Relaxed),
+            },
             trace,
         )
     }
@@ -465,6 +536,13 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
         match core.injector.steal() {
             Steal::Success(task) => {
                 let Queued { id, parent, f } = task;
+                if let Some(trace) = &core.trace {
+                    // Depth after this steal: tasks still queued (pending
+                    // counts running tasks too, so subtract nothing — the
+                    // injector length is the honest queue depth here).
+                    let depth = core.injector.len() as u32;
+                    trace.queue.lock().push((core.now_ns(), depth));
+                }
                 let scope: Scope<'static> = Scope::handle(Arc::clone(core));
                 let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
                 let t0 = Instant::now();
@@ -479,10 +557,14 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                 let elapsed = t0.elapsed();
                 CURRENT_TASK.with(|c| c.set(prev));
                 if let Some(trace) = &core.trace {
-                    trace.lock().push(TaskRecord {
+                    trace.records.lock().push(TaskRecord {
                         id,
                         parent,
                         nanos: elapsed.as_nanos() as u64,
+                        start_ns: t0
+                            .checked_duration_since(core.epoch)
+                            .map_or(0, |d| d.as_nanos() as u64),
+                        worker: worker_idx,
                     });
                 }
                 core.record_task(worker_idx, elapsed);
@@ -497,8 +579,14 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                 }
                 core.finish_task();
             }
-            Steal::Retry => continue,
-            Steal::Empty => break,
+            Steal::Retry => {
+                core.steal_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Steal::Empty => {
+                core.empty_polls.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
     }
     did_work

@@ -45,30 +45,67 @@ pub fn simulate_makespan(trace: &TaskTrace, workers: usize) -> Duration {
             None => roots.push(r.id),
         }
     }
+    // Observed start times break FIFO ties the way the *real run* did:
+    // two tasks ready at the same instant are taken in the order the
+    // workers actually stole them, not in spawn-id order. Synthetic
+    // traces (all start_ns zero) degrade gracefully to spawn order.
+    let mut started = vec![0u64; max_id + 1];
+    for r in &trace.records {
+        started[r.id as usize] = r.start_ns;
+    }
     for c in &mut children {
         c.sort_unstable(); // spawn order
     }
 
-    // Ready tasks ordered by (ready_time, id) — FIFO by readiness, ties
-    // broken by spawn order like the real injector.
-    let mut ready: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    // Ready tasks ordered by (ready_time, observed_start, id) — FIFO by
+    // readiness, ties broken by the recorded execution order (then spawn
+    // order) like the real injector.
+    let mut ready: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
     for id in roots {
-        ready.push(Reverse((0, id)));
+        ready.push(Reverse((0, started[id as usize], id)));
     }
     // Virtual processors: min-heap of next-free times.
     let mut free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0)).collect();
     let mut makespan = 0u64;
-    while let Some(Reverse((ready_at, id))) = ready.pop() {
+    while let Some(Reverse((ready_at, _, id))) = ready.pop() {
         let Reverse(free_at) = free.pop().expect("nonempty");
         let start = ready_at.max(free_at);
         let done = start + dur[id as usize];
         free.push(Reverse(done));
         makespan = makespan.max(done);
         for &c in &children[id as usize] {
-            ready.push(Reverse((done, c)));
+            ready.push(Reverse((done, started[c as usize], c)));
         }
     }
     Duration::from_nanos(makespan)
+}
+
+/// Length of the trace's critical path: the longest duration-weighted
+/// chain of spawner edges. This is the `T_∞` lower bound on any
+/// schedule's makespan; `total_work / critical_path` is the graph's
+/// available parallelism.
+///
+/// Relies on the pool's invariant that a spawner's id precedes its
+/// children's ids (ids are spawn order), so one id-ordered pass computes
+/// the longest path.
+pub fn critical_path(trace: &TaskTrace) -> Duration {
+    if trace.records.is_empty() {
+        return Duration::ZERO;
+    }
+    let max_id = trace.records.iter().map(|r| r.id).max().unwrap() as usize;
+    let mut recs: Vec<Option<(Option<u64>, u64)>> = vec![None; max_id + 1];
+    for r in &trace.records {
+        recs[r.id as usize] = Some((r.parent, r.nanos));
+    }
+    let mut finish = vec![0u64; max_id + 1];
+    let mut best = 0u64;
+    for (id, rec) in recs.iter().enumerate() {
+        let Some((parent, nanos)) = rec else { continue };
+        let base = parent.map_or(0, |p| finish[p as usize]);
+        finish[id] = base + nanos;
+        best = best.max(finish[id]);
+    }
+    Duration::from_nanos(best)
 }
 
 /// Simulated speedup curve: `makespan(1) / makespan(p)` for each
@@ -87,11 +124,11 @@ mod tests {
     use crate::pool::{run_traced, TaskRecord};
 
     fn trace(records: Vec<TaskRecord>) -> TaskTrace {
-        TaskTrace { records }
+        TaskTrace { records, ..TaskTrace::default() }
     }
 
     fn rec(id: u64, parent: Option<u64>, nanos: u64) -> TaskRecord {
-        TaskRecord { id, parent, nanos }
+        TaskRecord { id, parent, nanos, start_ns: 0, worker: 0 }
     }
 
     #[test]
@@ -163,6 +200,56 @@ mod tests {
     }
 
     #[test]
+    fn recorded_start_order_breaks_fifo_ties() {
+        // Four tasks ready at t=0 on 2 processors: A(2), B(1), C(1) and
+        // D(2) gated on A. In spawn order [A, B, C] the schedule is
+        // A:[0,2] B:[0,1] C:[1,2] D:[2,4] → makespan 4. If the real run
+        // happened to execute B and C first (recorded start order
+        // [B, C, A]), the replay must follow: B:[0,1] C:[0,1] A:[1,3]
+        // D:[3,5] → makespan 5.
+        let spawn_order = trace(vec![
+            rec(0, None, 0), // seed
+            rec(1, Some(0), 2),
+            rec(2, Some(0), 1),
+            rec(3, Some(0), 1),
+            rec(4, Some(1), 2),
+        ]);
+        assert_eq!(simulate_makespan(&spawn_order, 2), Duration::from_nanos(4));
+        let mut observed = spawn_order.clone();
+        for r in &mut observed.records {
+            r.start_ns = match r.id {
+                2 | 3 => 10, // B, C stolen first
+                1 => 20,     // A after them
+                4 => 40,
+                _ => 0,
+            };
+        }
+        assert_eq!(simulate_makespan(&observed, 2), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn critical_path_bounds_makespan() {
+        // Diamond from `diamond_critical_path`: longest chain 0→1 = 110.
+        let t = trace(vec![
+            rec(0, None, 10),
+            rec(1, Some(0), 100),
+            rec(2, Some(0), 30),
+            rec(3, Some(2), 30),
+        ]);
+        assert_eq!(critical_path(&t), Duration::from_nanos(110));
+        // T_∞ lower-bounds every schedule, and with enough processors the
+        // greedy schedule achieves it on this graph.
+        for p in [1usize, 2, 4] {
+            assert!(simulate_makespan(&t, p) >= critical_path(&t));
+        }
+        assert_eq!(simulate_makespan(&t, 2), critical_path(&t));
+        // A pure chain *is* its critical path.
+        let chain = trace(vec![rec(0, None, 50), rec(1, Some(0), 50), rec(2, Some(1), 50)]);
+        assert_eq!(critical_path(&chain), Duration::from_nanos(150));
+        assert_eq!(critical_path(&trace(vec![])), Duration::ZERO);
+    }
+
+    #[test]
     fn real_trace_from_pool_replays_consistently() {
         use std::sync::atomic::{AtomicU64, Ordering};
         let count = AtomicU64::new(0);
@@ -180,9 +267,21 @@ mod tests {
         // every task has a unique id and a recorded parent except the seed
         let seeds = trace.records.iter().filter(|r| r.parent.is_none()).count();
         assert_eq!(seeds, 1);
+        // timed records: epoch set, workers in range, children start
+        // after their spawner started
+        assert!(trace.epoch.is_some());
+        assert!(trace.records.iter().all(|r| r.worker < 2));
+        let started: std::collections::HashMap<u64, u64> =
+            trace.records.iter().map(|r| (r.id, r.start_ns)).collect();
+        for r in &trace.records {
+            if let Some(p) = r.parent {
+                assert!(r.start_ns >= started[&p], "child {} before parent {p}", r.id);
+            }
+        }
         // simulation runs and respects work conservation
         let m1 = simulate_makespan(&trace, 1);
         assert_eq!(m1, trace.total_work());
         assert!(simulate_makespan(&trace, 4) <= m1);
+        assert!(critical_path(&trace) <= m1);
     }
 }

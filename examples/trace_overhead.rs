@@ -1,0 +1,52 @@
+//! Measures the observability layer's wall-clock overhead: the ISSUE's
+//! acceptance bound is **< 3%** traced vs untraced on the n = 30,
+//! µ = 8-digit workload. Also prints the traced solve's `SolveReport`
+//! so the per-phase fusion is visible.
+//!
+//! ```sh
+//! cargo run --release --example trace_overhead
+//! ```
+
+use polyroots::workload::charpoly_input;
+use polyroots::{Session, SolverConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let p = charpoly_input(30, 0);
+    let cfg = SolverConfig::parallel(27, 4); // µ = 8 digits
+    let session = Session::new(cfg);
+    let reps = 5;
+
+    // Warm up the pool and the page cache.
+    session.solve(&p).unwrap();
+
+    let best = |f: &dyn Fn()| {
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let untraced = best(&|| {
+        session.solve(&p).unwrap();
+    });
+    let traced = best(&|| {
+        session.solve_traced(&p).unwrap();
+    });
+    let overhead = traced.as_secs_f64() / untraced.as_secs_f64() - 1.0;
+
+    println!("n = 30, µ = 8 digits, best of {reps}:");
+    println!("  untraced solve: {untraced:>10.3?}");
+    println!("  traced solve:   {traced:>10.3?}");
+    println!("  overhead:       {:>+9.2}%  (bound: < 3%)", overhead * 100.0);
+    if overhead >= 0.03 && traced - untraced > Duration::from_millis(1) {
+        eprintln!("WARNING: overhead above the 3% acceptance bound");
+        std::process::exit(1);
+    }
+
+    let (_, report) = session.solve_traced(&p).unwrap();
+    println!("\n{report}");
+}

@@ -14,13 +14,14 @@ pub use rr_core as core;
 pub use rr_linalg as linalg;
 pub use rr_model as model;
 pub use rr_mp as mp;
+pub use rr_obs as obs;
 pub use rr_poly as poly;
 pub use rr_sched as sched;
 pub use rr_workload as workload;
 
 pub use rr_core::{
     solve_batch, solve_batch_on, Dyadic, RootApproximator, Runtime, Session, SolveError,
-    SolverConfig,
+    SolveReport, SolverConfig,
 };
 pub use rr_mp::Int;
 pub use rr_poly::Poly;

@@ -1,0 +1,166 @@
+//! Integration tests of the observability layer (ISSUE 3 satellite):
+//! a traced solve produces phase spans for every pipeline stage with
+//! non-zero durations, tracing is a pure observer (identical roots and
+//! `CostSnapshot` with and without it), and the scheduler's timed task
+//! records fuse consistently into the report.
+
+use rr_core::{Session, SolverConfig};
+use rr_mp::metrics::Phase;
+use rr_mp::Int;
+use rr_poly::Poly;
+use rr_workload::charpoly_input;
+use std::time::Duration;
+
+fn wilkinson(n: i64) -> Poly {
+    Poly::from_roots(&(1..=n).map(Int::from).collect::<Vec<_>>())
+}
+
+/// The paper workload of the acceptance criterion: n = 20, µ = 8 digits
+/// (27 bits), dynamic scheduling.
+fn traced_paper_solve() -> (rr_core::RootsResult, rr_core::SolveReport) {
+    let p = charpoly_input(20, 0);
+    let session = Session::new(SolverConfig::parallel(27, 4));
+    session.solve_traced(&p).expect("real-rooted workload")
+}
+
+#[test]
+fn traced_solve_emits_all_pipeline_phases_with_nonzero_time() {
+    let (result, report) = traced_paper_solve();
+    assert_eq!(result.roots.len(), 20);
+
+    // All four pipeline stages appear as phase spans: the remainder
+    // stage, the tree stage, the interval setup, and the interval
+    // refinement (sieve / bisection / newton).
+    for phase in ["remainder", "treepoly", "preinterval"] {
+        let row = report
+            .phases
+            .iter()
+            .find(|r| r.name == phase)
+            .unwrap_or_else(|| panic!("missing phase row {phase}"));
+        assert!(row.spans > 0, "{phase}: no spans");
+        assert!(row.self_time > Duration::ZERO, "{phase}: zero self time");
+        assert!(row.mul_count > 0, "{phase}: no muls");
+    }
+    let refine_time: Duration = report
+        .phases
+        .iter()
+        .filter(|r| matches!(r.name.as_str(), "sieve" | "bisection" | "newton"))
+        .map(|r| r.self_time)
+        .sum();
+    assert!(refine_time > Duration::ZERO, "no interval-refinement time");
+
+    // Stage spans bracket the phases.
+    let stages: Vec<&str> = report
+        .trace
+        .spans
+        .iter()
+        .filter(|s| s.cat == "stage")
+        .map(|s| s.name.as_ref())
+        .collect();
+    assert!(stages.contains(&"solve"));
+    assert!(stages.contains(&"remainder-stage"));
+    assert!(stages.contains(&"tree-stage"));
+
+    // The scheduler contributed timed per-task records with worker ids.
+    assert!(report.total_tasks > 0);
+    assert!(report.total_work > Duration::ZERO);
+    assert!(report.critical_path > Duration::ZERO);
+    assert!(report.observed_parallelism >= 1.0);
+    let task_spans = report.trace.spans.iter().filter(|s| s.cat == "task").count();
+    assert_eq!(task_spans as u64, report.total_tasks);
+
+    // Pool stats carry the new idle/steal counters and Display format.
+    let pool = report.pool.as_ref().expect("dynamic mode has pool stats");
+    let line = pool.to_string();
+    assert!(line.contains("steal retries"), "Display missing counters: {line}");
+    assert!(line.contains("empty polls"), "Display missing counters: {line}");
+}
+
+#[test]
+fn tracing_is_a_pure_observer() {
+    // Same input, same config: the traced solve must return identical
+    // roots and an identical CostSnapshot to the untraced one.
+    let p = charpoly_input(20, 0);
+    let cfg = SolverConfig::parallel(27, 4);
+    let untraced = Session::new(cfg).solve(&p).expect("untraced solve");
+    let (traced, _report) = Session::new(cfg).solve_traced(&p).expect("traced solve");
+    assert_eq!(untraced.roots, traced.roots);
+    assert_eq!(untraced.n_star, traced.n_star);
+    assert_eq!(untraced.stats.cost, traced.stats.cost);
+}
+
+#[test]
+fn sequential_traced_solve_also_observes_identically() {
+    let p = wilkinson(12);
+    let cfg = SolverConfig::sequential(16);
+    let untraced = Session::new(cfg).solve(&p).expect("untraced");
+    let (traced, report) = Session::new(cfg).solve_traced(&p).expect("traced");
+    assert_eq!(untraced.roots, traced.roots);
+    assert_eq!(untraced.stats.cost, traced.stats.cost);
+    // No scheduler in sequential mode: phases only, no tasks.
+    assert_eq!(report.total_tasks, 0);
+    assert!(report.trace.spans.iter().all(|s| s.cat != "task"));
+    assert!(report.phases.iter().any(|r| r.name == "remainder"));
+}
+
+#[test]
+fn report_counts_agree_with_cost_snapshot() {
+    let (result, report) = traced_paper_solve();
+    for (phase, label) in [
+        (Phase::RemainderSeq, "remainder"),
+        (Phase::TreePoly, "treepoly"),
+        (Phase::Newton, "newton"),
+    ] {
+        let snap = result.stats.cost.phase(phase);
+        let row = report.phases.iter().find(|r| r.name == label);
+        let (muls, divs) = row.map_or((0, 0), |r| (r.mul_count, r.div_count));
+        assert_eq!(muls, snap.mul_count, "{label} muls");
+        assert_eq!(divs, snap.div_count, "{label} divs");
+    }
+}
+
+#[test]
+fn concurrent_traced_solves_do_not_cross_attribute() {
+    // Two traced solves on the shared runtime at once: recorders are
+    // per-solve, so each report sees only its own solve's spans.
+    let handles: Vec<_> = (0..2)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let n = 14 + k as i64 * 4;
+                let p = wilkinson(n);
+                let session = Session::new(SolverConfig::parallel(16, 2));
+                let (result, report) = session.solve_traced(&p).expect("traced");
+                (n, result, report)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (n, result, report) = h.join().unwrap();
+        assert_eq!(result.roots.len() as i64, n);
+        // Every task span in this report belongs to this solve's task
+        // graph: one span per task record, each carrying its scope-local
+        // id (ids restart per pool scope, so the max stays below the
+        // cross-scope total).
+        let ids: Vec<u64> = report
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.cat == "task")
+            .map(|s| {
+                s.args
+                    .iter()
+                    .find(|(k, _)| *k == "id")
+                    .expect("task span has id arg")
+                    .1
+            })
+            .collect();
+        assert_eq!(ids.len() as u64, report.total_tasks);
+        assert!(ids.iter().max().unwrap() < &report.total_tasks);
+        // The isolated cost check: this solve's counts match a fresh
+        // isolated rerun of the same input.
+        let alone = Session::new(SolverConfig::parallel(16, 2))
+            .solve(&wilkinson(n))
+            .unwrap();
+        assert_eq!(alone.stats.cost, result.stats.cost);
+    }
+}

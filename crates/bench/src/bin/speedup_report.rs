@@ -71,9 +71,19 @@ fn main() {
         // One worker: exact per-task durations, same spawn DAG.
         let mut cfg = SolverConfig::parallel(mu, 2);
         cfg.mode = ExecMode::Dynamic { threads: 1 };
-        let (result, report) = Session::new(cfg)
-            .solve_traced(&p)
-            .expect("real-rooted workload");
+        let (result, report) = match Session::new(cfg).solve_traced(&p) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(" {n:>3} | skipped: solve failed ({e})");
+                continue;
+            }
+        };
+        if let Some(d) = report.degraded {
+            // A degraded solve did not run the paper's pipeline; its
+            // trace would not be comparable to the tables.
+            eprintln!(" {n:>3} | skipped: solve degraded ({d})");
+            continue;
+        }
 
         // Replay the recorded graphs back to back on the paper's grid.
         let speedups: Vec<(usize, f64)> = result.stats.simulate_speedups(&PAPER_PROCS);

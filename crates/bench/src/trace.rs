@@ -57,6 +57,21 @@ pub fn report_to_json(report: &SolveReport) -> Value {
                 .collect(),
         ),
     );
+    o.insert(
+        "panicked_tasks".into(),
+        Value::Num(report.panicked_tasks as f64),
+    );
+    o.insert(
+        "cancelled_tasks".into(),
+        Value::Num(report.cancelled_tasks as f64),
+    );
+    o.insert(
+        "degraded".into(),
+        match report.degraded {
+            Some(d) => Value::Str(d.to_string()),
+            None => Value::Null,
+        },
+    );
     if let Some(pool) = &report.pool {
         let mut row = BTreeMap::new();
         row.insert("workers".into(), Value::Num(pool.workers as f64));
@@ -65,6 +80,11 @@ pub fn report_to_json(report: &SolveReport) -> Value {
         row.insert("wall_secs".into(), Value::Num(pool.wall.as_secs_f64()));
         row.insert("steal_retries".into(), Value::Num(pool.steal_retries as f64));
         row.insert("empty_polls".into(), Value::Num(pool.empty_polls as f64));
+        row.insert("panicked_tasks".into(), Value::Num(pool.panicked_tasks as f64));
+        row.insert(
+            "cancelled_tasks".into(),
+            Value::Num(pool.cancelled_tasks as f64),
+        );
         o.insert("pool".into(), Value::Object(row));
     }
     Value::Object(o)
@@ -78,9 +98,13 @@ pub fn maybe_trace(args: &Args, config: SolverConfig, p: &Poly) {
         return;
     };
     let session = Session::new(config);
-    let (result, report) = session
-        .solve_traced(p)
-        .expect("traced solve of a real-rooted workload");
+    let (result, report) = match session.solve_traced(p) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("(--trace skipped: traced solve failed: {e})");
+            return;
+        }
+    };
     report
         .write_chrome(std::path::Path::new(&path))
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));

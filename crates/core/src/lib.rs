@@ -39,6 +39,18 @@
 //!
 //! The public entry point is [`RootApproximator`].
 //!
+//! ## Failure model
+//!
+//! Solves never unwind: every failure on the solve path is a typed
+//! [`SolveError`]. Supervised solves ([`Session::solve_with_deadline`],
+//! [`Session::solve_supervised`]) honour wall-clock deadlines,
+//! multiplication budgets, and shared [`rr_sched::CancelToken`]s at task
+//! and phase boundaries; worker panics are contained to the solve's pool
+//! scope and reported as [`SolveError::TaskPanicked`] with the payload
+//! preserved; and inputs the paper's pipeline rejects degrade to the
+//! squarefree part or the Sturm-bisection baseline (marker on
+//! [`RootsResult::degraded`]) instead of erroring. See DESIGN.md §11.
+//!
 //! ```
 //! use rr_core::{RootApproximator, SolverConfig};
 //! use rr_poly::Poly;
@@ -72,8 +84,9 @@ pub mod treepoly;
 pub use dyadic::Dyadic;
 pub use report::{PhaseReport, SolveReport};
 pub use rr_mp::MulBackend;
-pub use session::{solve_batch, solve_batch_on, Runtime, Session};
+pub use rr_sched::{CancelReason, CancelToken, FaultAction, FaultInjector, FaultPlan};
+pub use session::{solve_batch, solve_batch_on, Runtime, Session, SolveLimits};
 pub use solver::{
-    ExecMode, Grain, RefineStrategy, RootApproximator, RootsResult, SolveError, SolveStats,
-    SolverConfig,
+    Degradation, ExecMode, Grain, PartialStats, RefineStrategy, RootApproximator, RootsResult,
+    SolveError, SolveStats, SolverConfig,
 };

@@ -129,32 +129,45 @@ pub fn solve_parallel_traced(
     threads: usize,
 ) -> Result<(Vec<Int>, PoolStats, TaskTrace), Inconsistency> {
     let pool = Pool::new(threads.max(1));
-    solve_parallel_on(
+    match solve_parallel_on(
         &pool,
         threads,
         Arc::new(|task| task()),
+        None,
         rs,
         mu,
         bound_bits,
         strategy,
         grain,
-    )
+    ) {
+        Ok(r) => Ok(r),
+        Err(crate::solver::SolveError::Interval(e)) => Err(e),
+        // No cancel token and no fault wrapper on this one-shot path:
+        // only an interval inconsistency or a genuine task panic can
+        // occur, and the panic keeps the legacy unwinding behaviour.
+        Err(crate::solver::SolveError::TaskPanicked { task_id, message }) => {
+            panic!("task {task_id} panicked: {message}; pool run abandoned")
+        }
+        Err(e) => Err(Inconsistency { what: e.to_string() }),
+    }
 }
 
 /// Runs the tree stage in a scope of the given `pool`, capped at
 /// `threads` concurrent workers, with `wrapper` run around every task
-/// (installing the solve's session context on the executing worker).
+/// (installing the solve's session context on the executing worker) and
+/// `cancel` watched at every task boundary.
 #[allow(clippy::too_many_arguments)] // internal plumbing mirror of solve_parallel_traced
 pub(crate) fn solve_parallel_on(
     pool: &Pool,
     threads: usize,
     wrapper: TaskWrapper,
+    cancel: Option<rr_sched::CancelToken>,
     rs: &RemainderSeq,
     mu: u64,
     bound_bits: u64,
     strategy: RefineStrategy,
     grain: Grain,
-) -> Result<(Vec<Int>, PoolStats, TaskTrace), Inconsistency> {
+) -> Result<(Vec<Int>, PoolStats, TaskTrace), crate::solver::SolveError> {
     let tree = Tree::build(rs.n);
     let nodes: Vec<NodeSt> = tree
         .nodes
@@ -207,19 +220,25 @@ pub(crate) fn solve_parallel_on(
         error: Mutex::new(None),
     };
     let ctx_ref = &ctx;
-    let (stats, trace) = pool.scope(
-        ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper) },
-        move |s| recurse(ctx_ref, ctx_ref.root, s),
-    );
-    let trace = trace.expect("tracing was enabled");
+    let (stats, trace) = pool
+        .try_scope(
+            ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper), cancel },
+            move |s| recurse(ctx_ref, ctx_ref.root, s),
+        )
+        .map_err(|abort| crate::solver::abort_to_solve_error(*abort))?;
+    let trace = trace.ok_or_else(|| {
+        crate::solver::SolveError::Internal("tree scope returned no trace".into())
+    })?;
     if let Some(e) = ctx.error.lock().take() {
-        return Err(e);
+        return Err(crate::solver::SolveError::Interval(e));
     }
     let roots = ctx.nodes[ctx.root]
         .roots
         .get()
         .cloned()
-        .ok_or_else(|| Inconsistency { what: "root node never completed".into() })?;
+        .ok_or_else(|| crate::solver::SolveError::Interval(Inconsistency {
+            what: "root node never completed".into(),
+        }))?;
     Ok((roots, stats, trace))
 }
 

@@ -13,6 +13,7 @@
 //! The paper offers running this stage sequentially as a run-time option;
 //! that path is just [`rr_poly::remainder::remainder_sequence`].
 
+use crate::solver::SolveError;
 use parking_lot::Mutex;
 use rr_mp::metrics::{with_phase, Phase};
 use rr_mp::Int;
@@ -64,26 +65,40 @@ pub fn parallel_remainder_traced(
     threads: usize,
 ) -> Result<(RemainderSeq, rr_sched::TaskTrace), SeqError> {
     let pool = Pool::new(threads.max(1));
-    parallel_remainder_on(&pool, threads, Arc::new(|task| task()), p0)
+    match parallel_remainder_on(&pool, threads, Arc::new(|task| task()), None, p0) {
+        Ok(r) => Ok(r),
+        Err(SolveError::Seq(e)) => Err(e),
+        // No cancel token and no fault wrapper here: an unsupervised
+        // one-shot run can only fail with a SeqError or a genuine task
+        // panic, which keeps the legacy unwinding behaviour.
+        Err(SolveError::TaskPanicked { task_id, message }) => {
+            panic!("task {task_id} panicked: {message}; pool run abandoned")
+        }
+        Err(e) => panic!("unexpected failure in unsupervised remainder stage: {e}"),
+    }
 }
 
 /// Computes the extended standard remainder sequence in a scope of the
 /// given `pool`, capped at `threads` concurrent workers, with `wrapper`
-/// run around every task (installing the solve's session context).
+/// run around every task (installing the solve's session context) and
+/// `cancel` watched at every task boundary.
 pub(crate) fn parallel_remainder_on(
     pool: &Pool,
     threads: usize,
     wrapper: TaskWrapper,
+    cancel: Option<rr_sched::CancelToken>,
     p0: &Poly,
-) -> Result<(RemainderSeq, rr_sched::TaskTrace), SeqError> {
+) -> Result<(RemainderSeq, rr_sched::TaskTrace), SolveError> {
     let n = match p0.degree() {
-        None | Some(0) => return Err(SeqError::DegreeTooSmall),
+        None | Some(0) => return Err(SolveError::Seq(SeqError::DegreeTooSmall)),
         Some(n) => n,
     };
     if n == 1 || threads == 1 {
         // Sequential fallback on the calling thread (which already has
         // the session context installed).
-        return remainder_sequence(p0).map(|rs| (rs, rr_sched::TaskTrace::default()));
+        return remainder_sequence(p0)
+            .map(|rs| (rs, rr_sched::TaskTrace::default()))
+            .map_err(SolveError::Seq);
     }
     let stage = Stage {
         n,
@@ -100,15 +115,19 @@ pub(crate) fn parallel_remainder_on(
         .set(with_phase(Phase::RemainderSeq, || p0.derivative())).expect("fresh");
 
     let stage_ref = &stage;
-    let (_stats, trace) = pool.scope(
-        ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper) },
-        move |s| start_iteration(stage_ref, 1, s),
-    );
+    let (_stats, trace) = pool
+        .try_scope(
+            ScopeConfig { cap: threads, traced: true, wrapper: Some(wrapper), cancel },
+            move |s| start_iteration(stage_ref, 1, s),
+        )
+        .map_err(|abort| crate::solver::abort_to_solve_error(*abort))?;
 
     if let Some(e) = stage.error.lock().take() {
-        return Err(e);
+        return Err(SolveError::Seq(e));
     }
-    assemble(stage).map(|rs| (rs, trace.expect("tracing was enabled")))
+    let trace = trace
+        .ok_or_else(|| SolveError::Internal("remainder scope returned no trace".into()))?;
+    assemble(stage).map(|rs| (rs, trace))
 }
 
 fn fail(stage: &Stage, e: SeqError) {
@@ -187,9 +206,12 @@ fn finish_iteration<'env>(stage: &'env Stage, i: usize, s: &Scope<'env>) {
     }
 }
 
-fn assemble(stage: Stage) -> Result<RemainderSeq, SeqError> {
+fn assemble(stage: Stage) -> Result<RemainderSeq, SolveError> {
     let n = stage.n;
-    let (n_star, gcd) = stage.outcome.into_inner().expect("stage ran to completion");
+    let (n_star, gcd) = stage
+        .outcome
+        .into_inner()
+        .ok_or_else(|| SolveError::Internal("remainder stage ended without an outcome".into()))?;
     let mut f: Vec<Poly> = Vec::with_capacity(n + 1);
     let mut q: Vec<Poly> = vec![Poly::zero(); n.max(1)];
     for (i, cell) in stage.f.into_iter().enumerate() {
@@ -211,7 +233,10 @@ fn assemble(stage: Stage) -> Result<RemainderSeq, SeqError> {
         // per Eqs (10)–(12) exactly like the sequential path.
         let distinct_real = rr_poly::remainder::sturm_variations_from_lc(&f[..=n_star]);
         if distinct_real != n_star {
-            return Err(SeqError::NotRealRooted { distinct_real, expected: n_star });
+            return Err(SolveError::Seq(SeqError::NotRealRooted {
+                distinct_real,
+                expected: n_star,
+            }));
         }
         f.truncate(n_star + 1);
         f[n_star] = Poly::one();
@@ -226,7 +251,7 @@ fn assemble(stage: Stage) -> Result<RemainderSeq, SeqError> {
     } else {
         let distinct_real = rr_poly::remainder::sturm_variations_from_lc(&f);
         if distinct_real != n {
-            return Err(SeqError::NotRealRooted { distinct_real, expected: n });
+            return Err(SolveError::Seq(SeqError::NotRealRooted { distinct_real, expected: n }));
         }
     }
     debug_assert_eq!(f.len(), n + 1);

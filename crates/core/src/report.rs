@@ -71,6 +71,15 @@ pub struct SolveReport {
     pub observed_parallelism: f64,
     /// Scheduler statistics (dynamic mode only).
     pub pool: Option<PoolStats>,
+    /// Tasks that panicked across the solve's pool scopes (nonzero only
+    /// under fault injection — a real panic aborts the solve).
+    pub panicked_tasks: u64,
+    /// Queued tasks drained unexecuted because a scope was cancelled.
+    pub cancelled_tasks: u64,
+    /// `Some` when the solve recovered through the degradation ladder
+    /// (squarefree retry / Sturm baseline) instead of running the
+    /// paper's pipeline on the literal input.
+    pub degraded: Option<crate::solver::Degradation>,
     /// The merged trace: phase/stage spans from the recorder, plus
     /// per-task spans and queue-depth counters from the scheduler.
     pub trace: Trace,
@@ -100,6 +109,16 @@ impl std::fmt::Display for SolveReport {
         }
         if let Some(pool) = &self.pool {
             writeln!(f, "  pool: {pool}")?;
+        }
+        if self.panicked_tasks > 0 || self.cancelled_tasks > 0 {
+            writeln!(
+                f,
+                "  faults: {} panicked, {} cancelled",
+                self.panicked_tasks, self.cancelled_tasks
+            )?;
+        }
+        if let Some(d) = self.degraded {
+            writeln!(f, "  degraded: {d}")?;
         }
         for p in &self.phases {
             writeln!(
@@ -216,6 +235,11 @@ pub(crate) fn build_report(result: &RootsResult, recorder: &Recorder) -> SolveRe
     } else {
         total_work.as_secs_f64() / critical_path.as_secs_f64()
     };
+    let (panicked_tasks, cancelled_tasks) = result
+        .stats
+        .pool
+        .as_ref()
+        .map_or((0, 0), |p| (p.panicked_tasks, p.cancelled_tasks));
     SolveReport {
         wall: result.stats.wall,
         phases: phase_rows(&trace, &result.stats.cost),
@@ -224,6 +248,9 @@ pub(crate) fn build_report(result: &RootsResult, recorder: &Recorder) -> SolveRe
         critical_path,
         observed_parallelism,
         pool: result.stats.pool.clone(),
+        panicked_tasks,
+        cancelled_tasks,
+        degraded: result.degraded,
         trace,
     }
 }

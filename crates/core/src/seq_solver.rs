@@ -26,8 +26,26 @@ pub fn solve_sequential(
     bound_bits: u64,
     strategy: RefineStrategy,
 ) -> Result<Vec<Int>, Inconsistency> {
+    solve_sequential_supervised(rs, mu, bound_bits, strategy, None)
+        .map_err(|e| match e {
+            crate::solver::SolveError::Interval(e) => e,
+            // Unsupervised runs can only fail in the interval stage.
+            other => Inconsistency { what: other.to_string() },
+        })
+}
+
+/// [`solve_sequential`] under supervision: the cancel token (and budget)
+/// is probed at every tree-node boundary, so deadline/budget overruns in
+/// sequential mode are honoured with per-node granularity.
+pub(crate) fn solve_sequential_supervised(
+    rs: &RemainderSeq,
+    mu: u64,
+    bound_bits: u64,
+    strategy: RefineStrategy,
+    sup: Option<&crate::solver::Supervision>,
+) -> Result<Vec<Int>, crate::solver::SolveError> {
     let tree = Tree::build(rs.n);
-    let (_t, roots) = solve_node(&tree, rs, tree.root, mu, bound_bits, strategy)?;
+    let (_t, roots) = solve_node(&tree, rs, tree.root, mu, bound_bits, strategy, sup)?;
     Ok(roots)
 }
 
@@ -91,7 +109,19 @@ fn solve_node(
     mu: u64,
     bound_bits: u64,
     strategy: RefineStrategy,
-) -> Result<(Option<Mat2>, Vec<Int>), Inconsistency> {
+    sup: Option<&crate::solver::Supervision>,
+) -> Result<(Option<Mat2>, Vec<Int>), crate::solver::SolveError> {
+    if let Some(s) = sup {
+        if s.probe() {
+            let reason = s.token.reason().unwrap_or(rr_sched::CancelReason::Requested {
+                why: "cancelled".into(),
+            });
+            return Err(crate::solver::SolveError::Cancelled {
+                reason,
+                partial_stats: Box::default(),
+            });
+        }
+    }
     let node = tree.node(idx);
     let spine = is_spine(node, tree.n);
     if node.is_leaf() {
@@ -105,10 +135,17 @@ fn solve_node(
     }
 
     let k = node.k.expect("internal node has a split");
-    let (left_t, left_roots) =
-        solve_node(tree, rs, node.left.expect("internal node has a left child"), mu, bound_bits, strategy)?;
+    let (left_t, left_roots) = solve_node(
+        tree,
+        rs,
+        node.left.expect("internal node has a left child"),
+        mu,
+        bound_bits,
+        strategy,
+        sup,
+    )?;
     let (right_t, right_roots) = match node.right {
-        Some(r) => solve_node(tree, rs, r, mu, bound_bits, strategy)?,
+        Some(r) => solve_node(tree, rs, r, mu, bound_bits, strategy, sup)?,
         None => (None, Vec::new()),
     };
 

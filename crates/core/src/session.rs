@@ -40,15 +40,71 @@
 //! ```
 
 use crate::report::SolveReport;
-use crate::solver::{solve_with, RootsResult, SolveError, SolverConfig};
+use crate::solver::{solve_with, RootsResult, SolveError, SolverConfig, Supervision};
 use parking_lot::Mutex;
 use rr_mp::metrics::CostSnapshot;
 use rr_mp::SolveCtx;
 use rr_poly::Poly;
-use rr_sched::Pool;
+use rr_sched::{CancelToken, FaultInjector, Pool};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Cooperative limits on one supervised solve: a wall-clock deadline, a
+/// multiplication budget, an externally shared [`CancelToken`], or any
+/// combination. Checked at task and phase boundaries; an exceeded limit
+/// abandons the solve cleanly and returns
+/// [`SolveError::Cancelled`] with partial accounting.
+///
+/// ```
+/// use rr_core::{Session, SolveLimits, SolverConfig};
+/// # use rr_mp::Int;
+/// # use rr_poly::Poly;
+/// # let p = Poly::from_roots(&[Int::from(1), Int::from(2)]);
+/// let session = Session::new(SolverConfig::sequential(8));
+/// let limits = SolveLimits::none().with_deadline(std::time::Duration::from_secs(30));
+/// let r = session.solve_supervised(&p, &limits);
+/// assert!(r.is_ok()); // tiny solve, generous deadline
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolveLimits {
+    deadline: Option<Duration>,
+    max_muls: Option<u64>,
+    token: Option<CancelToken>,
+}
+
+impl SolveLimits {
+    /// No limits (supervision still applies if the session injects
+    /// faults or the caller attaches a token later).
+    pub fn none() -> SolveLimits {
+        SolveLimits::default()
+    }
+
+    /// Abandon the solve once `deadline` of wall-clock time has passed.
+    pub fn with_deadline(mut self, deadline: Duration) -> SolveLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Abandon the solve once it has recorded more than `max_muls`
+    /// multiprecision multiplications (the paper's cost measure).
+    pub fn with_max_muls(mut self, max_muls: u64) -> SolveLimits {
+        self.max_muls = Some(max_muls);
+        self
+    }
+
+    /// Watch (and share) an external token: firing it — from any thread
+    /// — cancels the solve at its next task or phase boundary.
+    pub fn with_token(mut self, token: CancelToken) -> SolveLimits {
+        self.token = Some(token);
+        self
+    }
+
+    fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_muls.is_none() && self.token.is_none()
+    }
+}
 
 /// The `RR_TRACE` destination, read once per process. `None` (the
 /// overwhelmingly common case) costs one branch per solve.
@@ -146,6 +202,7 @@ pub struct Session {
     config: SolverConfig,
     runtime: Runtime,
     cumulative: Mutex<CostSnapshot>,
+    fault: Option<FaultInjector>,
 }
 
 impl Session {
@@ -160,7 +217,18 @@ impl Session {
             config,
             runtime: runtime.clone(),
             cumulative: Mutex::new(CostSnapshot::default()),
+            fault: None,
         }
+    }
+
+    /// The same session with a deterministic [`FaultInjector`] wrapped
+    /// around every pool task it spawns (chaos testing: injected panics
+    /// surface as [`SolveError::TaskPanicked`], injected delays only
+    /// perturb scheduling). Has no effect on sequential-mode solves,
+    /// which spawn no tasks.
+    pub fn with_fault_injection(mut self, injector: FaultInjector) -> Session {
+        self.fault = Some(injector);
+        self
     }
 
     /// The session's configuration.
@@ -195,12 +263,58 @@ impl Session {
             }
             return Ok(result);
         }
-        let ctx = SolveCtx::new(self.config.backend);
-        let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p));
+        self.solve_supervised(p, &SolveLimits::none())
+    }
+
+    /// [`solve`](Session::solve) with a wall-clock deadline: past
+    /// `deadline`, the solve is abandoned at its next task or phase
+    /// boundary and returns [`SolveError::Cancelled`] carrying the work
+    /// done so far. The session and its pool remain fully usable.
+    pub fn solve_with_deadline(
+        &self,
+        p: &Poly,
+        deadline: Duration,
+    ) -> Result<RootsResult, SolveError> {
+        self.solve_supervised(p, &SolveLimits::none().with_deadline(deadline))
+    }
+
+    /// [`solve`](Session::solve) under explicit [`SolveLimits`]
+    /// (deadline, multiplication budget, shared cancel token).
+    ///
+    /// Does not consult `RR_TRACE`: supervised solves are untraced
+    /// unless run through [`solve_traced`](Session::solve_traced).
+    pub fn solve_supervised(
+        &self,
+        p: &Poly,
+        limits: &SolveLimits,
+    ) -> Result<RootsResult, SolveError> {
+        let (ctx, sup) = self.ctx_and_supervision(limits);
+        let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p, sup.as_ref()));
         if let Ok(r) = &result {
             *self.cumulative.lock() += r.stats.cost;
         }
         result
+    }
+
+    /// The per-solve context plus, when any limit is set or the session
+    /// injects faults, the supervision bundle sharing the same sink.
+    fn ctx_and_supervision(&self, limits: &SolveLimits) -> (SolveCtx, Option<Supervision>) {
+        let ctx = SolveCtx::new(self.config.backend);
+        if limits.is_unlimited() && self.fault.is_none() {
+            return (ctx, None);
+        }
+        let token = limits.token.clone().unwrap_or_default();
+        if let Some(deadline) = limits.deadline {
+            token.arm_deadline(deadline);
+        }
+        let ctx = ctx.with_cancel(token.clone());
+        let sup = Supervision {
+            token,
+            max_muls: limits.max_muls,
+            ctx: ctx.clone(),
+            fault: self.fault.clone(),
+        };
+        (ctx, Some(sup))
     }
 
     /// [`solve`](Session::solve) with tracing: carries an
@@ -213,8 +327,10 @@ impl Session {
     /// solve: tracing only observes.
     pub fn solve_traced(&self, p: &Poly) -> Result<(RootsResult, SolveReport), SolveError> {
         let recorder = rr_obs::Recorder::new();
-        let ctx = SolveCtx::new(self.config.backend).with_recorder(recorder.clone());
-        let result = ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p))?;
+        let (ctx, sup) = self.ctx_and_supervision(&SolveLimits::none());
+        let ctx = ctx.with_recorder(recorder.clone());
+        let result =
+            ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p, sup.as_ref()))?;
         *self.cumulative.lock() += result.stats.cost;
         let report = crate::report::build_report(&result, &recorder);
         Ok((result, report))
@@ -269,7 +385,11 @@ pub fn solve_batch_on(
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every input solved"))
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(|| {
+                Err(SolveError::Internal("batch driver skipped an input".into()))
+            })
+        })
         .collect()
 }
 
@@ -336,9 +456,21 @@ mod tests {
     fn batch_propagates_per_input_errors() {
         let good = wilkinson(5);
         let bad = Poly::from_i64(&[1, 0, 1]); // complex roots
-        let results = solve_batch(&[good, bad], SolverConfig::sequential(4));
+        let results =
+            solve_batch(&[good, bad], SolverConfig::sequential(4).with_degradation(false));
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(SolveError::Seq(_))));
+    }
+
+    #[test]
+    fn batch_degrades_complex_input_by_default() {
+        let results = solve_batch(
+            &[&Poly::from_i64(&[1, 0, 1]) * &Poly::from_i64(&[-2, -1, 1])],
+            SolverConfig::sequential(4),
+        );
+        let r = results[0].as_ref().unwrap();
+        assert_eq!(r.degraded, Some(crate::solver::Degradation::SturmBaseline));
+        assert_eq!(r.roots.len(), 2); // real roots −1 and 2 of (x−2)(x+1)
     }
 
     #[test]

@@ -10,7 +10,10 @@ use rr_mp::{MulBackend, SolveCtx};
 use rr_poly::bounds::root_bound_bits;
 use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
 use rr_poly::Poly;
-use rr_sched::{Pool, PoolStats, TaskTrace, TaskWrapper};
+use rr_sched::{
+    AbortKind, CancelReason, CancelToken, FaultInjector, Pool, PoolStats, ScopeAbort, TaskTrace,
+    TaskWrapper,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +55,13 @@ pub struct SolverConfig {
     /// (`Schoolbook` is the paper-faithful default, `Fast` enables
     /// Karatsuba — identical roots and metrics, different wall-clock).
     pub backend: MulBackend,
+    /// Graceful degradation (on by default): when the extended remainder
+    /// sequence rejects the input (`NotNormal` / `NotRealRooted`), retry
+    /// on its squarefree part and, failing that, fall back to the
+    /// Sturm-bisection baseline — returning roots tagged with a
+    /// [`Degradation`] marker instead of an error. Disable for strict
+    /// paper-faithful behaviour.
+    pub degrade: bool,
 }
 
 impl SolverConfig {
@@ -64,6 +74,7 @@ impl SolverConfig {
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
+            degrade: true,
         }
     }
 
@@ -80,6 +91,7 @@ impl SolverConfig {
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
+            degrade: true,
         }
     }
 
@@ -88,6 +100,28 @@ impl SolverConfig {
         self.backend = backend;
         self
     }
+
+    /// The same configuration with graceful degradation switched on or
+    /// off (see [`SolverConfig::degrade`]).
+    pub fn with_degradation(mut self, degrade: bool) -> SolverConfig {
+        self.degrade = degrade;
+        self
+    }
+}
+
+/// What a cancelled solve had done before it was abandoned: enough to
+/// account for the work (and, in dynamic mode, to see the pool scope was
+/// drained cleanly) without pretending the solve produced roots.
+#[derive(Debug, Clone, Default)]
+pub struct PartialStats {
+    /// Wall-clock time until the cancellation was honoured.
+    pub wall: Duration,
+    /// Multiprecision operation counts accumulated before abandonment.
+    pub cost: CostSnapshot,
+    /// Statistics of the aborted pool scope, if the solve was inside one
+    /// (its `cancelled_tasks` counts the queued tasks that were drained
+    /// unexecuted).
+    pub pool: Option<PoolStats>,
 }
 
 /// Why a solve failed.
@@ -98,6 +132,28 @@ pub enum SolveError {
     Seq(SeqError),
     /// The interval stage detected an inconsistency.
     Interval(Inconsistency),
+    /// The solve was abandoned cooperatively: its deadline passed, its
+    /// multiplication budget ran out, or its [`CancelToken`] was fired
+    /// explicitly. The pool scope (if any) was drained cleanly and the
+    /// session remains usable.
+    Cancelled {
+        /// Why the solve was cancelled.
+        reason: CancelReason,
+        /// Work accounted up to the abandonment point.
+        partial_stats: Box<PartialStats>,
+    },
+    /// A worker task panicked. The panic was contained to the solve's
+    /// scope — the payload is rendered here instead of unwinding through
+    /// the caller — and the shared pool remains usable.
+    TaskPanicked {
+        /// Scope-local id (spawn order) of the panicking task.
+        task_id: u64,
+        /// Rendered panic payload (`&str` / `String` payloads verbatim).
+        message: String,
+    },
+    /// An internal invariant failed; never expected, but reported as a
+    /// typed error instead of a panic on the solve path.
+    Internal(String),
 }
 
 impl fmt::Display for SolveError {
@@ -105,6 +161,13 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Seq(e) => write!(f, "{e}"),
             SolveError::Interval(e) => write!(f, "{e}"),
+            SolveError::Cancelled { reason, partial_stats } => {
+                write!(f, "solve cancelled ({reason}) after {:.2?}", partial_stats.wall)
+            }
+            SolveError::TaskPanicked { task_id, message } => {
+                write!(f, "worker task {task_id} panicked: {message}")
+            }
+            SolveError::Internal(what) => write!(f, "internal solver error: {what}"),
         }
     }
 }
@@ -120,6 +183,30 @@ impl From<SeqError> for SolveError {
 impl From<Inconsistency> for SolveError {
     fn from(e: Inconsistency) -> SolveError {
         SolveError::Interval(e)
+    }
+}
+
+/// How a degraded solve recovered (see [`SolverConfig::degrade`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The solve ran on the squarefree part of the input instead of the
+    /// input itself — either because the remainder sequence terminated
+    /// early at `gcd(F_0, F_0')` (repeated roots, Sec 2.3) or as the
+    /// first recovery step after a `NotNormal`/`NotRealRooted` rejection.
+    SquarefreeRetry,
+    /// The extended remainder sequence rejected the input even after the
+    /// squarefree retry; roots come from the Sturm-bisection baseline
+    /// (`rr-baseline`). Only the real roots are returned; the paper's
+    /// parallel pipeline and its pool statistics do not apply.
+    SturmBaseline,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::SquarefreeRetry => write!(f, "squarefree-retry"),
+            Degradation::SturmBaseline => write!(f, "sturm-baseline"),
+        }
     }
 }
 
@@ -179,6 +266,10 @@ pub struct RootsResult {
     pub n: usize,
     /// Number of distinct roots (`< n` iff the input had repeated roots).
     pub n_star: usize,
+    /// `Some` when the solve did not run the paper's pipeline on the
+    /// literal input: it retried on the squarefree part and/or fell back
+    /// to the Sturm-bisection baseline. `None` for a fully native solve.
+    pub degraded: Option<Degradation>,
     /// Run statistics.
     pub stats: SolveStats,
 }
@@ -222,56 +313,232 @@ impl RootApproximator {
     }
 }
 
+/// Everything a supervised solve watches: the shared [`CancelToken`]
+/// (deadline armed, explicit requests), an optional multiplication
+/// budget probed against the solve's private metrics sink, and an
+/// optional deterministic fault injector for chaos testing.
+#[derive(Clone)]
+pub(crate) struct Supervision {
+    pub(crate) token: CancelToken,
+    pub(crate) max_muls: Option<u64>,
+    /// A clone of the solve's context — shares the sink, so
+    /// [`SolveCtx::snapshot`] sees work from every worker.
+    pub(crate) ctx: SolveCtx,
+    pub(crate) fault: Option<FaultInjector>,
+}
+
+impl Supervision {
+    /// Fires the token if the multiplication budget is exhausted, then
+    /// reports whether the solve is (now) cancelled. Called at task and
+    /// phase boundaries.
+    pub(crate) fn probe(&self) -> bool {
+        if let Some(limit) = self.max_muls {
+            if !self.token.is_cancelled() && self.ctx.snapshot().total().mul_count > limit {
+                self.token.cancel(CancelReason::Budget { limit_muls: limit });
+            }
+        }
+        self.token.is_cancelled()
+    }
+}
+
 /// A per-task hook installing `ctx` on the executing worker, so pool
-/// tasks inherit the solve's backend and record into its sink.
-fn ctx_wrapper(ctx: &SolveCtx) -> TaskWrapper {
+/// tasks inherit the solve's backend and record into its sink. Under
+/// supervision the hook also composes the fault injector (inside the
+/// context, so injected panics look like real task panics) and probes
+/// the multiplication budget after every task.
+fn ctx_wrapper(ctx: &SolveCtx, sup: Option<&Supervision>) -> TaskWrapper {
     let ctx = ctx.clone();
-    Arc::new(move |task| ctx.run(task))
+    let mut wrapper: TaskWrapper = Arc::new(move |task| ctx.run(task));
+    if let Some(sup) = sup {
+        if let Some(injector) = &sup.fault {
+            wrapper = injector.wrap(wrapper);
+        }
+        if sup.max_muls.is_some() {
+            let sup = sup.clone();
+            let inner = wrapper;
+            wrapper = Arc::new(move |task| {
+                inner(task);
+                sup.probe();
+            });
+        }
+    }
+    wrapper
+}
+
+/// Maps an aborted pool scope to the matching [`SolveError`]. Panic
+/// outranks cancellation (the scope already encodes that priority); the
+/// partial stats carry the aborted scope's counters, with wall/cost
+/// filled in by [`solve_with`]'s exit path.
+pub(crate) fn abort_to_solve_error(abort: ScopeAbort) -> SolveError {
+    match abort.kind {
+        AbortKind::Panicked { task_id, message, .. } => {
+            SolveError::TaskPanicked { task_id, message }
+        }
+        AbortKind::Cancelled { reason } => SolveError::Cancelled {
+            reason,
+            partial_stats: Box::new(PartialStats {
+                wall: Duration::ZERO,
+                cost: CostSnapshot::default(),
+                pool: Some(abort.stats),
+            }),
+        },
+    }
+}
+
+/// Returns `Err(SolveError::Cancelled)` if the supervised solve has been
+/// cancelled (probing the budget first). Called between phases, where no
+/// pool scope is watching the token.
+fn checkpoint(sup: Option<&Supervision>) -> Result<(), SolveError> {
+    if let Some(sup) = sup {
+        if sup.probe() {
+            let reason = sup
+                .token
+                .reason()
+                .unwrap_or(CancelReason::Requested { why: "cancelled".into() });
+            return Err(SolveError::Cancelled { reason, partial_stats: Box::default() });
+        }
+    }
+    Ok(())
 }
 
 /// One full solve under an installed session context, on `pool`.
 ///
 /// The caller ([`crate::Session::solve`]) installs `ctx` on this thread
 /// for the sequential parts; the parallel stages open scopes on `pool`
-/// whose tasks re-install it via [`ctx_wrapper`].
+/// whose tasks re-install it via [`ctx_wrapper`]. When `sup` is given,
+/// the solve is supervised: the token is checked at phase and task
+/// boundaries, the budget is probed, faults are injected, and any error
+/// that races with a fired token is reported as `Cancelled` with the
+/// partial accounting filled in.
 pub(crate) fn solve_with(
     cfg: &SolverConfig,
     ctx: &SolveCtx,
     pool: &Arc<Pool>,
     p: &Poly,
+    sup: Option<&Supervision>,
 ) -> Result<RootsResult, SolveError> {
     let cost0 = ctx.snapshot();
     let t0 = Instant::now();
+    let result = solve_inner(cfg, ctx, pool, p, sup, cost0, t0);
+    match result {
+        Err(e) => Err(finish_error(e, ctx, sup, cost0, t0)),
+        ok => ok,
+    }
+}
+
+/// Exit path for failed solves: fills in the wall/cost fields of a
+/// `Cancelled` error's partial stats, converts errors that raced with a
+/// fired token into `Cancelled` (panic outranks cancellation and is kept
+/// as-is), and tags the trace with a `cancel` event.
+fn finish_error(
+    e: SolveError,
+    ctx: &SolveCtx,
+    sup: Option<&Supervision>,
+    cost0: CostSnapshot,
+    t0: Instant,
+) -> SolveError {
+    let enrich = |mut partial: Box<PartialStats>| {
+        partial.wall = t0.elapsed();
+        partial.cost = ctx.snapshot() - cost0;
+        partial
+    };
+    match e {
+        SolveError::Cancelled { reason, partial_stats } => {
+            rr_obs::event("cancel", format!("cancelled: {reason}"));
+            SolveError::Cancelled { reason, partial_stats: enrich(partial_stats) }
+        }
+        e @ SolveError::TaskPanicked { .. } => e,
+        other => match sup.and_then(|s| s.token.reason()) {
+            Some(reason) => {
+                rr_obs::event("cancel", format!("cancelled: {reason}"));
+                SolveError::Cancelled { reason, partial_stats: enrich(Box::default()) }
+            }
+            None => other,
+        },
+    }
+}
+
+fn solve_inner(
+    cfg: &SolverConfig,
+    ctx: &SolveCtx,
+    pool: &Arc<Pool>,
+    p: &Poly,
+    sup: Option<&Supervision>,
+    cost0: CostSnapshot,
+    t0: Instant,
+) -> Result<RootsResult, SolveError> {
+    checkpoint(sup)?;
     // Stage spans bracket the two pipeline halves on the solve's trace
     // (inert single-branch guards when the solve is untraced).
     let solve_span =
         rr_obs::stage_span("solve").with_arg("n", p.degree().unwrap_or(0) as u64);
 
-    // Stage 1: remainder/quotient sequences (+ squarefree reduction
-    // when the input had repeated roots).
+    // Stage 1: remainder/quotient sequences (+ squarefree reduction when
+    // the input had repeated roots). On NotNormal/NotRealRooted the
+    // degradation ladder kicks in (unless cfg.degrade is off): retry on
+    // the gcd-computed squarefree part, then fall back to the baseline.
     let rem_span = rr_obs::stage_span("remainder-stage");
     let mut traces = Vec::new();
-    let rs0 = remainder_stage(cfg, ctx, pool, p, &mut traces)?;
-    let (n, n_star) = (rs0.n, rs0.n_star);
-    let (rs, work_poly) = if rs0.squarefree() {
-        (rs0, p.clone())
-    } else {
-        let p_star = metrics::with_phase(Phase::RemainderSeq, || rs0.squarefree_input());
-        let rs_star = remainder_stage(cfg, ctx, pool, &p_star, &mut traces)?;
-        debug_assert!(rs_star.squarefree());
-        (rs_star, p_star)
+    let mut degraded = None;
+    let (rs, work_poly, n, n_star) = match remainder_stage(cfg, ctx, pool, p, &mut traces, sup) {
+        Ok(rs0) => {
+            let (n, n_star) = (rs0.n, rs0.n_star);
+            if rs0.squarefree() {
+                (rs0, p.clone(), n, n_star)
+            } else {
+                degraded = Some(Degradation::SquarefreeRetry);
+                let p_star = metrics::with_phase(Phase::RemainderSeq, || rs0.squarefree_input());
+                let rs_star = remainder_stage(cfg, ctx, pool, &p_star, &mut traces, sup)?;
+                debug_assert!(rs_star.squarefree());
+                (rs_star, p_star, n, n_star)
+            }
+        }
+        Err(SolveError::Seq(e))
+            if cfg.degrade
+                && matches!(e, SeqError::NotNormal { .. } | SeqError::NotRealRooted { .. }) =>
+        {
+            rr_obs::event("degrade", format!("remainder-stage rejected input: {e}"));
+            checkpoint(sup)?;
+            let p_star = metrics::with_phase(Phase::RemainderSeq, || {
+                rr_poly::gcd::squarefree_part(p)
+            });
+            let retried = if p_star.degree() < p.degree() {
+                remainder_stage(cfg, ctx, pool, &p_star, &mut traces, sup)
+            } else {
+                Err(SolveError::Seq(e))
+            };
+            match retried {
+                Ok(rs_star) if rs_star.squarefree() => {
+                    degraded = Some(Degradation::SquarefreeRetry);
+                    let n = p.degree().unwrap_or(0);
+                    let n_star = rs_star.n_star;
+                    (rs_star, p_star, n, n_star)
+                }
+                Err(e @ (SolveError::Cancelled { .. } | SolveError::TaskPanicked { .. })) => {
+                    return Err(e)
+                }
+                _ => {
+                    drop(rem_span);
+                    drop(solve_span);
+                    return baseline_fallback(cfg, ctx, p, sup, cost0, t0, traces);
+                }
+            }
+        }
+        Err(e) => return Err(e),
     };
     drop(rem_span);
     let remainder_wall = t0.elapsed();
+    checkpoint(sup)?;
 
     // Stage 2+3: tree polynomials and interval problems.
     let bound_bits = root_bound_bits(&work_poly);
     let t1 = Instant::now();
     let tree_span = rr_obs::stage_span("tree-stage");
-    let (scaled, pool_stats) = tree_stage(cfg, ctx, pool, &rs, bound_bits, &mut traces)?;
+    let (scaled, pool_stats) = tree_stage(cfg, ctx, pool, &rs, bound_bits, &mut traces, sup)?;
     drop(tree_span);
     drop(solve_span);
     let tree_wall = t1.elapsed();
+    checkpoint(sup)?;
 
     let stats = SolveStats {
         wall: t0.elapsed(),
@@ -286,6 +553,49 @@ pub(crate) fn solve_with(
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
         n,
         n_star,
+        degraded,
+        stats,
+    })
+}
+
+/// Last rung of the degradation ladder: the Sturm-bisection baseline.
+/// Returns only the real roots (complex roots are legal here), tagged
+/// [`Degradation::SturmBaseline`]; its work is recorded in the solve's
+/// sink under [`Phase::Baseline`].
+fn baseline_fallback(
+    cfg: &SolverConfig,
+    ctx: &SolveCtx,
+    p: &Poly,
+    sup: Option<&Supervision>,
+    cost0: CostSnapshot,
+    t0: Instant,
+    traces: Vec<TaskTrace>,
+) -> Result<RootsResult, SolveError> {
+    checkpoint(sup)?;
+    let span = rr_obs::stage_span("baseline-fallback");
+    rr_obs::event("degrade", "falling back to sturm-baseline");
+    let t1 = Instant::now();
+    let config = rr_baseline::BaselineConfig::new(cfg.mu);
+    let scaled = rr_baseline::find_real_roots(p, &config)
+        .map_err(|e| SolveError::Internal(format!("baseline fallback failed: {e}")))?;
+    drop(span);
+    checkpoint(sup)?;
+    let n = p.degree().unwrap_or(0);
+    let n_star = scaled.len();
+    let stats = SolveStats {
+        wall: t0.elapsed(),
+        remainder_wall: t1 - t0,
+        tree_wall: t1.elapsed(),
+        cost: ctx.snapshot() - cost0,
+        pool: None,
+        traces,
+        bound_bits: root_bound_bits(p),
+    };
+    Ok(RootsResult {
+        roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
+        n,
+        n_star,
+        degraded: Some(Degradation::SturmBaseline),
         stats,
     })
 }
@@ -296,15 +606,23 @@ fn remainder_stage(
     pool: &Arc<Pool>,
     p: &Poly,
     traces: &mut Vec<TaskTrace>,
-) -> Result<RemainderSeq, SeqError> {
+    sup: Option<&Supervision>,
+) -> Result<RemainderSeq, SolveError> {
     match cfg.mode {
         ExecMode::Dynamic { threads } if !cfg.seq_remainder => {
-            let (rs, trace) =
-                crate::rem_stage::parallel_remainder_on(pool, threads, ctx_wrapper(ctx), p)?;
+            let cancel = sup.map(|s| s.token.clone());
+            let (rs, trace) = crate::rem_stage::parallel_remainder_on(
+                pool,
+                threads,
+                ctx_wrapper(ctx, sup),
+                cancel,
+                p,
+            )?;
             traces.push(trace);
             Ok(rs)
         }
-        _ => metrics::with_phase(Phase::RemainderSeq, || remainder_sequence(p)),
+        _ => metrics::with_phase(Phase::RemainderSeq, || remainder_sequence(p))
+            .map_err(SolveError::Seq),
     }
 }
 
@@ -315,17 +633,22 @@ fn tree_stage(
     rs: &RemainderSeq,
     bound_bits: u64,
     traces: &mut Vec<TaskTrace>,
+    sup: Option<&Supervision>,
 ) -> Result<(Vec<rr_mp::Int>, Option<PoolStats>), SolveError> {
     match cfg.mode {
         ExecMode::Sequential => {
-            let roots = crate::seq_solver::solve_sequential(rs, cfg.mu, bound_bits, cfg.refine)?;
+            let roots = crate::seq_solver::solve_sequential_supervised(
+                rs, cfg.mu, bound_bits, cfg.refine, sup,
+            )?;
             Ok((roots, None))
         }
         ExecMode::Dynamic { threads } => {
+            let cancel = sup.map(|s| s.token.clone());
             let (roots, stats, trace) = crate::par_solver::solve_parallel_on(
                 pool,
                 threads,
-                ctx_wrapper(ctx),
+                ctx_wrapper(ctx, sup),
+                cancel,
                 rs,
                 cfg.mu,
                 bound_bits,
@@ -385,10 +708,60 @@ mod tests {
     }
 
     #[test]
-    fn rejects_complex_roots() {
+    fn rejects_complex_roots_with_degradation_off() {
         let p = Poly::from_i64(&[1, 0, 1]);
-        let e = RootApproximator::new(SolverConfig::sequential(4)).approximate_roots(&p);
+        let e = RootApproximator::new(SolverConfig::sequential(4).with_degradation(false))
+            .approximate_roots(&p);
         assert!(matches!(e, Err(SolveError::Seq(_))));
+    }
+
+    #[test]
+    fn complex_rooted_input_degrades_to_baseline() {
+        // (x²+1)(x−1)(x+2): NotRealRooted natively; the baseline returns
+        // the real roots 1 and −2.
+        let p = &Poly::from_i64(&[1, 0, 1]) * &Poly::from_i64(&[-2, 1, 1]);
+        let r = RootApproximator::new(SolverConfig::sequential(8))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.degraded, Some(Degradation::SturmBaseline));
+        assert_eq!(r.n, 4);
+        assert_eq!(r.n_star, 2);
+        let got: Vec<f64> = r.roots.iter().map(|d| d.to_f64()).collect();
+        assert_eq!(got, vec![-2.0, 1.0]);
+        let baseline = rr_baseline::find_real_roots(&p, &rr_baseline::BaselineConfig::new(8))
+            .unwrap();
+        let expect: Vec<Dyadic> =
+            baseline.into_iter().map(|num| Dyadic::new(num, 8)).collect();
+        assert_eq!(r.roots, expect);
+    }
+
+    #[test]
+    fn repeated_roots_are_marked_squarefree_retry() {
+        let p = Poly::from_roots(&[Int::from(2), Int::from(2), Int::from(7)]);
+        let r = RootApproximator::new(SolverConfig::sequential(4))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.degraded, Some(Degradation::SquarefreeRetry));
+        assert_eq!(r.n_star, 2);
+        // A squarefree input stays undegraded.
+        let q = Poly::from_roots(&[Int::from(1), Int::from(3)]);
+        let r = RootApproximator::new(SolverConfig::sequential(4))
+            .approximate_roots(&q)
+            .unwrap();
+        assert_eq!(r.degraded, None);
+    }
+
+    #[test]
+    fn non_normal_input_degrades_instead_of_erroring() {
+        // x⁴ + 1: non-normal remainder sequence, no real roots. The
+        // ladder ends at the baseline, which returns an empty root set.
+        let p = Poly::from_i64(&[1, 0, 0, 0, 1]);
+        let r = RootApproximator::new(SolverConfig::sequential(4))
+            .approximate_roots(&p)
+            .unwrap();
+        assert_eq!(r.degraded, Some(Degradation::SturmBaseline));
+        assert!(r.roots.is_empty());
+        assert_eq!(r.n_star, 0);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Degenerate and adversarial inputs: the solver must never panic —
+//! every input yields `Ok` (possibly degraded) or a typed
+//! [`SolveError`]. Covers zero and constant polynomials, repeated
+//! roots, complex-rooted inputs, and arbitrary small-coefficient
+//! polynomials in every execution mode.
+
+use proptest::prelude::*;
+use rr_core::{Degradation, ExecMode, Session, SolveError, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+
+#[test]
+fn zero_and_constant_polynomials_are_typed_errors() {
+    for cfg in [SolverConfig::sequential(4), SolverConfig::parallel(4, 2)] {
+        let session = Session::new(cfg);
+        for p in [Poly::zero(), Poly::from_i64(&[7]), Poly::from_i64(&[-3])] {
+            match session.solve(&p) {
+                Err(SolveError::Seq(_)) => {}
+                other => panic!("{cfg:?}: expected Err(Seq), got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn linear_polynomials_solve() {
+    let session = Session::new(SolverConfig::sequential(6));
+    let r = session.solve(&Poly::from_i64(&[-12, 4])).unwrap(); // 4x − 12
+    assert_eq!(r.roots.len(), 1);
+    assert_eq!(r.roots[0].to_f64(), 3.0);
+}
+
+#[test]
+fn heavily_repeated_single_root() {
+    // (x − 3)⁶: one distinct root, squarefree retry.
+    let p = Poly::from_roots(&vec![Int::from(3); 6]);
+    let r = Session::new(SolverConfig::sequential(5)).solve(&p).unwrap();
+    assert_eq!(r.degraded, Some(Degradation::SquarefreeRetry));
+    assert_eq!(r.n, 6);
+    assert_eq!(r.n_star, 1);
+    assert_eq!(r.roots[0].to_f64(), 3.0);
+}
+
+#[test]
+fn strict_mode_rejects_what_degradation_accepts() {
+    // x⁴ + 1 (non-normal), (x²+1)(x²−4) (complex-rooted).
+    let inputs = [
+        Poly::from_i64(&[1, 0, 0, 0, 1]),
+        &Poly::from_i64(&[1, 0, 1]) * &Poly::from_i64(&[-4, 0, 1]),
+    ];
+    for p in &inputs {
+        let strict = Session::new(SolverConfig::sequential(4).with_degradation(false));
+        assert!(
+            matches!(strict.solve(p), Err(SolveError::Seq(_))),
+            "strict mode must reject {p:?}"
+        );
+        let lax = Session::new(SolverConfig::sequential(4));
+        let r = lax.solve(p).unwrap();
+        assert_eq!(r.degraded, Some(Degradation::SturmBaseline));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary small polynomials — most have complex roots, some are
+    /// degenerate. Whatever happens, the solve returns `Ok` or a typed
+    /// error; a panic fails this test.
+    #[test]
+    fn arbitrary_polynomials_never_panic(
+        coeffs in prop::collection::vec(-50i64..=50, 1..=9),
+        parallel in any::<bool>(),
+    ) {
+        let p = Poly::from_i64(&coeffs);
+        let cfg = if parallel {
+            SolverConfig::parallel(4, 2)
+        } else {
+            SolverConfig::sequential(4)
+        };
+        match Session::new(cfg).solve(&p) {
+            Ok(r) => {
+                // Roots (if any) come out ascending.
+                for w in r.roots.windows(2) {
+                    prop_assert!(w[0].num <= w[1].num);
+                }
+            }
+            Err(e) => {
+                let _ = e.to_string(); // Display is total
+            }
+        }
+    }
+
+    /// Products of repeated real roots solve in every mode, agree with
+    /// each other, and carry the squarefree-retry marker.
+    #[test]
+    fn repeated_roots_agree_across_modes(
+        base in prop::collection::btree_set(-15i64..=15, 1..=4),
+        extra in 0usize..=2,
+    ) {
+        let mut all: Vec<i64> = base.iter().copied().collect();
+        for (i, &r) in base.iter().enumerate().take(extra) {
+            let _ = i;
+            all.push(r); // duplicate some roots
+        }
+        all.sort_unstable();
+        let p = Poly::from_roots(&all.iter().map(|&r| Int::from(r)).collect::<Vec<_>>());
+        let has_repeats = all.len() > base.len();
+
+        let seq = Session::new(SolverConfig::sequential(6)).solve(&p).unwrap();
+        prop_assert_eq!(seq.n_star, base.len());
+        prop_assert_eq!(seq.degraded.is_some(), has_repeats);
+
+        for mode in [ExecMode::Dynamic { threads: 3 }, ExecMode::Static { threads: 3 }] {
+            let mut cfg = SolverConfig::sequential(6);
+            cfg.mode = mode;
+            cfg.seq_remainder = false;
+            let got = Session::new(cfg).solve(&p).unwrap();
+            prop_assert_eq!(&got.roots, &seq.roots);
+            prop_assert_eq!(got.degraded, seq.degraded);
+        }
+    }
+}

@@ -52,14 +52,16 @@ use std::marker::PhantomData;
 use std::sync::{Arc, Weak};
 
 /// Per-solve context: a multiplication backend plus a private metrics
-/// sink, and optionally an `rr-obs` span recorder for traced solves.
-/// Cheap to clone (all clones share the sink); `Send + Sync`, so a solve
-/// can hand clones to its worker tasks.
+/// sink, and optionally an `rr-obs` span recorder for traced solves and
+/// a cancel token for supervised solves. Cheap to clone (all clones
+/// share the sink); `Send + Sync`, so a solve can hand clones to its
+/// worker tasks.
 #[derive(Clone, Debug)]
 pub struct SolveCtx {
     backend: MulBackend,
     sink: MetricsSink,
     recorder: Option<rr_obs::Recorder>,
+    cancel: Option<rr_sched::CancelToken>,
 }
 
 /// One installed context on a thread's ambient stack, with the
@@ -85,6 +87,7 @@ impl SolveCtx {
             backend,
             sink: MetricsSink::new(),
             recorder: None,
+            cancel: None,
         }
     }
 
@@ -106,6 +109,21 @@ impl SolveCtx {
     /// The span recorder attached to this context, if any.
     pub fn recorder(&self) -> Option<&rr_obs::Recorder> {
         self.recorder.as_ref()
+    }
+
+    /// Attaches a cooperative cancel token: the solve layers carry it
+    /// from the session entry point (deadline/budget supervision) down
+    /// to the pool scope and the phase-boundary checks. The token rides
+    /// on the context so every layer that already receives a `SolveCtx`
+    /// can observe cancellation without new plumbing.
+    pub fn with_cancel(mut self, token: rr_sched::CancelToken) -> SolveCtx {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The cancel token attached to this context, if any.
+    pub fn cancel_token(&self) -> Option<&rr_sched::CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The backend this context dispatches `Int` kernels to.

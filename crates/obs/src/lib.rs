@@ -337,6 +337,14 @@ pub fn stage_span(name: &'static str) -> Span {
     span("stage", name)
 }
 
+/// Records an instantaneous event — a zero-duration span of the given
+/// category — on the ambient recorder; a single branch when none is
+/// installed. Used for point-in-time marks like injected faults and
+/// cancellation, so traces show *why* a solve was abandoned.
+pub fn event(cat: &'static str, name: impl Into<Cow<'static, str>>) {
+    drop(span(cat, name));
+}
+
 /// Records a counter sample (e.g. a queue depth) on the ambient
 /// recorder; a single branch when none is installed.
 pub fn counter(name: &'static str, value: f64) {

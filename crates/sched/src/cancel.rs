@@ -1,0 +1,228 @@
+//! Cooperative cancellation for supervised pool scopes.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a solve's
+//! supervisor (the caller that set a deadline or budget) and everything
+//! working on its behalf: pool workers check it at task boundaries
+//! (see [`crate::ScopeConfig::cancel`]), and the solver checks it at
+//! phase boundaries. Cancellation is *cooperative* — nothing is killed
+//! mid-task; the scope drains its remaining queue and the solve returns
+//! a typed error carrying the [`CancelReason`].
+//!
+//! Deadlines are carried by the token itself and evaluated lazily:
+//! [`CancelToken::is_cancelled`] first reads the sticky flag (one
+//! relaxed atomic load — the cost on the never-cancelled fast path),
+//! then compares `Instant::now()` against the deadline and fires the
+//! token on expiry. The first reason to fire wins and is preserved.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Why a supervised computation was abandoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The wall-clock deadline expired.
+    Deadline {
+        /// The deadline that was set, as a duration from token creation.
+        limit: Duration,
+    },
+    /// A cost budget (multiplication count) was exhausted.
+    Budget {
+        /// The budget that was set, in multiplications.
+        limit_muls: u64,
+    },
+    /// The caller cancelled explicitly.
+    Requested {
+        /// Free-form reason supplied by the caller.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Deadline { limit } => write!(f, "deadline of {limit:.2?} exceeded"),
+            CancelReason::Budget { limit_muls } => {
+                write!(f, "multiplication budget of {limit_muls} exhausted")
+            }
+            CancelReason::Requested { why } => write!(f, "cancelled: {why}"),
+        }
+    }
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    reason: Mutex<Option<CancelReason>>,
+    /// Set at most once; read on the fast path without locking.
+    deadline: OnceLock<Instant>,
+    /// When the deadline was armed (for reporting the configured limit).
+    limit: OnceLock<Duration>,
+}
+
+/// A cooperative cancellation flag shared by a supervised computation.
+///
+/// Cloning shares the underlying flag. See the module docs for the
+/// checking discipline.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.inner.cancelled.load(Ordering::Relaxed))
+            .field("reason", &*self.inner.reason.lock())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                reason: Mutex::new(None),
+                deadline: OnceLock::new(),
+                limit: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// A token that fires `limit` from now.
+    pub fn with_deadline(limit: Duration) -> CancelToken {
+        let t = CancelToken::new();
+        t.arm_deadline(limit);
+        t
+    }
+
+    /// Arms a wall-clock deadline `limit` from now. At most one deadline
+    /// can be armed per token; later calls are ignored.
+    pub fn arm_deadline(&self, limit: Duration) {
+        let target = Instant::now()
+            .checked_add(limit)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400 * 365));
+        if self.inner.deadline.set(target).is_ok() {
+            let _ = self.inner.limit.set(limit);
+        }
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline.get().copied()
+    }
+
+    /// Fires the token with `reason`. The first reason wins; returns
+    /// whether this call was the one that fired it.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        let mut slot = self.inner.reason.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(reason);
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+        true
+    }
+
+    /// True once the token has fired. Also fires the token here if the
+    /// armed deadline has expired (lazy deadline evaluation: whoever
+    /// checks first converts expiry into cancellation).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(&deadline) = self.inner.deadline.get() {
+            if Instant::now() >= deadline {
+                let limit = self.inner.limit.get().copied().unwrap_or_default();
+                self.cancel(CancelReason::Deadline { limit });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The reason the token fired, if it has.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if self.is_cancelled() {
+            self.inner.reason.lock().clone()
+        } else {
+            None
+        }
+    }
+
+    /// `Err(reason)` once the token has fired — the phase-boundary
+    /// checkpoint form.
+    pub fn checkpoint(&self) -> Result<(), CancelReason> {
+        if self.is_cancelled() {
+            Err(self
+                .reason()
+                .unwrap_or(CancelReason::Requested { why: "cancelled".into() }))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert!(t.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancelToken::new();
+        assert!(t.cancel(CancelReason::Budget { limit_muls: 10 }));
+        assert!(!t.cancel(CancelReason::Requested { why: "late".into() }));
+        assert_eq!(t.reason(), Some(CancelReason::Budget { limit_muls: 10 }));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel(CancelReason::Requested { why: "stop".into() });
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_lazily() {
+        let t = CancelToken::with_deadline(Duration::from_millis(5));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.is_cancelled());
+        assert!(matches!(t.reason(), Some(CancelReason::Deadline { .. })));
+    }
+
+    #[test]
+    fn explicit_cancel_beats_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        t.cancel(CancelReason::Requested { why: "shutdown".into() });
+        assert_eq!(
+            t.reason(),
+            Some(CancelReason::Requested { why: "shutdown".into() })
+        );
+    }
+
+    #[test]
+    fn checkpoint_reports_reason() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Budget { limit_muls: 7 });
+        assert_eq!(t.checkpoint(), Err(CancelReason::Budget { limit_muls: 7 }));
+    }
+}

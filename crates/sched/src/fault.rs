@@ -1,0 +1,309 @@
+//! Deterministic fault injection for supervised-solve testing.
+//!
+//! A [`FaultPlan`] names scope-local task ids (spawn order, the same ids
+//! [`crate::TaskRecord`] reports) and what to do to them: panic before
+//! the task body runs, or delay it by a fixed duration. A plan can be
+//! written out explicitly ([`FaultPlan::panic_at`] /
+//! [`FaultPlan::delay_at`]) or derived from a seed
+//! ([`FaultPlan::seeded`]) so stress suites can sweep seeds while every
+//! individual run stays exactly reproducible.
+//!
+//! [`FaultInjector::task_wrapper`] turns a plan into a [`TaskWrapper`]
+//! for [`crate::ScopeConfig::wrapper`]; injectors compose with an
+//! existing wrapper (e.g. the solver's session-context installer) via
+//! [`FaultInjector::wrap`], running *inside* it so injected panics see
+//! the same ambient state a real task panic would. Each injected fault
+//! emits an `rr-obs` event (category `"fault"`) on the ambient
+//! recorder, so traces show exactly where a run was sabotaged.
+//!
+//! Determinism: the plan addresses tasks by id, ids are assigned in
+//! spawn order, and seeded plans derive from a splitmix64 stream — no
+//! global RNG, no time dependence. The same plan against the same task
+//! graph always fires at the same tasks. (What the *scheduler* does
+//! after a fault — which tasks were already queued, which get dropped —
+//! still depends on timing; the injection points themselves do not.)
+
+use crate::cancel::CancelToken;
+use crate::pool::{current_task_id, TaskWrapper};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The action a [`FaultPlan`] takes at one task id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic before the task body runs (payload
+    /// `"injected fault: task {id}"`).
+    Panic,
+    /// Sleep for the given duration before the task body runs.
+    Delay(Duration),
+}
+
+/// A deterministic map from scope-local task ids to fault actions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: BTreeMap<u64, FaultAction>,
+}
+
+/// splitmix64: tiny, seedable, and good enough to scatter fault sites —
+/// dependency-free by design (the vendored `rand` is a dev-dependency
+/// shim elsewhere; the injector must work inside any crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panic when task `id` is about to run.
+    pub fn panic_at(mut self, id: u64) -> FaultPlan {
+        self.actions.insert(id, FaultAction::Panic);
+        self
+    }
+
+    /// Delay task `id` by `dur` before it runs.
+    pub fn delay_at(mut self, id: u64, dur: Duration) -> FaultPlan {
+        self.actions.insert(id, FaultAction::Delay(dur));
+        self
+    }
+
+    /// A plan derived entirely from `seed`: `n_panics` panic sites and
+    /// `n_delays` delay sites (each up to `max_delay`) scattered over
+    /// task ids `1..horizon` (id 0 — the seed task — is spared so a
+    /// faulted run still *starts*). Collisions resolve last-written;
+    /// the same seed always yields the same plan.
+    pub fn seeded(
+        seed: u64,
+        horizon: u64,
+        n_panics: usize,
+        n_delays: usize,
+        max_delay: Duration,
+    ) -> FaultPlan {
+        let span = horizon.max(2) - 1;
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_panics {
+            let id = 1 + splitmix64(&mut state) % span;
+            plan.actions.insert(id, FaultAction::Panic);
+        }
+        for _ in 0..n_delays {
+            let id = 1 + splitmix64(&mut state) % span;
+            let nanos = max_delay.as_nanos().max(1) as u64;
+            let dur = Duration::from_nanos(splitmix64(&mut state) % nanos);
+            plan.actions.insert(id, FaultAction::Delay(dur));
+        }
+        plan
+    }
+
+    /// The action planned for task `id`, if any.
+    pub fn action_for(&self, id: u64) -> Option<FaultAction> {
+        self.actions.get(&id).copied()
+    }
+
+    /// Number of planned fault sites.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// True if the plan contains at least one panic site.
+    pub fn has_panics(&self) -> bool {
+        self.actions.values().any(|a| matches!(a, FaultAction::Panic))
+    }
+}
+
+/// Applies a [`FaultPlan`] to every task of a scope via the
+/// [`TaskWrapper`] hook.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan: Arc::new(plan) }
+    }
+
+    /// The injector's plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Runs the planned action (if any) for the task currently on this
+    /// thread, then the task itself.
+    fn inject(&self, task: &mut dyn FnMut()) {
+        if let Some(id) = current_task_id() {
+            match self.plan.action_for(id) {
+                Some(FaultAction::Panic) => {
+                    rr_obs::event("fault", format!("inject-panic:task-{id}"));
+                    panic!("injected fault: task {id}");
+                }
+                Some(FaultAction::Delay(dur)) => {
+                    rr_obs::event("fault", format!("inject-delay:task-{id}"));
+                    std::thread::sleep(dur);
+                }
+                None => {}
+            }
+        }
+        task();
+    }
+
+    /// A standalone [`TaskWrapper`] for scopes with no other wrapper.
+    pub fn task_wrapper(&self) -> TaskWrapper {
+        let injector = self.clone();
+        Arc::new(move |task| injector.inject(task))
+    }
+
+    /// Composes the injector *inside* `outer`: the outer wrapper (e.g.
+    /// a session-context installer) runs first, so injected panics and
+    /// delays happen under the same ambient state as real task bodies.
+    pub fn wrap(&self, outer: TaskWrapper) -> TaskWrapper {
+        let injector = self.clone();
+        Arc::new(move |task| {
+            let mut with_fault = || injector.inject(task);
+            outer(&mut with_fault);
+        })
+    }
+}
+
+/// Emits a cancellation event on the ambient `rr-obs` recorder if
+/// `token` has fired, tagging the trace with the reason. Call sites:
+/// phase boundaries that are about to abandon a solve.
+pub fn record_cancellation(token: &CancelToken) {
+    if let Some(reason) = token.reason() {
+        rr_obs::event("cancel", format!("cancelled: {reason}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::CancelReason;
+    use crate::pool::{AbortKind, Pool, ScopeConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 100, 2, 3, Duration::from_millis(1));
+        let b = FaultPlan::seeded(7, 100, 2, 3, Duration::from_millis(1));
+        let c = FaultPlan::seeded(8, 100, 2, 3, Duration::from_millis(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.len() <= 5 && !a.is_empty());
+        assert!(a.action_for(0).is_none(), "seed task must be spared");
+    }
+
+    #[test]
+    fn injected_panic_aborts_scope_with_planned_id() {
+        let pool = Pool::new(2);
+        let injector = FaultInjector::new(FaultPlan::new().panic_at(5));
+        let err = pool
+            .try_scope(
+                ScopeConfig { wrapper: Some(injector.task_wrapper()), ..ScopeConfig::default() },
+                |s| {
+                    for _ in 0..20 {
+                        s.spawn(|_| {});
+                    }
+                },
+            )
+            .expect_err("injected panic must abort the scope");
+        match err.kind {
+            AbortKind::Panicked { task_id, message, .. } => {
+                assert_eq!(task_id, 5);
+                assert_eq!(message, "injected fault: task 5");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(err.stats.panicked_tasks, 1);
+    }
+
+    #[test]
+    fn delays_do_not_change_outcomes() {
+        let pool = Pool::new(3);
+        let injector = FaultInjector::new(
+            FaultPlan::new()
+                .delay_at(2, Duration::from_millis(2))
+                .delay_at(9, Duration::from_millis(1)),
+        );
+        let count = AtomicU64::new(0);
+        let (stats, _) = pool.scope(
+            ScopeConfig { wrapper: Some(injector.task_wrapper()), ..ScopeConfig::default() },
+            |s| {
+                for _ in 0..16 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            },
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+        assert_eq!(stats.total_tasks(), 17);
+        assert_eq!(stats.panicked_tasks, 0);
+    }
+
+    #[test]
+    fn wrap_composes_with_outer_wrapper() {
+        let pool = Pool::new(2);
+        let outer_runs = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&outer_runs);
+        let outer: TaskWrapper = Arc::new(move |task| {
+            o.fetch_add(1, Ordering::Relaxed);
+            task();
+        });
+        let injector = FaultInjector::new(FaultPlan::new().panic_at(3));
+        let err = pool
+            .try_scope(
+                ScopeConfig {
+                    wrapper: Some(injector.wrap(outer)),
+                    ..ScopeConfig::default()
+                },
+                |s| {
+                    for _ in 0..8 {
+                        s.spawn(|_| {});
+                    }
+                },
+            )
+            .expect_err("planned panic");
+        assert!(matches!(err.kind, AbortKind::Panicked { task_id: 3, .. }));
+        // The outer wrapper ran for every executed task, including the
+        // one that panicked (it runs outside the injection point).
+        assert!(outer_runs.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn fault_and_cancel_events_reach_the_ambient_recorder() {
+        let rec = rr_obs::Recorder::new();
+        let injector = FaultInjector::new(FaultPlan::new().delay_at(0, Duration::ZERO));
+        // Run a tiny scope whose every task installs the recorder via
+        // the wrapper composition, so injection events are captured.
+        let pool = Pool::new(1);
+        let rec2 = rec.clone();
+        let outer: TaskWrapper = Arc::new(move |task| rec2.run(task));
+        pool.scope(
+            ScopeConfig { wrapper: Some(injector.wrap(outer)), ..ScopeConfig::default() },
+            |_s| {},
+        );
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Budget { limit_muls: 9 });
+        rec.run(|| record_cancellation(&token));
+        let trace = rec.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_ref()).collect();
+        assert!(names.iter().any(|n| n.starts_with("inject-delay:task-0")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.contains("budget of 9")),
+            "{names:?}"
+        );
+    }
+}

@@ -35,15 +35,28 @@
 //! `rr-core` report layer fuses these with `rr-obs` phase spans into
 //! Chrome-trace exports.
 
+//! Supervision: [`cancel::CancelToken`] gives scopes cooperative
+//! cancellation (deadlines, budgets, explicit requests) checked at task
+//! boundaries; [`Pool::try_scope`](pool::Pool::try_scope) reports task
+//! panics and cancellation as [`pool::ScopeAbort`] values — payloads
+//! preserved, queue drained, pool reusable — instead of unwinding; and
+//! [`fault`] injects deterministic, seeded panics/delays through the
+//! [`TaskWrapper`] hook so all of it is testable.
+
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod fault;
 pub mod graph;
 pub mod pool;
 pub mod sim;
 pub mod static_sched;
 
+pub use cancel::{CancelReason, CancelToken};
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use graph::Gate;
 pub use pool::{
-    run, run_traced, Pool, PoolStats, Scope, ScopeConfig, TaskRecord, TaskTrace, TaskWrapper,
+    current_task_id, run, run_traced, AbortKind, Pool, PoolStats, Scope, ScopeAbort, ScopeConfig,
+    TaskRecord, TaskTrace, TaskWrapper,
 };
 pub use sim::{critical_path, simulate_makespan, simulate_speedups};

@@ -22,8 +22,10 @@
 //! that wants the historical pool-per-run behavior (a dedicated pool is
 //! created and torn down around the single scope).
 
+use crate::cancel::{CancelReason, CancelToken};
 use crossbeam_deque::{Injector, Steal};
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
@@ -102,6 +104,33 @@ thread_local! {
     static CURRENT_TASK: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
+/// The scope-local id of the task currently executing on this thread
+/// (`None` outside a pool task). Fault injectors and diagnostics use
+/// this to address "the k-th spawned task" deterministically.
+pub fn current_task_id() -> Option<u64> {
+    CURRENT_TASK.with(Cell::get)
+}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`&str` and `String` payloads cover `panic!` in practice).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What a worker captured when a task panicked: the task, a rendered
+/// message, and the original payload for re-raising.
+struct PanicInfo {
+    task_id: u64,
+    message: String,
+    payload: Box<dyn Any + Send>,
+}
+
 /// Buffers for a traced scope: executed-task records plus queue-depth
 /// samples, both stamped against the scope's epoch.
 struct TraceBuf {
@@ -117,6 +146,19 @@ struct ScopeCore {
     pending: AtomicUsize,
     next_id: AtomicU64,
     panicked: AtomicBool,
+    /// Sticky local mirror of the cancel token: once a worker observes
+    /// the token fired, the scope is abandoned even if the token is
+    /// (somehow) reused elsewhere.
+    cancelled: AtomicBool,
+    /// Cooperative cancellation, checked by workers at task boundaries.
+    cancel: Option<CancelToken>,
+    /// First panic captured in this scope (payload preserved).
+    panic_info: Mutex<Option<PanicInfo>>,
+    /// Tasks whose closure panicked.
+    panicked_tasks: AtomicU64,
+    /// Tasks dropped without running (abandoned queue or post-abort
+    /// spawns).
+    dropped_tasks: AtomicU64,
     /// Max workers draining this scope concurrently.
     cap: usize,
     /// Workers currently holding a drain slot.
@@ -136,13 +178,23 @@ struct ScopeCore {
 }
 
 impl ScopeCore {
-    fn new(cap: usize, traced: bool, wrapper: Option<TaskWrapper>) -> ScopeCore {
+    fn new(
+        cap: usize,
+        traced: bool,
+        wrapper: Option<TaskWrapper>,
+        cancel: Option<CancelToken>,
+    ) -> ScopeCore {
         assert!(cap > 0, "need at least one worker");
         ScopeCore {
             injector: Injector::new(),
             pending: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            cancel,
+            panic_info: Mutex::new(None),
+            panicked_tasks: AtomicU64::new(0),
+            dropped_tasks: AtomicU64::new(0),
             cap,
             active: AtomicUsize::new(0),
             epoch: Instant::now(),
@@ -198,21 +250,40 @@ impl ScopeCore {
         }
     }
 
-    /// Discards every queued task of a poisoned scope so it can still
-    /// quiesce. Every worker drains after each task it runs once the
-    /// scope is poisoned; a task's spawns precede its own `finish_task`,
-    /// so when `pending` reaches zero the queue is provably empty.
-    fn drain_poisoned(&self) {
+    /// Discards every queued task of an abandoned (poisoned or
+    /// cancelled) scope so it can still quiesce. Every worker drains
+    /// after each task it runs once the scope is abandoned; a task's
+    /// spawns precede its own `finish_task`, so when `pending` reaches
+    /// zero the queue is provably empty.
+    fn drain_abandoned(&self) {
         loop {
             match self.injector.steal() {
                 Steal::Success(q) => {
                     drop(q.f);
+                    self.dropped_tasks.fetch_add(1, Ordering::Relaxed);
                     self.finish_task();
                 }
                 Steal::Retry => continue,
                 Steal::Empty => return,
             }
         }
+    }
+
+    /// True once the scope is being abandoned. Converts a fired cancel
+    /// token into the sticky local flag; the never-cancelled fast path
+    /// is two relaxed loads (plus one token flag load when a token is
+    /// attached).
+    fn abandoned(&self) -> bool {
+        if self.panicked.load(Ordering::Relaxed) || self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.cancelled.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
     }
 
     /// Credits one executed task to `worker_idx`. Called *before* the
@@ -252,9 +323,12 @@ impl<'env> Scope<'env> {
 
     /// Enqueues an already-boxed task (avoids double boxing in helpers).
     pub fn spawn_boxed(&self, f: Task<'env>) {
-        if self.core.panicked.load(Ordering::Relaxed) {
+        if self.core.panicked.load(Ordering::Relaxed)
+            || self.core.cancelled.load(Ordering::Relaxed)
+        {
             // The scope is being abandoned; new work is dropped so the
             // scope can quiesce.
+            self.core.dropped_tasks.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // SAFETY: erases `'env` to store the task in the 'static core.
@@ -271,6 +345,21 @@ impl<'env> Scope<'env> {
     /// True once any task has panicked (the scope is being abandoned).
     pub fn is_poisoned(&self) -> bool {
         self.core.panicked.load(Ordering::Relaxed)
+    }
+
+    /// True once the scope's cancel token has fired (checked lazily) or
+    /// a worker has already marked the scope cancelled. Long-running
+    /// tasks can poll this to bail out early.
+    pub fn is_cancelled(&self) -> bool {
+        if self.core.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.core.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// The scope's cancel token, if one was attached.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.core.cancel.as_ref()
     }
 }
 
@@ -294,6 +383,12 @@ pub struct PoolStats {
     /// Times a worker claimed a drain slot and found the queue empty —
     /// a proxy for worker idling (starvation) while the scope was open.
     pub empty_polls: u64,
+    /// Tasks whose closure panicked (captured, never unwound through
+    /// the pool).
+    pub panicked_tasks: u64,
+    /// Tasks dropped without running because the scope was abandoned
+    /// (cancelled or poisoned) before they were stolen.
+    pub cancelled_tasks: u64,
 }
 
 impl PoolStats {
@@ -325,7 +420,14 @@ impl std::fmt::Display for PoolStats {
             self.wall,
             self.steal_retries,
             self.empty_polls,
-        )
+        )?;
+        if self.panicked_tasks > 0 {
+            write!(f, ", {} panicked", self.panicked_tasks)?;
+        }
+        if self.cancelled_tasks > 0 {
+            write!(f, ", {} cancelled", self.cancelled_tasks)?;
+        }
+        Ok(())
     }
 }
 
@@ -338,6 +440,57 @@ pub struct ScopeConfig {
     pub traced: bool,
     /// Hook run around every task (e.g. session-context installation).
     pub wrapper: Option<TaskWrapper>,
+    /// Cooperative cancellation: once the token fires, workers stop
+    /// stealing from this scope, queued tasks are dropped (counted in
+    /// [`PoolStats::cancelled_tasks`]), and [`Pool::try_scope`] reports
+    /// [`AbortKind::Cancelled`]. Running tasks are never interrupted.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Why a scope was abandoned before finishing its work.
+pub enum AbortKind {
+    /// A task panicked; the original payload is preserved.
+    Panicked {
+        /// Scope-local id of the first task that panicked.
+        task_id: u64,
+        /// Rendered panic message (best effort).
+        message: String,
+        /// The original panic payload, for re-raising.
+        payload: Box<dyn Any + Send>,
+    },
+    /// The scope's cancel token fired.
+    Cancelled {
+        /// Why the token fired.
+        reason: CancelReason,
+    },
+}
+
+impl std::fmt::Debug for AbortKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortKind::Panicked { task_id, message, .. } => f
+                .debug_struct("Panicked")
+                .field("task_id", task_id)
+                .field("message", message)
+                .finish_non_exhaustive(),
+            AbortKind::Cancelled { reason } => {
+                f.debug_struct("Cancelled").field("reason", reason).finish()
+            }
+        }
+    }
+}
+
+/// Outcome of an abandoned [`Pool::try_scope`]: the abort cause plus
+/// the statistics and trace of what did run before abandonment (useful
+/// for partial-progress reporting).
+#[derive(Debug)]
+pub struct ScopeAbort {
+    /// Why the scope was abandoned.
+    pub kind: AbortKind,
+    /// Statistics for the tasks that ran before abandonment.
+    pub stats: PoolStats,
+    /// Trace of the tasks that ran, if tracing was on.
+    pub trace: Option<TaskTrace>,
 }
 
 struct PoolShared {
@@ -401,15 +554,47 @@ impl Pool {
     /// trace. Blocks until the scope quiesces; concurrent callers get
     /// independent scopes drained by the same workers.
     ///
+    /// Supervised callers should prefer [`Pool::try_scope`], which
+    /// reports panics and cancellation as values instead of unwinding.
+    ///
     /// # Panics
-    /// Re-panics if any task of the scope panicked.
+    /// Re-panics if any task of the scope panicked, with the original
+    /// message and task id preserved in the new payload.
     pub fn scope<'env, F>(&self, cfg: ScopeConfig, seed: F) -> (PoolStats, Option<TaskTrace>)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        match self.try_scope(cfg, seed) {
+            Ok(out) => out,
+            Err(abort) => match abort.kind {
+                AbortKind::Panicked { task_id, message, .. } => {
+                    panic!("task {task_id} panicked: {message}; pool run abandoned")
+                }
+                // Without a cancel token this arm is unreachable; with
+                // one, the legacy entry point treats cancellation as a
+                // normal (partial) completion.
+                AbortKind::Cancelled { .. } => (abort.stats, abort.trace),
+            },
+        }
+    }
+
+    /// Like [`Pool::scope`], but reports an abandoned scope — a task
+    /// panic or a fired [`ScopeConfig::cancel`] token — as an
+    /// [`ScopeAbort`] value instead of unwinding. In both cases the
+    /// scope is drained to quiescence first (queued tasks dropped and
+    /// counted), so the pool and its workers remain fully reusable.
+    pub fn try_scope<'env, F>(
+        &self,
+        cfg: ScopeConfig,
+        seed: F,
+    ) -> Result<(PoolStats, Option<TaskTrace>), Box<ScopeAbort>>
     where
         F: FnOnce(&Scope<'env>) + Send + 'env,
     {
         let cap = if cfg.cap == 0 { self.workers() } else { cfg.cap };
         self.ensure_workers(cap.min(MAX_AUTO_GROW));
-        let core = Arc::new(ScopeCore::new(cap, cfg.traced, cfg.wrapper));
+        let cancel = cfg.cancel.clone();
+        let core = Arc::new(ScopeCore::new(cap, cfg.traced, cfg.wrapper, cfg.cancel));
         let handle = Scope::handle(Arc::clone(&core));
         handle.spawn(seed);
         let start = Instant::now();
@@ -433,9 +618,6 @@ impl Pool {
             scopes.retain(|s| !Arc::ptr_eq(s, &core));
         }
         drop(handle);
-        if core.panicked.load(Ordering::SeqCst) {
-            panic!("a task panicked; pool run abandoned");
-        }
         // Workers may still hold Arc clones of the core from their
         // registry snapshots, so read results through the Arc rather
         // than unwrapping it. All per-task recording happened before the
@@ -453,17 +635,44 @@ impl Pool {
             epoch: Some(core.epoch),
             queue_samples: std::mem::take(&mut *buf.queue.lock()),
         });
-        (
-            PoolStats {
-                workers: cap,
-                tasks_per_worker,
-                busy_per_worker,
-                wall,
-                steal_retries: core.steal_retries.load(Ordering::Relaxed),
-                empty_polls: core.empty_polls.load(Ordering::Relaxed),
-            },
-            trace,
-        )
+        let stats = PoolStats {
+            workers: cap,
+            tasks_per_worker,
+            busy_per_worker,
+            wall,
+            steal_retries: core.steal_retries.load(Ordering::Relaxed),
+            empty_polls: core.empty_polls.load(Ordering::Relaxed),
+            panicked_tasks: core.panicked_tasks.load(Ordering::Relaxed),
+            cancelled_tasks: core.dropped_tasks.load(Ordering::Relaxed),
+        };
+        // Panic outranks cancellation: a poisoned scope is reported as
+        // such even if a deadline also fired while it drained.
+        if core.panicked.load(Ordering::SeqCst) {
+            let info = core.panic_info.lock().take();
+            let (task_id, message, payload) = match info {
+                Some(PanicInfo { task_id, message, payload }) => (task_id, message, payload),
+                // The flag is only ever set together with `panic_info`,
+                // but keep a defensive fallback rather than an unwrap.
+                None => (0, "task panicked".to_string(), Box::new(()) as Box<dyn Any + Send>),
+            };
+            return Err(Box::new(ScopeAbort {
+                kind: AbortKind::Panicked { task_id, message, payload },
+                stats,
+                trace,
+            }));
+        }
+        if core.cancelled.load(Ordering::SeqCst) {
+            let reason = cancel
+                .as_ref()
+                .and_then(CancelToken::reason)
+                .unwrap_or(CancelReason::Requested { why: "scope cancelled".into() });
+            return Err(Box::new(ScopeAbort {
+                kind: AbortKind::Cancelled { reason },
+                stats,
+                trace,
+            }));
+        }
+        Ok((stats, trace))
     }
 }
 
@@ -529,8 +738,8 @@ fn worker_loop(shared: &PoolShared, worker_idx: usize) {
 fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
     let mut did_work = false;
     loop {
-        if core.panicked.load(Ordering::Relaxed) {
-            core.drain_poisoned();
+        if core.abandoned() {
+            core.drain_abandoned();
             break;
         }
         match core.injector.steal() {
@@ -569,13 +778,24 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                 }
                 core.record_task(worker_idx, elapsed);
                 did_work = true;
-                if result.is_err() {
+                if let Err(payload) = result {
+                    core.panicked_tasks.fetch_add(1, Ordering::Relaxed);
+                    let mut slot = core.panic_info.lock();
+                    if slot.is_none() {
+                        *slot = Some(PanicInfo {
+                            task_id: id,
+                            message: panic_message(payload.as_ref()),
+                            payload,
+                        });
+                    }
+                    drop(slot);
                     core.panicked.store(true, Ordering::SeqCst);
                 }
-                if core.panicked.load(Ordering::Relaxed) {
+                if core.panicked.load(Ordering::Relaxed) || core.cancelled.load(Ordering::Relaxed)
+                {
                     // Our spawns precede our finish; clear them now so
                     // the scope can quiesce.
-                    core.drain_poisoned();
+                    core.drain_abandoned();
                 }
                 core.finish_task();
             }
@@ -605,7 +825,7 @@ where
 {
     let pool = Pool::new(workers);
     let (stats, _) = pool.scope(
-        ScopeConfig { cap: workers, traced: false, wrapper: None },
+        ScopeConfig { cap: workers, traced: false, wrapper: None, cancel: None },
         seed,
     );
     stats
@@ -619,7 +839,7 @@ where
 {
     let pool = Pool::new(workers);
     let (stats, trace) = pool.scope(
-        ScopeConfig { cap: workers, traced: true, wrapper: None },
+        ScopeConfig { cap: workers, traced: true, wrapper: None, cancel: None },
         seed,
     );
     (stats, trace.expect("tracing was enabled"))
@@ -731,7 +951,7 @@ mod tests {
         for round in 0..5u64 {
             let count = AtomicU64::new(0);
             let (stats, trace) = pool.scope(
-                ScopeConfig { cap: 3, traced: true, wrapper: None },
+                ScopeConfig { cap: 3, traced: true, wrapper: None, cancel: None },
                 |s| {
                     for _ in 0..20 {
                         s.spawn(|_| {
@@ -761,7 +981,7 @@ mod tests {
                     let count = AtomicU64::new(0);
                     let spawns = 10 * (k + 1);
                     let (stats, trace) = pool.scope(
-                        ScopeConfig { cap: 2, traced: true, wrapper: None },
+                        ScopeConfig { cap: 2, traced: true, wrapper: None, cancel: None },
                         |s| {
                             for _ in 0..spawns {
                                 s.spawn(|_| {
@@ -792,7 +1012,7 @@ mod tests {
         let live = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
         let (stats, _) = pool.scope(
-            ScopeConfig { cap: 2, traced: false, wrapper: None },
+            ScopeConfig { cap: 2, traced: false, wrapper: None, cancel: None },
             |s| {
                 for _ in 0..16 {
                     let live = Arc::clone(&live);
@@ -822,7 +1042,7 @@ mod tests {
         let pool = Pool::new(2);
         let count = AtomicU64::new(0);
         let (stats, _) = pool.scope(
-            ScopeConfig { cap: 2, traced: false, wrapper: Some(wrapper) },
+            ScopeConfig { cap: 2, traced: false, wrapper: Some(wrapper), cancel: None },
             |s| {
                 for _ in 0..10 {
                     s.spawn(|_| {
@@ -874,10 +1094,164 @@ mod tests {
     }
 
     #[test]
+    fn panic_payload_and_task_id_preserved() {
+        let pool = Pool::new(2);
+        let err = pool
+            .try_scope(ScopeConfig::default(), |s: &Scope<'_>| {
+                s.spawn(|_| panic!("kaboom-{}", 41 + 1));
+            })
+            .expect_err("scope must abort");
+        match err.kind {
+            AbortKind::Panicked { task_id, message, payload } => {
+                assert_eq!(task_id, 1); // seed is task 0
+                assert_eq!(message, "kaboom-42");
+                let s = payload.downcast_ref::<String>().expect("String payload");
+                assert_eq!(s, "kaboom-42");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(err.stats.panicked_tasks, 1);
+        // The legacy panicking wrapper carries the same context.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+                s.spawn(|_| panic!("kaboom"));
+            });
+        }));
+        let payload = r.expect_err("must panic");
+        let msg = payload.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("kaboom"), "lost original message: {msg}");
+        assert!(msg.contains("task 1"), "lost task id: {msg}");
+        assert!(msg.contains("pool run abandoned"), "lost marker: {msg}");
+    }
+
+    #[test]
+    fn cancelled_scope_drops_queued_tasks_and_reports_reason() {
+        let pool = Pool::new(2);
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicU64::new(0));
+        let err = {
+            let token = token.clone();
+            let ran = Arc::clone(&ran);
+            pool.try_scope(
+                ScopeConfig { cancel: Some(token.clone()), ..ScopeConfig::default() },
+                move |s| {
+                    for i in 0..64 {
+                        let token = token.clone();
+                        let ran = Arc::clone(&ran);
+                        s.spawn(move |_| {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                            if i == 3 {
+                                token.cancel(CancelReason::Requested { why: "enough".into() });
+                            }
+                            std::thread::sleep(Duration::from_micros(300));
+                        });
+                    }
+                },
+            )
+        }
+        .expect_err("scope must report cancellation");
+        match &err.kind {
+            AbortKind::Cancelled { reason } => {
+                assert_eq!(reason, &CancelReason::Requested { why: "enough".into() });
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let executed = ran.load(Ordering::SeqCst);
+        assert!(executed < 64, "cancellation dropped nothing");
+        assert!(err.stats.cancelled_tasks > 0);
+        assert_eq!(err.stats.cancelled_tasks + executed + 1, 65); // + seed
+        // The pool stays fully usable.
+        let count = AtomicU64::new(0);
+        let (stats, _) = pool.scope(ScopeConfig::default(), |s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.total_tasks(), 11);
+        assert_eq!(stats.cancelled_tasks, 0);
+    }
+
+    #[test]
+    fn deadline_token_abandons_scope() {
+        let pool = Pool::new(2);
+        let token = CancelToken::with_deadline(Duration::from_millis(10));
+        let start = Instant::now();
+        let err = pool
+            .try_scope(
+                ScopeConfig { cancel: Some(token), ..ScopeConfig::default() },
+                |s: &Scope<'_>| {
+                    // Each task is short; the deadline fires between
+                    // tasks, never inside one.
+                    fn replenish<'env>(s: &Scope<'env>) {
+                        std::thread::sleep(Duration::from_micros(500));
+                        s.spawn(|s2| replenish(s2));
+                    }
+                    s.spawn(|s2| replenish(s2));
+                    s.spawn(|s2| replenish(s2));
+                },
+            )
+            .expect_err("deadline must fire");
+        assert!(
+            matches!(err.kind, AbortKind::Cancelled { reason: CancelReason::Deadline { .. } }),
+            "got {:?}",
+            err.kind
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "scope did not drain promptly: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn try_scope_clean_run_matches_scope() {
+        let pool = Pool::new(2);
+        let count = AtomicU64::new(0);
+        let (stats, trace) = pool
+            .try_scope(
+                ScopeConfig { traced: true, ..ScopeConfig::default() },
+                |s| {
+                    for _ in 0..10 {
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                },
+            )
+            .expect("clean run");
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.total_tasks(), 11);
+        assert_eq!(stats.panicked_tasks, 0);
+        assert_eq!(stats.cancelled_tasks, 0);
+        assert_eq!(trace.expect("traced").records.len(), 11);
+    }
+
+    #[test]
+    fn current_task_id_visible_inside_tasks() {
+        assert_eq!(current_task_id(), None);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let pool = Pool::new(2);
+        let (_, _) = pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+            for _ in 0..8 {
+                let seen = Arc::clone(&seen);
+                s.spawn(move |_| {
+                    seen.lock().push(current_task_id().expect("inside a task"));
+                });
+            }
+        });
+        let mut ids = seen.lock().clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..9).collect::<Vec<u64>>()); // seed took id 0
+    }
+
+    #[test]
     fn ensure_workers_grows_for_oversized_cap() {
         let pool = Pool::new(2);
         let (stats, _) = pool.scope(
-            ScopeConfig { cap: 6, traced: false, wrapper: None },
+            ScopeConfig { cap: 6, traced: false, wrapper: None, cancel: None },
             |s: &Scope<'_>| {
                 for _ in 0..12 {
                     s.spawn(|_| std::thread::sleep(Duration::from_micros(100)));

@@ -1,0 +1,78 @@
+//! Supervised solves: deadlines, multiplication budgets, explicit
+//! cancellation, panic containment under injected faults, and graceful
+//! degradation — the failure model of DESIGN.md §11, end to end.
+//!
+//! ```sh
+//! cargo run --release --example supervised
+//! ```
+
+use polyroots::workload::charpoly_input;
+use polyroots::{
+    CancelReason, CancelToken, FaultInjector, FaultPlan, Int, Poly, Runtime, Session, SolveError,
+    SolveLimits, SolverConfig,
+};
+use std::time::Duration;
+
+fn wilkinson(n: i64) -> Poly {
+    Poly::from_roots(&(1..=n).map(Int::from).collect::<Vec<_>>())
+}
+
+fn main() {
+    let rt = Runtime::new(3);
+    let cfg = SolverConfig::parallel(96, 3);
+
+    // 1. A deadline that cannot fit the solve: typed cancellation with
+    //    partial accounting, and the session stays usable.
+    let session = Session::with_runtime(cfg, &rt);
+    let heavy = wilkinson(70);
+    match session.solve_with_deadline(&heavy, Duration::from_millis(80)) {
+        Err(SolveError::Cancelled { reason, partial_stats }) => println!(
+            "deadline: cancelled ({reason}) after {:.2?}, {} muls done",
+            partial_stats.wall,
+            partial_stats.cost.total().mul_count
+        ),
+        other => println!("deadline: unexpectedly {other:?}"),
+    }
+
+    // 2. A multiplication budget (the paper's cost measure).
+    let limits = SolveLimits::none().with_max_muls(500);
+    match session.solve_supervised(&wilkinson(24), &limits) {
+        Err(SolveError::Cancelled { reason, .. }) => println!("budget:   cancelled ({reason})"),
+        other => println!("budget:   unexpectedly {other:?}"),
+    }
+
+    // 3. An external token fired from another thread.
+    let token = CancelToken::new();
+    let remote = token.clone();
+    let t = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        remote.cancel(CancelReason::Requested { why: "operator abort".into() });
+    });
+    match session.solve_supervised(&heavy, &SolveLimits::none().with_token(token)) {
+        Err(SolveError::Cancelled { reason, .. }) => println!("token:    cancelled ({reason})"),
+        other => println!("token:    unexpectedly {other:?}"),
+    }
+    t.join().unwrap();
+
+    // 4. An injected worker panic: contained, typed, pool reusable.
+    let faulty = Session::with_runtime(cfg, &rt)
+        .with_fault_injection(FaultInjector::new(FaultPlan::new().panic_at(3)));
+    let p = charpoly_input(16, 0);
+    match faulty.solve(&p) {
+        Err(SolveError::TaskPanicked { task_id, message }) => {
+            println!("panic:    task {task_id} contained ({message})")
+        }
+        other => println!("panic:    unexpectedly {other:?}"),
+    }
+    let clean = Session::with_runtime(cfg, &rt).solve(&p).expect("pool survives the panic");
+    println!("panic:    same pool then solved {} roots cleanly", clean.roots.len());
+
+    // 5. Graceful degradation on an out-of-domain input.
+    let complex = &Poly::from_i64(&[1, 0, 1]) * &wilkinson(6);
+    let r = Session::with_runtime(cfg, &rt).solve(&complex).expect("degrades, not errors");
+    println!(
+        "degrade:  {} real roots of a complex-rooted input via {}",
+        r.roots.len(),
+        r.degraded.map(|d| d.to_string()).unwrap_or_default()
+    );
+}

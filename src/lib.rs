@@ -20,7 +20,8 @@ pub use rr_sched as sched;
 pub use rr_workload as workload;
 
 pub use rr_core::{
-    solve_batch, solve_batch_on, Dyadic, RootApproximator, Runtime, Session, SolveError,
+    solve_batch, solve_batch_on, CancelReason, CancelToken, Degradation, Dyadic, FaultInjector,
+    FaultPlan, PartialStats, RootApproximator, Runtime, Session, SolveError, SolveLimits,
     SolveReport, SolverConfig,
 };
 pub use rr_mp::Int;

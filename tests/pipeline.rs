@@ -96,9 +96,10 @@ fn precision_sweep_is_nested() {
 
 #[test]
 fn mixed_complex_inputs_rejected_cleanly() {
-    // (x²+1)·(real-rooted): rejected with a real-root count.
+    // (x²+1)·(real-rooted): with degradation off, rejected with a
+    // real-root count; by default, degraded to the Sturm baseline.
     let p = &Poly::from_i64(&[1, 0, 1]) * &charpoly_input(6, 0);
-    let err = RootApproximator::new(SolverConfig::sequential(8))
+    let err = RootApproximator::new(SolverConfig::sequential(8).with_degradation(false))
         .approximate_roots(&p)
         .unwrap_err();
     let msg = err.to_string();
@@ -107,10 +108,17 @@ fn mixed_complex_inputs_rejected_cleanly() {
         "error should explain the real-rootedness failure: {msg}"
     );
     // parallel remainder stage detects it too
-    let err = RootApproximator::new(SolverConfig::parallel(8, 4))
+    let err = RootApproximator::new(SolverConfig::parallel(8, 4).with_degradation(false))
         .approximate_roots(&p)
         .unwrap_err();
     assert!(err.to_string().contains("real"));
+
+    // Default sessions fall back to the baseline and mark it.
+    let r = RootApproximator::new(SolverConfig::sequential(8))
+        .approximate_roots(&p)
+        .unwrap();
+    assert_eq!(r.degraded, Some(polyroots::core::Degradation::SturmBaseline));
+    assert_eq!(r.roots.len(), 6);
 }
 
 #[test]

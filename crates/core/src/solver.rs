@@ -6,7 +6,7 @@ use crate::interval::Inconsistency;
 pub use crate::par_solver::Grain;
 pub use crate::refine::RefineStrategy;
 use rr_mp::metrics::{self, CostSnapshot, Phase};
-use rr_mp::{MulBackend, SolveCtx};
+use rr_mp::{MulBackend, PolyMulBackend, SolveCtx};
 use rr_poly::bounds::root_bound_bits;
 use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
 use rr_poly::Poly;
@@ -55,6 +55,12 @@ pub struct SolverConfig {
     /// (`Schoolbook` is the paper-faithful default, `Fast` enables
     /// Karatsuba — identical roots and metrics, different wall-clock).
     pub backend: MulBackend,
+    /// Polynomial multiplication kernel for this solve, carried the same
+    /// way (`Schoolbook` double loop, or `Kronecker` substitution onto
+    /// one big-integer product — identical roots and metrics, different
+    /// wall-clock). Defaults to the `RR_POLY_MUL` environment selection
+    /// so existing entry points pick it up without new flags.
+    pub poly_mul: PolyMulBackend,
     /// Graceful degradation (on by default): when the extended remainder
     /// sequence rejects the input (`NotNormal` / `NotRealRooted`), retry
     /// on its squarefree part and, failing that, fall back to the
@@ -74,6 +80,7 @@ impl SolverConfig {
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
+            poly_mul: rr_mp::poly_mul_backend(),
             degrade: true,
         }
     }
@@ -91,6 +98,7 @@ impl SolverConfig {
             refine: RefineStrategy::Hybrid,
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
+            poly_mul: rr_mp::poly_mul_backend(),
             degrade: true,
         }
     }
@@ -98,6 +106,13 @@ impl SolverConfig {
     /// The same configuration with the given multiplication backend.
     pub fn with_backend(mut self, backend: MulBackend) -> SolverConfig {
         self.backend = backend;
+        self
+    }
+
+    /// The same configuration with the given polynomial multiplication
+    /// backend (see [`SolverConfig::poly_mul`]).
+    pub fn with_poly_mul(mut self, poly_mul: PolyMulBackend) -> SolverConfig {
+        self.poly_mul = poly_mul;
         self
     }
 

@@ -84,6 +84,88 @@ pub fn set_mul_backend(backend: MulBackend) -> MulBackend {
     }
 }
 
+/// Which algorithm `rr-poly`'s `Poly × Poly` dispatches to.
+///
+/// Lives here (rather than in `rr-poly`) so the selection can ride on a
+/// [`crate::SolveCtx`] next to [`MulBackend`]: a solve carries *both*
+/// kernel choices, and worker tasks inherit them together.
+///
+/// * [`PolyMulBackend::Schoolbook`] — the classical
+///   `(d_a+1)(d_b+1)`-coefficient-product double loop, matching the
+///   paper's Section 4.2 count exactly.
+/// * [`PolyMulBackend::Kronecker`] — Kronecker substitution: pack each
+///   polynomial into one big integer (fixed-width slots), multiply once
+///   with the active [`MulBackend`] kernel, unpack. Exact for any signed
+///   integer polynomials, and subquadratic end-to-end when combined with
+///   the `Fast` limb kernel. Falls back to schoolbook below a calibrated
+///   size crossover.
+///
+/// Switching never changes what [`crate::metrics`] records: the
+/// Kronecker path replays the schoolbook *model* events (one recorded
+/// multiplication per pair of nonzero coefficients, costed at
+/// `‖x‖·‖y‖`), so predicted-vs-observed figures stay bit-identical and
+/// backend-invariant. What actually ran is visible separately through
+/// the Kronecker counters ([`crate::metrics::KroneckerStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolyMulBackend {
+    /// Classical coefficient double loop — paper-faithful timing.
+    #[default]
+    Schoolbook,
+    /// Kronecker substitution onto one big-integer multiplication.
+    Kronecker,
+}
+
+static POLY_BACKEND: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The currently selected process-wide polynomial multiplication
+/// backend.
+///
+/// First call reads `RR_POLY_MUL` from the environment (`schoolbook` or
+/// `kronecker`; unset/unknown means schoolbook); later calls return the
+/// cached (or explicitly [set](set_poly_mul_backend)) value. Applies
+/// only when no [`crate::SolveCtx`] is installed on the current thread.
+#[inline]
+pub fn poly_mul_backend() -> PolyMulBackend {
+    match POLY_BACKEND.load(Ordering::Relaxed) {
+        SCHOOLBOOK => PolyMulBackend::Schoolbook,
+        FAST => PolyMulBackend::Kronecker,
+        _ => init_poly_from_env(),
+    }
+}
+
+/// Selects the process-wide polynomial multiplication backend, returning
+/// the previous selection. Same caveats as [`set_mul_backend`]: prefer
+/// carrying the choice in a [`crate::SolveCtx`]; this is the no-session
+/// fallback.
+pub fn set_poly_mul_backend(backend: PolyMulBackend) -> PolyMulBackend {
+    let raw = match backend {
+        PolyMulBackend::Schoolbook => SCHOOLBOOK,
+        PolyMulBackend::Kronecker => FAST,
+    };
+    match POLY_BACKEND.swap(raw, Ordering::Relaxed) {
+        FAST => PolyMulBackend::Kronecker,
+        _ => PolyMulBackend::Schoolbook,
+    }
+}
+
+#[cold]
+fn init_poly_from_env() -> PolyMulBackend {
+    let choice = match std::env::var("RR_POLY_MUL").as_deref() {
+        Ok("kronecker") => PolyMulBackend::Kronecker,
+        _ => PolyMulBackend::Schoolbook,
+    };
+    let raw = match choice {
+        PolyMulBackend::Schoolbook => SCHOOLBOOK,
+        PolyMulBackend::Kronecker => FAST,
+    };
+    // A racing set_poly_mul_backend wins: only replace UNINIT.
+    match POLY_BACKEND.compare_exchange(UNINIT, raw, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => choice,
+        Err(FAST) => PolyMulBackend::Kronecker,
+        Err(_) => PolyMulBackend::Schoolbook,
+    }
+}
+
 #[cold]
 fn init_from_env() -> MulBackend {
     let choice = match std::env::var("RR_MUL_BACKEND").as_deref() {

@@ -173,6 +173,39 @@ impl Int {
         Int::from_sign_mag(self.sign.mul(self.sign), nat::sqr_auto(&self.mag))
     }
 
+    /// Fused `self += x * y`, recorded exactly like `x * y` (one
+    /// multiplication at `‖x‖·‖y‖` bit cost) but accumulating in place:
+    /// the product magnitude folds into `self` with no intermediate
+    /// `Int` and, on the common same-sign path, no reallocation of the
+    /// accumulator. This is the schoolbook polynomial loop's inner
+    /// operation.
+    pub fn add_mul_assign(&mut self, x: &Int, y: &Int) {
+        metrics::record_mul(x.bit_len(), y.bit_len());
+        let psign = x.sign.mul(y.sign);
+        if psign == Sign::Zero {
+            return;
+        }
+        let pmag = nat::mul_auto(&x.mag, &y.mag);
+        if self.sign == Sign::Zero {
+            self.sign = psign;
+            self.mag = pmag;
+        } else if self.sign == psign {
+            nat::add_assign(&mut self.mag, &pmag);
+        } else {
+            match nat::cmp(&self.mag, &pmag) {
+                Ordering::Equal => {
+                    self.sign = Sign::Zero;
+                    self.mag.clear();
+                }
+                Ordering::Greater => nat::sub_assign(&mut self.mag, &pmag),
+                Ordering::Less => {
+                    self.mag = nat::sub(&pmag, &self.mag);
+                    self.sign = self.sign.flip();
+                }
+            }
+        }
+    }
+
     /// `self^e` by binary exponentiation.
     pub fn pow(&self, e: u32) -> Int {
         if e == 0 {
@@ -631,6 +664,38 @@ mod tests {
         assert_eq!(i(-2).pow(8), i(256));
         assert_eq!(i(10).pow(20), Int::from(100_000_000_000_000_000_000u128));
         assert_eq!(i(-7).square(), i(49));
+    }
+
+    #[test]
+    fn add_mul_assign_matches_operators() {
+        for acc in [-50i128, -6, 0, 6, 50] {
+            for x in [-7i128, -1, 0, 1, 3] {
+                for y in [-2i128, 0, 2, 9] {
+                    let mut got = i(acc);
+                    got.add_mul_assign(&i(x), &i(y));
+                    assert_eq!(got, i(acc + x * y), "{acc} += {x}*{y}");
+                }
+            }
+        }
+        // multi-limb, sign-flipping accumulation
+        let mut got = -Int::pow2(200);
+        got.add_mul_assign(&Int::pow2(150), &Int::pow2(51));
+        assert_eq!(got, Int::pow2(200));
+    }
+
+    #[test]
+    fn add_mul_assign_records_one_mul() {
+        use crate::metrics;
+        let before = metrics::snapshot();
+        let mut acc = i(10);
+        acc.add_mul_assign(&i(12345), &i(99999));
+        let d = metrics::snapshot() - before;
+        assert_eq!(d.total().mul_count, 1);
+        assert_eq!(d.total().mul_bits, 14 * 17);
+        // zero operands still record, like `x * y` does
+        let before = metrics::snapshot();
+        acc.add_mul_assign(&Int::zero(), &i(5));
+        assert_eq!((metrics::snapshot() - before).total().mul_count, 1);
     }
 
     #[test]

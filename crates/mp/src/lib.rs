@@ -63,7 +63,10 @@ pub mod session;
 mod fmt;
 mod int;
 
-pub use backend::{mul_backend, set_mul_backend, MulBackend};
+pub use backend::{
+    mul_backend, poly_mul_backend, set_mul_backend, set_poly_mul_backend, MulBackend,
+    PolyMulBackend,
+};
 pub use int::{Int, Sign};
-pub use metrics::MetricsSink;
-pub use session::{CtxGuard, SolveCtx};
+pub use metrics::{KroneckerStats, MetricsSink};
+pub use session::{active_poly_mul_backend, CtxGuard, SolveCtx};

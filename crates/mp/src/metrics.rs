@@ -136,6 +136,13 @@ pub(crate) struct ThreadCounters {
     mul_bits: [AtomicU64; NUM_PHASES],
     div_count: [AtomicU64; NUM_PHASES],
     div_bits: [AtomicU64; NUM_PHASES],
+    // Kronecker execution counters. Deliberately NOT part of
+    // `CostSnapshot`: the paper cost model above must stay identical
+    // across polynomial backends (its `PartialEq` backs the
+    // backend-invariance assertions), while these describe what the
+    // Kronecker path actually executed. Read via `KroneckerStats`.
+    kron_muls: AtomicU64,
+    kron_packed_bits: AtomicU64,
 }
 
 impl ThreadCounters {
@@ -150,6 +157,35 @@ impl ThreadCounters {
         self.div_count[phase].fetch_add(1, Ordering::Relaxed);
         self.div_bits[phase].fetch_add(q_bits.saturating_mul(b_bits), Ordering::Relaxed);
     }
+
+    #[inline]
+    pub(crate) fn record_mul_bulk(&self, phase: usize, count: u64, bits: u64) {
+        self.mul_count[phase].fetch_add(count, Ordering::Relaxed);
+        self.mul_bits[phase].fetch_add(bits, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_kron(&self, packed_bits: u64) {
+        self.kron_muls.fetch_add(1, Ordering::Relaxed);
+        self.kron_packed_bits.fetch_add(packed_bits, Ordering::Relaxed);
+    }
+}
+
+/// What the Kronecker polynomial-multiplication path actually executed,
+/// as opposed to what the paper cost model charged for it.
+///
+/// Kept separate from [`CostSnapshot`] on purpose: the model counters
+/// are asserted bit-identical across polynomial backends, so anything
+/// that *varies* with the backend must live outside them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KroneckerStats {
+    /// Number of polynomial products routed through Kronecker
+    /// substitution (each one is a handful of big-integer
+    /// multiplications on packed operands).
+    pub kronecker_muls: u64,
+    /// Total bits packed across those products (sum over products of
+    /// `slot_bits × slots`, both operands).
+    pub packed_bits: u64,
 }
 
 /// A registry of per-thread event counters that can be aggregated at any
@@ -222,6 +258,17 @@ impl MetricsSink {
                     div_bits: c.div_bits[i].load(Ordering::Relaxed),
                 };
             }
+        }
+        out
+    }
+
+    /// Aggregates the Kronecker execution counters of every thread that
+    /// has recorded into this sink.
+    pub fn kron_snapshot(&self) -> KroneckerStats {
+        let mut out = KroneckerStats::default();
+        for c in self.inner.threads.lock().iter() {
+            out.kronecker_muls += c.kron_muls.load(Ordering::Relaxed);
+            out.packed_bits += c.kron_packed_bits.load(Ordering::Relaxed);
         }
         out
     }
@@ -299,6 +346,40 @@ pub fn record_div(a_bits: u64, b_bits: u64) {
         return;
     }
     LOCAL.with(|c| c.record_div(phase, q_bits, b_bits));
+}
+
+/// Records `count` multiplications totalling `bits` of model bit cost in
+/// one pair of counter updates — for callers that replay a *batch* of
+/// model events whose aggregate charge has a closed form. The schoolbook
+/// polynomial product is the motivating case: its model charge over the
+/// nonzero coefficient pairs factorizes as
+/// `Σᵢ Σⱼ ‖aᵢ‖·‖bⱼ‖ = (Σᵢ ‖aᵢ‖)·(Σⱼ ‖bⱼ‖)`, so the Kronecker path can
+/// record the exact same totals as the per-pair loop in linear time.
+#[inline]
+pub fn record_mul_bulk(count: u64, bits: u64) {
+    let phase = CURRENT_PHASE.with(Cell::get);
+    if crate::session::record_session_mul_bulk(phase, count, bits) {
+        return;
+    }
+    LOCAL.with(|c| c.record_mul_bulk(phase, count, bits));
+}
+
+/// Records one executed Kronecker polynomial product that packed
+/// `packed_bits` bits in total. Called from `rr-poly`'s Kronecker path;
+/// not usually called directly. Routes to the installed session sink if
+/// any, else to the process-global default sink.
+#[inline]
+pub fn record_kron(packed_bits: u64) {
+    if crate::session::record_session_kron(packed_bits) {
+        return;
+    }
+    LOCAL.with(|c| c.record_kron(packed_bits));
+}
+
+/// Aggregates the Kronecker execution counters of the process-global
+/// default sink (events recorded with no [`crate::SolveCtx`] installed).
+pub fn kron_snapshot() -> KroneckerStats {
+    default_sink().kron_snapshot()
 }
 
 /// Cost totals for one phase.

@@ -147,6 +147,176 @@ pub fn sub(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
     normalized(out)
 }
 
+/// In-place sum: `a += b`. Same carry chain as [`add`], without the
+/// output allocation (the vector only grows when the sum needs an extra
+/// limb). Preserves normalization.
+#[allow(clippy::needless_range_loop)] // carry chain reads clearer indexed
+pub fn add_assign(a: &mut Vec<Limb>, b: &[Limb]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut carry: Limb = 0;
+    for i in 0..a.len() {
+        let s = a[i] as DoubleLimb + *b.get(i).unwrap_or(&0) as DoubleLimb + carry as DoubleLimb;
+        a[i] = s as Limb;
+        carry = (s >> LIMB_BITS) as Limb;
+        if carry == 0 && i + 1 >= b.len() {
+            return;
+        }
+    }
+    if carry != 0 {
+        a.push(carry);
+    }
+}
+
+/// In-place difference: `a -= b`; requires `a >= b` (debug-asserted).
+/// Preserves normalization (trims after the borrow chain).
+#[allow(clippy::needless_range_loop)] // borrow chain reads clearer indexed
+pub fn sub_assign(a: &mut Vec<Limb>, b: &[Limb]) {
+    debug_assert!(cmp(a, b) != Ordering::Less, "nat::sub_assign underflow");
+    let mut borrow: Limb = 0;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(*b.get(i).unwrap_or(&0));
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 | b2) as Limb;
+        if borrow == 0 && i + 1 >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(a);
+}
+
+/// Packs magnitudes into one magnitude with each `slots[i]` occupying
+/// the `slot_bits`-bit field starting at bit `i·slot_bits` — the
+/// Kronecker-substitution evaluation at `x = 2^slot_bits`.
+///
+/// Every slot value must fit its field (`bit_len ≤ slot_bits`,
+/// debug-asserted); fields are then bit-disjoint, so packing is a pure
+/// OR of limb-shifted slots — limb-granularity, no per-bit work.
+pub fn pack_slots(slots: &[&[Limb]], slot_bits: u64) -> Vec<Limb> {
+    debug_assert!(slot_bits > 0);
+    let total_bits = slot_bits * slots.len() as u64;
+    // One limb of headroom: a slot whose field straddles a limb boundary
+    // writes a (possibly zero) carry limb past its field's last limb.
+    let mut out = vec![0 as Limb; total_bits.div_ceil(LIMB_BITS as u64) as usize + 1];
+    for (i, slot) in slots.iter().enumerate() {
+        debug_assert!(bit_len(slot) <= slot_bits, "slot overflows its field");
+        if slot.is_empty() {
+            continue;
+        }
+        let off = i as u64 * slot_bits;
+        let limb_off = (off / LIMB_BITS as u64) as usize;
+        let bit_off = (off % LIMB_BITS as u64) as u32;
+        if bit_off == 0 {
+            for (j, &l) in slot.iter().enumerate() {
+                out[limb_off + j] |= l;
+            }
+        } else {
+            let mut carry: Limb = 0;
+            for (j, &l) in slot.iter().enumerate() {
+                out[limb_off + j] |= (l << bit_off) | carry;
+                carry = l >> (LIMB_BITS - bit_off);
+            }
+            out[limb_off + slot.len()] |= carry;
+        }
+    }
+    normalized(out)
+}
+
+/// Inverse of [`pack_slots`]: extracts `count` normalized magnitudes of
+/// `slot_bits` bits each from consecutive fields of `packed`. Fields
+/// past the end of `packed` read as zero.
+pub fn unpack_slots(packed: &[Limb], slot_bits: u64, count: usize) -> Vec<Vec<Limb>> {
+    debug_assert!(slot_bits > 0);
+    let slot_limbs = slot_bits.div_ceil(LIMB_BITS as u64) as usize;
+    let top_mask = match (slot_bits % LIMB_BITS as u64) as u32 {
+        0 => Limb::MAX,
+        rem => ((1 as Limb) << rem) - 1,
+    };
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = i as u64 * slot_bits;
+        let limb_off = (off / LIMB_BITS as u64) as usize;
+        let bit_off = (off % LIMB_BITS as u64) as u32;
+        let mut v = Vec::with_capacity(slot_limbs);
+        for j in 0..slot_limbs {
+            let lo = packed.get(limb_off + j).copied().unwrap_or(0);
+            v.push(if bit_off == 0 {
+                lo
+            } else {
+                let hi = packed.get(limb_off + j + 1).copied().unwrap_or(0);
+                (lo >> bit_off) | (hi << (LIMB_BITS - bit_off))
+            });
+        }
+        *v.last_mut().expect("slot_limbs ≥ 1") &= top_mask;
+        out.push(normalized(v));
+    }
+    out
+}
+
+/// Balanced-residue inverse of [`pack_slots`] for *signed* coefficient
+/// vectors: reads `count` fields of `slot_bits` bits each (zeros past
+/// the end) from the magnitude of `|Σ cᵢ·2^{i·slot_bits}|` where every
+/// `|cᵢ| < 2^{slot_bits−1}`, returning each coefficient as
+/// `(negative, magnitude)` (zero is `(false, [])`).
+///
+/// A field whose value — plus the borrow from the field below — is
+/// `≥ 2^{slot_bits−1}` can only be the residue of a negative
+/// coefficient: it decodes as `value − 2^{slot_bits}` and borrows `1`
+/// from the next field. The borrow can run past the physical end of
+/// `packed` (a negative coefficient near the top borrows from phantom
+/// zero fields), which is why fields are read until `count`, not until
+/// the magnitude ends. `count` must cover every nonzero coefficient;
+/// the final borrow is then zero (debug-asserted).
+pub fn unpack_slots_signed(
+    packed: &[Limb],
+    slot_bits: u64,
+    count: usize,
+) -> Vec<(bool, Vec<Limb>)> {
+    debug_assert!(slot_bits > 0);
+    let slot_limbs = slot_bits.div_ceil(LIMB_BITS as u64) as usize;
+    let top_mask = match (slot_bits % LIMB_BITS as u64) as u32 {
+        0 => Limb::MAX,
+        rem => ((1 as Limb) << rem) - 1,
+    };
+    let two_w = shl(&[1], slot_bits);
+    let mut out = Vec::with_capacity(count);
+    let mut borrow = false;
+    for i in 0..count {
+        let off = i as u64 * slot_bits;
+        let limb_off = (off / LIMB_BITS as u64) as usize;
+        let bit_off = (off % LIMB_BITS as u64) as u32;
+        let mut v = Vec::with_capacity(slot_limbs + 1);
+        for j in 0..slot_limbs {
+            let lo = packed.get(limb_off + j).copied().unwrap_or(0);
+            v.push(if bit_off == 0 {
+                lo
+            } else {
+                let hi = packed.get(limb_off + j + 1).copied().unwrap_or(0);
+                (lo >> bit_off) | (hi << (LIMB_BITS - bit_off))
+            });
+        }
+        *v.last_mut().expect("slot_limbs ≥ 1") &= top_mask;
+        let mut v = normalized(v);
+        if borrow {
+            add_assign(&mut v, &[1]);
+        }
+        // v ∈ [0, 2^slot_bits]; bit_len ≥ slot_bits ⇔ v ≥ 2^{slot_bits−1}.
+        if bit_len(&v) >= slot_bits {
+            let mag = sub(&two_w, &v);
+            out.push((!is_zero(&mag), mag));
+            borrow = true;
+        } else {
+            out.push((false, v));
+            borrow = false;
+        }
+    }
+    debug_assert!(!borrow, "top residue borrowed past the requested fields");
+    out
+}
+
 /// Left shift by `bits`.
 pub fn shl(a: &[Limb], bits: u64) -> Vec<Limb> {
     if is_zero(a) {
@@ -302,6 +472,139 @@ mod tests {
         assert_eq!(shr(&n(0b101), 1), n(0b10));
         assert_eq!(shr(&n(1), 1), Vec::<Limb>::new());
         assert_eq!(shr(&n(u128::MAX), 200), Vec::<Limb>::new());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let cases = [
+            (0u128, 0u128),
+            (3, 4),
+            (u64::MAX as u128, 1),
+            (u128::MAX, 1),
+            (u128::MAX, u128::MAX),
+            (1, u128::MAX),
+        ];
+        for (a, b) in cases {
+            let mut x = n(a);
+            add_assign(&mut x, &n(b));
+            assert_eq!(x, add(&n(a), &n(b)), "{a}+{b}");
+        }
+        // carry propagating past the end of the shorter addend
+        let mut x = vec![u64::MAX, u64::MAX, 5];
+        add_assign(&mut x, &[1]);
+        assert_eq!(x, vec![0, 0, 6]);
+    }
+
+    #[test]
+    fn sub_assign_matches_sub() {
+        let cases = [
+            (7u128, 7u128),
+            (1u128 << 64, 1),
+            (1u128 << 127, 1),
+            (u128::MAX, u128::MAX - 1),
+            (9, 0),
+        ];
+        for (a, b) in cases {
+            let mut x = n(a);
+            sub_assign(&mut x, &n(b));
+            assert_eq!(x, sub(&n(a), &n(b)), "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        // Widths that are aligned, straddling, and > one limb.
+        for slot_bits in [1u64, 7, 17, 63, 64, 65, 100, 128, 200] {
+            let max = if slot_bits >= 128 { u128::MAX } else { (1u128 << slot_bits) - 1 };
+            let slots: Vec<Vec<Limb>> = [0u128, 1, 2, max, max / 3, 0, max]
+                .iter()
+                .map(|&v| n(v & max))
+                .collect();
+            let refs: Vec<&[Limb]> = slots.iter().map(Vec::as_slice).collect();
+            let packed = pack_slots(&refs, slot_bits);
+            let back = unpack_slots(&packed, slot_bits, slots.len());
+            assert_eq!(back, slots, "slot_bits {slot_bits}");
+        }
+    }
+
+    #[test]
+    fn pack_is_evaluation_at_two_to_b() {
+        // pack([a, b, c], w) == a + (b << w) + (c << 2w)
+        let slots = [n(0xdead), n(0xbeef_1234), n(0)];
+        let refs: Vec<&[Limb]> = slots.iter().map(Vec::as_slice).collect();
+        let w = 37;
+        let packed = pack_slots(&refs, w);
+        let expect = add(&slots[0], &shl(&slots[1], w));
+        assert_eq!(packed, expect);
+    }
+
+    #[test]
+    fn unpack_reads_zeros_past_the_end() {
+        let packed = n(5);
+        let slots = unpack_slots(&packed, 64, 4);
+        assert_eq!(slots[0], n(5));
+        assert!(slots[1..].iter().all(|s| s.is_empty()));
+        // zero input, zero slots requested
+        assert!(unpack_slots(&[], 10, 0).is_empty());
+    }
+
+    /// Reference signed packing: `Σ cᵢ·2^{i·w}` as (negative, magnitude).
+    fn pack_signed_ref(coeffs: &[i128], w: u64) -> (bool, Vec<Limb>) {
+        use std::cmp::Ordering;
+        let mut pos: Vec<Limb> = Vec::new();
+        let mut neg: Vec<Limb> = Vec::new();
+        for (i, &c) in coeffs.iter().enumerate() {
+            let term = shl(&n(c.unsigned_abs()), i as u64 * w);
+            if c >= 0 {
+                pos = add(&pos, &term);
+            } else {
+                neg = add(&neg, &term);
+            }
+        }
+        match cmp(&pos, &neg) {
+            Ordering::Less => (true, sub(&neg, &pos)),
+            _ => (false, sub(&pos, &neg)),
+        }
+    }
+
+    #[test]
+    fn signed_unpack_decodes_balanced_residues() {
+        // Mixed signs across aligned and straddling widths; every |c|
+        // is below 2^(w−1) as the balanced representation requires.
+        for w in [8u64, 17, 63, 64, 65, 100] {
+            let half = 1i128 << (w.min(100) - 1);
+            let cases: Vec<Vec<i128>> = vec![
+                vec![-1, 1],
+                vec![-1],
+                vec![1, -1, 1, -1],
+                vec![0, -5, 0, 7, 0],
+                vec![half - 1, -(half - 1), half - 1],
+                vec![-3, 0, 0, -(half - 1)],
+            ];
+            for coeffs in cases {
+                let (negative, mag) = pack_signed_ref(&coeffs, w);
+                // Unpack |N|; a negative N decodes to the negated vector.
+                let got = unpack_slots_signed(&mag, w, coeffs.len());
+                for (i, (neg_i, m)) in got.iter().enumerate() {
+                    let expect = if negative { -coeffs[i] } else { coeffs[i] };
+                    let expect_mag = n(expect.unsigned_abs());
+                    assert_eq!(*m, expect_mag, "w={w} {coeffs:?} slot {i}");
+                    assert_eq!(*neg_i, expect < 0, "w={w} {coeffs:?} slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_unpack_borrows_past_the_physical_end() {
+        // N = −1 + 2^w: one physical field (2^w − 1) but two logical
+        // coefficients; the borrow materializes c₁ = 1 from a phantom
+        // zero field.
+        let w = 64u64;
+        let mag = n(u64::MAX as u128);
+        let got = unpack_slots_signed(&mag, w, 2);
+        assert_eq!(got[0], (true, n(1)));
+        assert_eq!(got[1], (false, n(1)));
     }
 
     #[test]

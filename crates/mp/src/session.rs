@@ -45,7 +45,7 @@
 //! assert_eq!(school.snapshot().total().mul_count, 1);
 //! ```
 
-use crate::backend::MulBackend;
+use crate::backend::{MulBackend, PolyMulBackend};
 use crate::metrics::{CostSnapshot, MetricsSink, ThreadCounters};
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -59,6 +59,7 @@ use std::sync::{Arc, Weak};
 #[derive(Clone, Debug)]
 pub struct SolveCtx {
     backend: MulBackend,
+    poly_backend: PolyMulBackend,
     sink: MetricsSink,
     recorder: Option<rr_obs::Recorder>,
     cancel: Option<rr_sched::CancelToken>,
@@ -68,6 +69,7 @@ pub struct SolveCtx {
 /// per-(sink, thread) counter block resolved once at install time.
 struct ActiveCtx {
     backend: MulBackend,
+    poly_backend: PolyMulBackend,
     counters: Arc<ThreadCounters>,
 }
 
@@ -85,16 +87,31 @@ impl SolveCtx {
     pub fn new(backend: MulBackend) -> SolveCtx {
         SolveCtx {
             backend,
+            poly_backend: PolyMulBackend::Schoolbook,
             sink: MetricsSink::new(),
             recorder: None,
             cancel: None,
         }
     }
 
-    /// A fresh context on the process-default backend
-    /// ([`crate::mul_backend`], i.e. `RR_MUL_BACKEND` or schoolbook).
+    /// A fresh context on the process-default backends
+    /// ([`crate::mul_backend`] / [`crate::poly_mul_backend`], i.e.
+    /// `RR_MUL_BACKEND` + `RR_POLY_MUL` or schoolbook).
     pub fn with_default_backend() -> SolveCtx {
         SolveCtx::new(crate::backend::mul_backend())
+            .with_poly_backend(crate::backend::poly_mul_backend())
+    }
+
+    /// Selects the polynomial multiplication backend this context
+    /// dispatches `Poly × Poly` to (default: schoolbook).
+    pub fn with_poly_backend(mut self, poly_backend: PolyMulBackend) -> SolveCtx {
+        self.poly_backend = poly_backend;
+        self
+    }
+
+    /// The polynomial multiplication backend carried by this context.
+    pub fn poly_backend(&self) -> PolyMulBackend {
+        self.poly_backend
     }
 
     /// Attaches a span recorder: while this context is installed, the
@@ -138,6 +155,13 @@ impl SolveCtx {
         self.sink.snapshot()
     }
 
+    /// Kronecker execution counters recorded under this context — what
+    /// the Kronecker polynomial path actually ran, which the model
+    /// counters in [`SolveCtx::snapshot`] deliberately do not reflect.
+    pub fn kron_stats(&self) -> crate::metrics::KroneckerStats {
+        self.sink.kron_snapshot()
+    }
+
     /// This thread's counter block in the context's sink, from the
     /// thread-local cache when possible.
     fn thread_counters(&self) -> Arc<ThreadCounters> {
@@ -169,6 +193,7 @@ impl SolveCtx {
         let obs = self.recorder.as_ref().map(rr_obs::Recorder::install);
         let active = ActiveCtx {
             backend: self.backend,
+            poly_backend: self.poly_backend,
             counters: self.thread_counters(),
         };
         AMBIENT.with(|stack| stack.borrow_mut().push(active));
@@ -219,6 +244,16 @@ pub fn has_current() -> bool {
     AMBIENT.with(|stack| !stack.borrow().is_empty())
 }
 
+/// The polynomial multiplication backend the calling thread should
+/// dispatch `Poly × Poly` to: the innermost installed context's choice,
+/// else the process-global [`crate::poly_mul_backend`] (seeded from
+/// `RR_POLY_MUL`). This is the single dispatch point `rr-poly` consults.
+#[inline]
+pub fn active_poly_mul_backend() -> PolyMulBackend {
+    AMBIENT.with(|stack| stack.borrow().last().map(|a| a.poly_backend))
+        .unwrap_or_else(crate::backend::poly_mul_backend)
+}
+
 /// Records a multiplication into the innermost installed context's sink.
 /// Returns false (and records nothing) if no context is installed.
 #[inline]
@@ -239,6 +274,38 @@ pub(crate) fn record_session_div(phase: usize, q_bits: u64, b_bits: u64) -> bool
     AMBIENT.with(|stack| match stack.borrow().last() {
         Some(active) => {
             active.counters.record_div(phase, q_bits, b_bits);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Bulk variant of [`record_session_mul`]: `count` multiplications
+/// totalling `bits` of model cost in one update. Returns false (and
+/// records nothing) if no context is installed.
+#[inline]
+pub(crate) fn record_session_mul_bulk(phase: usize, count: u64, bits: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_mul_bulk(phase, count, bits);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records one executed Kronecker-substitution polynomial product (and
+/// the total bits packed for it) into the innermost installed context's
+/// sink. Returns false (and records nothing) if no context is installed.
+///
+/// These counters live *outside* the paper cost model
+/// ([`crate::metrics::CostSnapshot`]): they describe what actually ran,
+/// not what the model charges.
+#[inline]
+pub(crate) fn record_session_kron(packed_bits: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_kron(packed_bits);
             true
         }
         None => false,

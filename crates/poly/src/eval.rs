@@ -50,6 +50,12 @@ pub struct ScaledPoly {
 impl ScaledPoly {
     /// Pre-scales `p` (nonzero) for evaluation at points `Y/2^µ`.
     ///
+    /// Construction is pure limb shifts (`c_j · 2^(d−j)µ`), so it costs
+    /// nothing in the multiplication model and is unaffected by the
+    /// active [`rr_mp::PolyMulBackend`]; only the polynomial *products*
+    /// that build the inputs handed to `ScaledPoly` (remainder sequence,
+    /// tree stage) dispatch on that backend.
+    ///
     /// # Panics
     /// Panics on the zero polynomial.
     pub fn new(p: &Poly, mu: u64) -> ScaledPoly {

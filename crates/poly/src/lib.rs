@@ -2,8 +2,11 @@
 //!
 //! The polynomial substrate for the Narendran–Tiwari reproduction:
 //!
-//! * [`Poly`] — dense polynomials with [`rr_mp::Int`] coefficients and the
-//!   classical (schoolbook) arithmetic, matching the paper's cost model;
+//! * [`Poly`] — dense polynomials with [`rr_mp::Int`] coefficients. The
+//!   *recorded* multiplication model is always the classical schoolbook
+//!   count, matching the paper; the executed kernel is selected per
+//!   session ([`rr_mp::PolyMulBackend`]): the schoolbook loop, or
+//!   [`kronecker`] substitution onto one big-integer product;
 //! * [`eval`] — Horner evaluation at integers and, via [`eval::ScaledPoly`],
 //!   the scaled-integer evaluation of Section 4.3 (rational points `Y/2^µ`
 //!   represented by the integer `Y`);
@@ -22,6 +25,7 @@ pub mod bounds;
 pub mod division;
 pub mod eval;
 pub mod gcd;
+pub mod kronecker;
 pub mod remainder;
 pub mod sturm;
 

@@ -65,12 +65,22 @@ impl Poly {
     }
 
     /// The monic polynomial `∏ (x − r)` with the given integer roots.
+    ///
+    /// Built as a balanced product tree: the left-to-right fold is
+    /// quadratic in the number of roots with worst-case coefficient
+    /// growth at every step, while halving keeps the two factors of
+    /// every product comparably sized — the shape subquadratic
+    /// multiplication needs to pay off. The result is identical (exact
+    /// integer arithmetic, multiplication is associative).
     pub fn from_roots(roots: &[Int]) -> Poly {
-        let mut p = Poly::one();
-        for r in roots {
-            p = &p * &Poly::from_coeffs(vec![-r, Int::one()]);
+        match roots {
+            [] => Poly::one(),
+            [r] => Poly::from_coeffs(vec![-r, Int::one()]),
+            _ => {
+                let (lo, hi) = roots.split_at(roots.len() / 2);
+                &Poly::from_roots(lo) * &Poly::from_roots(hi)
+            }
         }
-        p
     }
 
     /// Degree; `None` for the zero polynomial.
@@ -206,6 +216,36 @@ impl Poly {
         let c = self.content();
         self.div_scalar_exact(&c)
     }
+
+    /// `self²`, through the active polynomial backend's squaring path:
+    /// the limb squaring kernel on the diagonal (schoolbook) or three
+    /// packed products instead of four (Kronecker). Records the same
+    /// model counts as `self * self`.
+    pub fn square(&self) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        square_impl(self)
+    }
+
+    /// `self × rhs` forced through the schoolbook double loop,
+    /// regardless of the active [`rr_mp::PolyMulBackend`]. The
+    /// differential suites and the ablation bench pin each path with
+    /// this and [`Poly::mul_kronecker`]; ordinary code multiplies with
+    /// `*` and lets the session dispatch.
+    pub fn mul_schoolbook(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        mul_schoolbook_impl(self, rhs)
+    }
+
+    /// `self × rhs` forced through Kronecker substitution, regardless of
+    /// the active backend or the size crossover. Exact for any operands;
+    /// see [`crate::kronecker`].
+    pub fn mul_kronecker(&self, rhs: &Poly) -> Poly {
+        crate::kronecker::mul(self, rhs)
+    }
 }
 
 impl Default for Poly {
@@ -246,15 +286,35 @@ fn sub_impl(a: &Poly, b: &Poly) -> Poly {
     Poly::from_coeffs(out)
 }
 
-/// Schoolbook product: `(d_a+1)(d_b+1)` coefficient multiplications, the
-/// count the paper's Section 4.2 analysis assumes. This coefficient loop
-/// is the same under both `rr_mp::MulBackend`s — each `x * y` below is
-/// one recorded event regardless of which limb kernel computes it — so
-/// predicted-vs-observed multiplication counts are backend-invariant.
+/// Product dispatch. The *recorded model* is always the schoolbook
+/// count — `(d_a+1)(d_b+1)` coefficient multiplications over nonzero
+/// pairs, the count the paper's Section 4.2 analysis assumes — so
+/// predicted-vs-observed figures are invariant under both the limb
+/// backend (`rr_mp::MulBackend`) and the polynomial backend
+/// (`rr_mp::PolyMulBackend`) carried by the active `SolveCtx`. Aliased
+/// operands (`&p * &p`) take the squaring path, which halves the
+/// computed coefficient products while recording the full aliased
+/// double-loop model.
 fn mul_impl(a: &Poly, b: &Poly) -> Poly {
     if a.is_zero() || b.is_zero() {
         return Poly::zero();
     }
+    if std::ptr::eq(a, b) {
+        return square_impl(a);
+    }
+    match rr_mp::active_poly_mul_backend() {
+        rr_mp::PolyMulBackend::Kronecker if crate::kronecker::profitable(a, b) => {
+            crate::kronecker::mul(a, b)
+        }
+        _ => mul_schoolbook_impl(a, b),
+    }
+}
+
+/// Schoolbook product: the classical double loop, accumulating each
+/// coefficient product in place (`Int::add_mul_assign`) so the inner
+/// loop allocates one product magnitude instead of a product `Int`
+/// plus a replaced accumulator.
+fn mul_schoolbook_impl(a: &Poly, b: &Poly) -> Poly {
     let mut out = vec![Int::zero(); a.coeffs.len() + b.coeffs.len() - 1];
     for (i, x) in a.coeffs.iter().enumerate() {
         if x.is_zero() {
@@ -264,7 +324,46 @@ fn mul_impl(a: &Poly, b: &Poly) -> Poly {
             if y.is_zero() {
                 continue;
             }
-            out[i + j] += &(x * y);
+            out[i + j].add_mul_assign(x, y);
+        }
+    }
+    Poly::from_coeffs(out)
+}
+
+/// Square dispatch: same backend policy as [`mul_impl`], for a nonzero
+/// operand.
+fn square_impl(a: &Poly) -> Poly {
+    match rr_mp::active_poly_mul_backend() {
+        rr_mp::PolyMulBackend::Kronecker if crate::kronecker::profitable(a, a) => {
+            crate::kronecker::square(a)
+        }
+        _ => square_schoolbook_impl(a),
+    }
+}
+
+/// Schoolbook square: computes only the upper triangle — `x_i²` on the
+/// diagonal via the limb squaring kernel, and each cross product once,
+/// doubled by a shift — but *records* the full aliased double loop
+/// (every ordered nonzero pair), so taking the squaring path never
+/// changes the model counts relative to `p * p.clone()`.
+fn square_schoolbook_impl(a: &Poly) -> Poly {
+    let n = a.coeffs.len();
+    let mut out = vec![Int::zero(); 2 * n - 1];
+    for (i, x) in a.coeffs.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        // Int::square records one event at ‖x‖·‖x‖ — the (i, i) pair.
+        out[2 * i] += &x.square();
+        for (j, y) in a.coeffs.iter().enumerate().skip(i + 1) {
+            if y.is_zero() {
+                continue;
+            }
+            // The aliased loop records (i, j) and (j, i): one event from
+            // the product below, plus its mirror, recorded explicitly.
+            let p = x * y;
+            rr_mp::metrics::record_mul(x.bit_len(), y.bit_len());
+            out[i + j] += &(p << 1);
         }
     }
     Poly::from_coeffs(out)

@@ -6,7 +6,7 @@
 //! no process-global snapshot subtraction — which also means these
 //! assertions stay exact while other tests run concurrently.
 
-use polyroots::core::{MulBackend, RootsResult, Session, SolveStats};
+use polyroots::core::{MulBackend, PolyMulBackend, RootsResult, Session, SolveStats};
 use polyroots::workload::charpoly_input;
 use polyroots::SolverConfig;
 
@@ -20,6 +20,16 @@ fn assert_cost_alive(stats: &SolveStats) {
     assert!(stats.cost.total().mul_count > 0, "instrumentation alive");
 }
 
+/// The full backend grid: `{limb kernel} × {polynomial kernel}`. Every
+/// cell must produce the same roots and the same recorded cost model;
+/// only wall-clock may differ.
+const GRID: [(MulBackend, PolyMulBackend); 4] = [
+    (MulBackend::Schoolbook, PolyMulBackend::Schoolbook),
+    (MulBackend::Schoolbook, PolyMulBackend::Kronecker),
+    (MulBackend::Fast, PolyMulBackend::Schoolbook),
+    (MulBackend::Fast, PolyMulBackend::Kronecker),
+];
+
 #[test]
 fn backends_differ_only_in_wall_clock() {
     let mu = 53;
@@ -27,23 +37,32 @@ fn backends_differ_only_in_wall_clock() {
         let p = charpoly_input(n, seed);
 
         let school = solve(
-            SolverConfig::sequential(mu).with_backend(MulBackend::Schoolbook),
+            SolverConfig::sequential(mu)
+                .with_backend(MulBackend::Schoolbook)
+                .with_poly_mul(PolyMulBackend::Schoolbook),
             &p,
         );
-        let fast = solve(SolverConfig::sequential(mu).with_backend(MulBackend::Fast), &p);
+        for (limb, poly_mul) in GRID.iter().skip(1) {
+            let other = solve(
+                SolverConfig::sequential(mu)
+                    .with_backend(*limb)
+                    .with_poly_mul(*poly_mul),
+                &p,
+            );
 
-        // Identical mathematics: same roots, same degree bookkeeping.
-        assert_eq!(school.roots, fast.roots, "roots n={n} seed={seed}");
-        assert_eq!(school.n_star, fast.n_star, "n_star n={n} seed={seed}");
-        assert_eq!(school.n, fast.n);
+            // Identical mathematics: same roots, same degree bookkeeping.
+            let cell = format!("n={n} seed={seed} {limb:?}/{poly_mul:?}");
+            assert_eq!(school.roots, other.roots, "roots {cell}");
+            assert_eq!(school.n_star, other.n_star, "n_star {cell}");
+            assert_eq!(school.n, other.n);
 
-        // Identical cost model: the metrics record events and operand
-        // bit lengths *above* the kernel, so every phase's counts and
-        // bit costs must match event-for-event across backends.
-        assert_eq!(
-            school.stats.cost, fast.stats.cost,
-            "stats.cost n={n} seed={seed}"
-        );
+            // Identical cost model: the metrics record model events and
+            // operand bit lengths *above* both the limb kernel and the
+            // polynomial kernel (the Kronecker path replays the
+            // schoolbook charge), so every phase's counts and bit costs
+            // must match event-for-event across the whole grid.
+            assert_eq!(school.stats.cost, other.stats.cost, "stats.cost {cell}");
+        }
         assert_cost_alive(&school.stats);
     }
 

@@ -26,7 +26,7 @@ use crate::treepoly;
 use parking_lot::Mutex;
 use rr_linalg::Mat2;
 use rr_mp::metrics::{with_phase, Phase};
-use rr_mp::Int;
+use rr_mp::{ExactDivisor, Int};
 use rr_poly::remainder::RemainderSeq;
 use rr_poly::Poly;
 use rr_sched::{Gate, Pool, PoolStats, Scope, ScopeConfig, TaskTrace, TaskWrapper};
@@ -54,8 +54,9 @@ struct NodeSt {
     leaf: bool,
 
     s_hat: OnceLock<Mat2>,
-    /// The exact divisor `c_k²·c_{k−1}²` of the combine step.
-    divisor: OnceLock<Int>,
+    /// The exact divisor `c_k²·c_{k−1}²` of the combine step, prepared
+    /// once so the four `t_entry_task`s share its cached 2-adic inverse.
+    divisor: OnceLock<ExactDivisor>,
     /// `c_k²·I` when the right child is absent.
     rt_missing: OnceLock<Mat2>,
     m1_slots: Mutex<Vec<Option<Poly>>>,
@@ -376,7 +377,7 @@ fn t_entry_task<'env>(ctx: &'env ParCtx<'env>, idx: usize, e: usize, s: &Scope<'
     let v = with_phase(Phase::TreePoly, || {
         let lt = ctx.nodes[node.left.expect("internal")].tmat.get().expect("ready");
         let divisor = node.divisor.get().expect("ready");
-        Mat2::mul_entry(node.m1.get().expect("ready"), lt, r, c).div_scalar_exact(divisor)
+        Mat2::mul_entry(node.m1.get().expect("ready"), lt, r, c).div_scalar_exact_prepared(divisor)
     });
     node.t_slots.lock()[e] = Some(v);
     if node.t_gate.as_ref().expect("non-spine internal").arrive() {

@@ -12,11 +12,20 @@
 //!
 //! The paper offers running this stage sequentially as a run-time option;
 //! that path is just [`rr_poly::remainder::remainder_sequence`].
+//!
+//! The exact division in each coefficient task rides the session's
+//! [`rr_mp::DivBackend`]: deep in the sequence the dividends reach
+//! 10⁴–10⁵ bits and the `c_{i−1}²` divisors grow comparably, so
+//! `RR_DIV=newton` swaps Algorithm D for the 2-adic (Hensel) kernel
+//! there without changing any recorded cost. Every coefficient task of
+//! iteration `i` divides by the *same* `c_{i−1}²`, so [`IterData`] holds
+//! it as a prepared [`rr_mp::ExactDivisor`]: the tasks share one cached
+//! 2-adic inverse, whatever order the pool runs them in.
 
 use crate::solver::SolveError;
 use parking_lot::Mutex;
 use rr_mp::metrics::{with_phase, Phase};
-use rr_mp::Int;
+use rr_mp::{ExactDivisor, Int};
 use rr_poly::remainder::{
     next_f_coeff, quotient_coeffs, remainder_sequence, RemainderSeq, SeqError,
 };
@@ -28,7 +37,7 @@ struct IterData {
     q0: Int,
     q1: Int,
     c_sq: Int,
-    denom: Int,
+    denom: ExactDivisor,
 }
 
 struct Stage {
@@ -147,7 +156,8 @@ fn start_iteration<'env>(stage: &'env Stage, i: usize, s: &Scope<'env>) {
         debug_assert!(f_cur.deg() >= 1, "iteration on constant F_i");
         let (q0, q1) = quotient_coeffs(f_prev, f_cur);
         let c_sq = f_cur.lc().square();
-        let denom = if i == 1 { Int::one() } else { f_prev.lc().square() };
+        let denom =
+            ExactDivisor::new(if i == 1 { Int::one() } else { f_prev.lc().square() });
         let d = f_cur.deg();
         stage.iter[i].set(IterData { q0, q1, c_sq, denom }).ok().expect("fresh");
         *stage.slots[i].lock() = vec![None; d];

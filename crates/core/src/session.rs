@@ -299,7 +299,9 @@ impl Session {
     /// The per-solve context plus, when any limit is set or the session
     /// injects faults, the supervision bundle sharing the same sink.
     fn ctx_and_supervision(&self, limits: &SolveLimits) -> (SolveCtx, Option<Supervision>) {
-        let ctx = SolveCtx::new(self.config.backend).with_poly_backend(self.config.poly_mul);
+        let ctx = SolveCtx::new(self.config.backend)
+            .with_poly_backend(self.config.poly_mul)
+            .with_div_backend(self.config.div);
         if limits.is_unlimited() && self.fault.is_none() {
             return (ctx, None);
         }

@@ -6,7 +6,7 @@ use crate::interval::Inconsistency;
 pub use crate::par_solver::Grain;
 pub use crate::refine::RefineStrategy;
 use rr_mp::metrics::{self, CostSnapshot, Phase};
-use rr_mp::{MulBackend, PolyMulBackend, SolveCtx};
+use rr_mp::{DivBackend, MulBackend, PolyMulBackend, SolveCtx};
 use rr_poly::bounds::root_bound_bits;
 use rr_poly::remainder::{remainder_sequence, RemainderSeq, SeqError};
 use rr_poly::Poly;
@@ -61,6 +61,13 @@ pub struct SolverConfig {
     /// wall-clock). Defaults to the `RR_POLY_MUL` environment selection
     /// so existing entry points pick it up without new flags.
     pub poly_mul: PolyMulBackend,
+    /// Division kernel for this solve, carried the same way
+    /// (`Schoolbook` Knuth Algorithm D, or `Newton` reciprocal
+    /// iteration above a calibrated crossover — identical roots and
+    /// metrics, different wall-clock; pair `Newton` with
+    /// `MulBackend::Fast` so the reciprocal's multiplications are
+    /// subquadratic). Defaults to the `RR_DIV` environment selection.
+    pub div: DivBackend,
     /// Graceful degradation (on by default): when the extended remainder
     /// sequence rejects the input (`NotNormal` / `NotRealRooted`), retry
     /// on its squarefree part and, failing that, fall back to the
@@ -81,6 +88,7 @@ impl SolverConfig {
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
             poly_mul: rr_mp::poly_mul_backend(),
+            div: rr_mp::div_backend(),
             degrade: true,
         }
     }
@@ -99,6 +107,7 @@ impl SolverConfig {
             grain: Grain::Entry,
             backend: MulBackend::Schoolbook,
             poly_mul: rr_mp::poly_mul_backend(),
+            div: rr_mp::div_backend(),
             degrade: true,
         }
     }
@@ -113,6 +122,13 @@ impl SolverConfig {
     /// backend (see [`SolverConfig::poly_mul`]).
     pub fn with_poly_mul(mut self, poly_mul: PolyMulBackend) -> SolverConfig {
         self.poly_mul = poly_mul;
+        self
+    }
+
+    /// The same configuration with the given division backend (see
+    /// [`SolverConfig::div`]).
+    pub fn with_div(mut self, div: DivBackend) -> SolverConfig {
+        self.div = div;
         self
     }
 
@@ -246,6 +262,11 @@ pub struct SolveStats {
     pub traces: Vec<TaskTrace>,
     /// The root bound `R` used (all roots in `(−2^R, 2^R)`).
     pub bound_bits: u64,
+    /// Physical-work counters of the Newton division kernel for this
+    /// solve: all zero under [`DivBackend::Schoolbook`]. Deliberately
+    /// *outside* [`SolveStats::cost`], whose equality across backends is
+    /// the model-invariance guarantee.
+    pub newton_div: rr_mp::NewtonDivStats,
 }
 
 impl SolveStats {
@@ -563,6 +584,7 @@ fn solve_inner(
         pool: pool_stats,
         traces,
         bound_bits,
+        newton_div: ctx.newton_div_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
@@ -605,6 +627,7 @@ fn baseline_fallback(
         pool: None,
         traces,
         bound_bits: root_bound_bits(p),
+        newton_div: ctx.newton_div_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),

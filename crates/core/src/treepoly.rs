@@ -18,6 +18,8 @@
 //! * `T_{i,j} = [[−P_{i+1,j−1}, P_{i,j−1}], [−P_{i+1,j}, P_{i,j}]]`.
 
 use rr_linalg::Mat2;
+use rr_mp::ExactDivisor;
+#[cfg(test)]
 use rr_mp::Int;
 use rr_poly::remainder::RemainderSeq;
 use rr_poly::Poly;
@@ -47,17 +49,20 @@ pub fn missing_right_tmat(rs: &RemainderSeq, k: usize) -> Mat2 {
     Mat2::new(c_sq.clone(), Poly::zero(), Poly::zero(), c_sq)
 }
 
-/// The exact divisor `c_k²·c_{k−1}²` of the combine step at split `k`.
-pub fn combine_divisor(rs: &RemainderSeq, k: usize) -> Int {
-    rs.c(k).square() * rs.c(k - 1).square()
+/// The exact divisor `c_k²·c_{k−1}²` of the combine step at split `k`,
+/// prepared for repeated exact division: every coefficient of the
+/// combine's eight entry-task divisions is by this one scalar, so under
+/// `RR_DIV=newton` they all share its cached 2-adic inverse.
+pub fn combine_divisor(rs: &RemainderSeq, k: usize) -> ExactDivisor {
+    ExactDivisor::new(rs.c(k).square() * rs.c(k - 1).square())
 }
 
 /// Sequential combine: `T_parent = (T_right · Ŝ_k) · T_left / divisor`,
 /// multiplied left-to-right as in the paper (Sec 4.2 analyzes exactly this
 /// association; the second product dominates).
-pub fn combine_tmat(t_left: &Mat2, t_right: &Mat2, s_hat_k: &Mat2, divisor: &Int) -> Mat2 {
+pub fn combine_tmat(t_left: &Mat2, t_right: &Mat2, s_hat_k: &Mat2, divisor: &ExactDivisor) -> Mat2 {
     let m1 = Mat2::mul(t_right, s_hat_k);
-    Mat2::mul(&m1, t_left).div_scalar_exact(divisor)
+    Mat2::mul(&m1, t_left).div_scalar_exact_prepared(divisor)
 }
 
 /// The node polynomial: entry `(2,2)` of its `T` matrix.

@@ -66,12 +66,30 @@ impl Mat2 {
     }
 
     /// Divides every coefficient of every entry by `d`, exactly.
+    ///
+    /// Every coefficient division rides the session's active
+    /// [`rr_mp::DivBackend`]: the tree stage's deep levels divide
+    /// 10⁴–10⁵-bit coefficients by the comparably sized `c_k²·c_{k−1}²`,
+    /// which is exactly the long-divisor/long-quotient regime where the
+    /// 2-adic (Hensel) kernel replaces the quadratic Algorithm D loop.
+    /// The divisor is prepared *once* for the whole matrix
+    /// ([`rr_mp::ExactDivisor`]), so all four entries' coefficients share
+    /// one cached 2-adic inverse. Recorded model counts are
+    /// backend-invariant (charged above the kernel).
     pub fn div_scalar_exact(&self, d: &Int) -> Mat2 {
+        self.div_scalar_exact_prepared(&rr_mp::ExactDivisor::new(d.clone()))
+    }
+
+    /// [`Mat2::div_scalar_exact`] with a caller-prepared divisor — the
+    /// per-entry task path of the parallel tree stage shares one
+    /// [`rr_mp::ExactDivisor`] across its four independently scheduled
+    /// entry tasks.
+    pub fn div_scalar_exact_prepared(&self, d: &rr_mp::ExactDivisor) -> Mat2 {
         Mat2::new(
-            self.e[0][0].div_scalar_exact(d),
-            self.e[0][1].div_scalar_exact(d),
-            self.e[1][0].div_scalar_exact(d),
-            self.e[1][1].div_scalar_exact(d),
+            self.e[0][0].div_scalar_exact_prepared(d),
+            self.e[0][1].div_scalar_exact_prepared(d),
+            self.e[1][0].div_scalar_exact_prepared(d),
+            self.e[1][1].div_scalar_exact_prepared(d),
         )
     }
 
@@ -185,6 +203,37 @@ mod tests {
         assert_eq!(school_ctx.snapshot(), kron_ctx.snapshot());
         assert!(kron_ctx.kron_stats().kronecker_muls >= 8);
         assert_eq!(school_ctx.kron_stats().kronecker_muls, 0);
+    }
+
+    #[test]
+    fn div_scalar_exact_is_div_backend_invariant() {
+        use rr_mp::{DivBackend, MulBackend, SolveCtx};
+        // Long coefficients over a long divisor: force the regime where
+        // the Newton path actually dispatches (both divisor and
+        // quotient far above the crossover).
+        let d = Int::from(3u64).pow(4000); // ~6340 bits ≈ 100 limbs
+        let q = Int::from(7u64).pow(3000); // ~8427 bits ≈ 132 limbs
+        let big = &d * &q;
+        let m = Mat2::new(
+            Poly::from_coeffs(vec![big.clone(), -&big]),
+            Poly::from_coeffs(vec![Int::zero(), d.clone()]),
+            Poly::from_coeffs(vec![-&d]),
+            Poly::from_coeffs(vec![big.clone(), d.clone(), big.clone()]),
+        );
+        let school_ctx = SolveCtx::new(MulBackend::Schoolbook);
+        let newton_ctx = SolveCtx::new(MulBackend::Fast).with_div_backend(DivBackend::Newton);
+        let school = school_ctx.run(|| m.div_scalar_exact(&d));
+        let newton = newton_ctx.run(|| m.div_scalar_exact(&d));
+        assert_eq!(school, newton);
+        // Identical model counts, and the Newton session really took
+        // the 2-adic exact path while the schoolbook one never did —
+        // with the inverse lifted far fewer times than it divided
+        // (shared across the whole matrix).
+        assert_eq!(school_ctx.snapshot(), newton_ctx.snapshot());
+        let stats = newton_ctx.newton_div_stats();
+        assert!(stats.exact_divs >= 4, "{stats:?}");
+        assert!(stats.hensel_steps > 0, "{stats:?}");
+        assert_eq!(school_ctx.newton_div_stats().exact_divs, 0);
     }
 
     #[test]

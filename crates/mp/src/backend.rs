@@ -148,6 +148,88 @@ pub fn set_poly_mul_backend(backend: PolyMulBackend) -> PolyMulBackend {
     }
 }
 
+/// Which kernel [`crate::nat::div_rem_auto`] dispatches to.
+///
+/// Two kernels compute exactly the same `(quotient, remainder)` pairs
+/// (the differential suite in `tests/div_diff.rs` holds them
+/// bit-for-bit equal):
+///
+/// * [`DivBackend::Schoolbook`] — Knuth's Algorithm D
+///   ([`crate::nat::div`]), quadratic in the operand sizes, matching the
+///   `mp` package the paper timed.
+/// * [`DivBackend::Newton`] — reciprocal by quadratic Newton iteration
+///   ([`crate::nat::newton_div`]) above a calibrated size crossover,
+///   falling through to Algorithm D below it. Every refinement step is
+///   a multiplication through [`crate::nat::mul_auto`], so the division
+///   inherits whatever multiplication kernel is active (pair with
+///   [`MulBackend::Fast`] for the subquadratic end-to-end path).
+///
+/// Switching never changes what [`crate::metrics`] records: every
+/// `Int` division is costed with the Algorithm D work estimate
+/// `(‖a‖−‖b‖+1)·‖b‖` *before* the kernel runs, so
+/// predicted-vs-observed figures stay bit-identical across `RR_DIV`.
+/// What physically ran is visible separately through
+/// [`crate::metrics::NewtonDivStats`] and the `"div"` span an installed
+/// `rr-obs` recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DivBackend {
+    /// Knuth Algorithm D — paper-faithful timing.
+    #[default]
+    Schoolbook,
+    /// Newton-iteration reciprocal above
+    /// [`crate::nat::newton_div::NEWTON_DIV_THRESHOLD`] limbs.
+    Newton,
+}
+
+static DIV_BACKEND: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The currently selected process-wide division backend.
+///
+/// First call reads `RR_DIV` from the environment (`schoolbook` or
+/// `newton`; unset/unknown means schoolbook); later calls return the
+/// cached (or explicitly [set](set_div_backend)) value. Applies only
+/// when no [`crate::SolveCtx`] is installed on the current thread.
+#[inline]
+pub fn div_backend() -> DivBackend {
+    match DIV_BACKEND.load(Ordering::Relaxed) {
+        SCHOOLBOOK => DivBackend::Schoolbook,
+        FAST => DivBackend::Newton,
+        _ => init_div_from_env(),
+    }
+}
+
+/// Selects the process-wide division backend, returning the previous
+/// selection. Same caveats as [`set_mul_backend`]: prefer carrying the
+/// choice in a [`crate::SolveCtx`]; this is the no-session fallback.
+pub fn set_div_backend(backend: DivBackend) -> DivBackend {
+    let raw = match backend {
+        DivBackend::Schoolbook => SCHOOLBOOK,
+        DivBackend::Newton => FAST,
+    };
+    match DIV_BACKEND.swap(raw, Ordering::Relaxed) {
+        FAST => DivBackend::Newton,
+        _ => DivBackend::Schoolbook,
+    }
+}
+
+#[cold]
+fn init_div_from_env() -> DivBackend {
+    let choice = match std::env::var("RR_DIV").as_deref() {
+        Ok("newton") => DivBackend::Newton,
+        _ => DivBackend::Schoolbook,
+    };
+    let raw = match choice {
+        DivBackend::Schoolbook => SCHOOLBOOK,
+        DivBackend::Newton => FAST,
+    };
+    // A racing set_div_backend wins: only replace UNINIT.
+    match DIV_BACKEND.compare_exchange(UNINIT, raw, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => choice,
+        Err(FAST) => DivBackend::Newton,
+        Err(_) => DivBackend::Schoolbook,
+    }
+}
+
 #[cold]
 fn init_poly_from_env() -> PolyMulBackend {
     let choice = match std::env::var("RR_POLY_MUL").as_deref() {

@@ -2,7 +2,7 @@
 
 use crate::limb::Limb;
 use crate::metrics;
-use crate::nat::{self, div};
+use crate::nat;
 use std::cmp::Ordering;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Shl, Shr, Sub, SubAssign};
 
@@ -181,7 +181,17 @@ impl Int {
     /// operation.
     pub fn add_mul_assign(&mut self, x: &Int, y: &Int) {
         metrics::record_mul(x.bit_len(), y.bit_len());
-        let psign = x.sign.mul(y.sign);
+        self.add_mul_assign_raw(x, y, false);
+    }
+
+    /// Unmetered `self ±= x·y` — the kernel of [`Int::add_mul_assign`],
+    /// shared with [`crate::ExactDivisor::div_exact_dot`], whose entry
+    /// point charges the model itself before dispatching.
+    pub(crate) fn add_mul_assign_raw(&mut self, x: &Int, y: &Int, negate: bool) {
+        let mut psign = x.sign.mul(y.sign);
+        if negate {
+            psign = psign.flip();
+        }
         if psign == Sign::Zero {
             return;
         }
@@ -259,8 +269,11 @@ impl Int {
     /// Panics if `d` is zero.
     pub fn div_rem(&self, d: &Int) -> (Int, Int) {
         assert!(!d.is_zero(), "division by zero");
+        // The Algorithm D work estimate is charged before any kernel
+        // runs, so the recorded cost model is invariant under the
+        // division backend (`RR_DIV`) by construction.
         metrics::record_div(self.bit_len(), d.bit_len());
-        let (q, r) = div::div_rem(&self.mag, &d.mag);
+        let (q, r) = nat::div_rem_auto(&self.mag, &d.mag);
         (
             Int::from_sign_mag(self.sign.mul(d.sign), q),
             Int::from_sign_mag(self.sign, r),
@@ -269,11 +282,21 @@ impl Int {
 
     /// Exact division: `self / d` asserting (in debug builds) that the
     /// remainder is zero. The subresultant recurrences of `rr-poly` rely on
-    /// divisions that are provably exact; this names that intent.
+    /// divisions that are provably exact; this names that intent — and
+    /// under [`crate::DivBackend::Newton`] the exactness is exploited: the
+    /// quotient is recovered 2-adically from low bits, with cost
+    /// independent of the divisor's length.
+    ///
+    /// The cost charge is identical to [`Int::div_rem`]'s (the Algorithm D
+    /// work estimate, recorded before any kernel runs), so the model stays
+    /// invariant under `RR_DIV`.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
     pub fn div_exact(&self, d: &Int) -> Int {
-        let (q, r) = self.div_rem(d);
-        debug_assert!(r.is_zero(), "div_exact: inexact division");
-        q
+        assert!(!d.is_zero(), "division by zero");
+        metrics::record_div(self.bit_len(), d.bit_len());
+        Int::from_sign_mag(self.sign.mul(d.sign), nat::div_exact_auto(&self.mag, &d.mag))
     }
 
     /// True iff `d` divides `self` exactly (`d` nonzero).

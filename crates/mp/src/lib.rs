@@ -26,6 +26,17 @@
 //! differential suite in `tests/kernel_diff.rs`; only wall-clock
 //! *seconds* (Table 2, Figure 8) depend on the choice.
 //!
+//! Division is swappable the same way: the paper-faithful Algorithm D
+//! kernel ([`nat::div`], the default) or, under `RR_DIV=newton`, the
+//! kernels in [`nat::newton_div`] — Newton-iteration reciprocal
+//! `div_rem` above a calibrated crossover, 2-adic (Hensel) exact
+//! division whose cost is independent of the divisor's length, and,
+//! through [`ExactDivisor`], cached per-divisor inverses plus a fused
+//! dot-product division for the subresultant remainder step. The
+//! division cost is charged at the `Int` layer before any kernel runs,
+//! so the recorded model is invariant under the switch;
+//! `tests/div_diff.rs` holds the kernels bit-for-bit equal.
+//!
 //! ## Sessions
 //!
 //! Backend selection and metrics attribution are carried per solve by a
@@ -60,13 +71,15 @@ pub mod metrics;
 pub mod nat;
 pub mod session;
 
+mod divisor;
 mod fmt;
 mod int;
 
 pub use backend::{
-    mul_backend, poly_mul_backend, set_mul_backend, set_poly_mul_backend, MulBackend,
-    PolyMulBackend,
+    div_backend, mul_backend, poly_mul_backend, set_div_backend, set_mul_backend,
+    set_poly_mul_backend, DivBackend, MulBackend, PolyMulBackend,
 };
+pub use divisor::ExactDivisor;
 pub use int::{Int, Sign};
-pub use metrics::{KroneckerStats, MetricsSink};
+pub use metrics::{KroneckerStats, MetricsSink, NewtonDivStats};
 pub use session::{active_poly_mul_backend, CtxGuard, SolveCtx};

@@ -143,6 +143,14 @@ pub(crate) struct ThreadCounters {
     // Kronecker path actually executed. Read via `KroneckerStats`.
     kron_muls: AtomicU64,
     kron_packed_bits: AtomicU64,
+    // Newton-division execution counters; outside `CostSnapshot` for the
+    // same reason (div cost is charged backend-invariantly at the `Int`
+    // layer). Read via `NewtonDivStats`.
+    newton_divs: AtomicU64,
+    newton_recip_iters: AtomicU64,
+    newton_corrections: AtomicU64,
+    newton_exact_divs: AtomicU64,
+    newton_hensel_steps: AtomicU64,
 }
 
 impl ThreadCounters {
@@ -169,6 +177,19 @@ impl ThreadCounters {
         self.kron_muls.fetch_add(1, Ordering::Relaxed);
         self.kron_packed_bits.fetch_add(packed_bits, Ordering::Relaxed);
     }
+
+    #[inline]
+    pub(crate) fn record_newton_div(&self, recip_iters: u64, corrections: u64) {
+        self.newton_divs.fetch_add(1, Ordering::Relaxed);
+        self.newton_recip_iters.fetch_add(recip_iters, Ordering::Relaxed);
+        self.newton_corrections.fetch_add(corrections, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_newton_exact_div(&self, hensel_steps: u64) {
+        self.newton_exact_divs.fetch_add(1, Ordering::Relaxed);
+        self.newton_hensel_steps.fetch_add(hensel_steps, Ordering::Relaxed);
+    }
 }
 
 /// What the Kronecker polynomial-multiplication path actually executed,
@@ -186,6 +207,37 @@ pub struct KroneckerStats {
     /// Total bits packed across those products (sum over products of
     /// `slot_bits × slots`, both operands).
     pub packed_bits: u64,
+}
+
+/// What the Newton division path actually executed, as opposed to the
+/// Algorithm D work estimate the paper cost model charged for it.
+///
+/// Kept separate from [`CostSnapshot`] for the same reason as
+/// [`KroneckerStats`]: the model counters are asserted bit-identical
+/// across division backends, so anything that varies with `RR_DIV`
+/// must live outside them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NewtonDivStats {
+    /// Number of divisions routed through the Newton reciprocal (above
+    /// the crossover; below it the dispatcher runs Algorithm D and
+    /// nothing is counted here).
+    pub newton_divs: u64,
+    /// Total reciprocal refinement iterations across those divisions
+    /// (each is one squaring plus one multiplication via `mul_auto`).
+    pub recip_iters: u64,
+    /// Total quotient correction steps (expected ≤ 1 per division; the
+    /// differential suite watches this stays small).
+    pub corrections: u64,
+    /// Number of exact divisions routed through the 2-adic (Hensel)
+    /// kernel — `Int::div_exact` and [`crate::ExactDivisor`] above their
+    /// crossovers. Disjoint from `newton_divs`, which counts the
+    /// reciprocal `div_rem` kernel.
+    pub exact_divs: u64,
+    /// Total Hensel lifting steps spent building or extending 2-adic
+    /// inverses across those divisions (each is two truncated products).
+    /// Stays far below `exact_divs` when [`crate::ExactDivisor`]
+    /// amortization is effective.
+    pub hensel_steps: u64,
 }
 
 /// A registry of per-thread event counters that can be aggregated at any
@@ -269,6 +321,20 @@ impl MetricsSink {
         for c in self.inner.threads.lock().iter() {
             out.kronecker_muls += c.kron_muls.load(Ordering::Relaxed);
             out.packed_bits += c.kron_packed_bits.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Aggregates the Newton-division execution counters of every thread
+    /// that has recorded into this sink.
+    pub fn newton_div_snapshot(&self) -> NewtonDivStats {
+        let mut out = NewtonDivStats::default();
+        for c in self.inner.threads.lock().iter() {
+            out.newton_divs += c.newton_divs.load(Ordering::Relaxed);
+            out.recip_iters += c.newton_recip_iters.load(Ordering::Relaxed);
+            out.corrections += c.newton_corrections.load(Ordering::Relaxed);
+            out.exact_divs += c.newton_exact_divs.load(Ordering::Relaxed);
+            out.hensel_steps += c.newton_hensel_steps.load(Ordering::Relaxed);
         }
         out
     }
@@ -376,10 +442,43 @@ pub fn record_kron(packed_bits: u64) {
     LOCAL.with(|c| c.record_kron(packed_bits));
 }
 
+/// Records one division executed through the Newton reciprocal path:
+/// its refinement iteration count and quotient correction steps. Called
+/// from `nat::newton_div`; not usually called directly. Routes to the
+/// installed session sink if any, else to the process-global default
+/// sink.
+#[inline]
+pub fn record_newton_div(recip_iters: u64, corrections: u64) {
+    if crate::session::record_session_newton_div(recip_iters, corrections) {
+        return;
+    }
+    LOCAL.with(|c| c.record_newton_div(recip_iters, corrections));
+}
+
+/// Records one exact division executed through the 2-adic (Hensel)
+/// kernel and the number of inverse-lifting steps it spent. Called from
+/// `nat::newton_div::div_exact` and [`crate::ExactDivisor`]; not usually
+/// called directly. Routes to the installed session sink if any, else to
+/// the process-global default sink.
+#[inline]
+pub fn record_newton_exact_div(hensel_steps: u64) {
+    if crate::session::record_session_newton_exact_div(hensel_steps) {
+        return;
+    }
+    LOCAL.with(|c| c.record_newton_exact_div(hensel_steps));
+}
+
 /// Aggregates the Kronecker execution counters of the process-global
 /// default sink (events recorded with no [`crate::SolveCtx`] installed).
 pub fn kron_snapshot() -> KroneckerStats {
     default_sink().kron_snapshot()
+}
+
+/// Aggregates the Newton-division execution counters of the
+/// process-global default sink (events recorded with no
+/// [`crate::SolveCtx`] installed).
+pub fn newton_div_snapshot() -> NewtonDivStats {
+    default_sink().newton_div_snapshot()
 }
 
 /// Cost totals for one phase.

@@ -167,6 +167,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_limb_divisor_panics() {
+        div_rem_limb(&n(5), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "div_exact called with inexact quotient")]
+    fn div_exact_rejects_inexact() {
+        // 1001 = 7·143, so 1002/7 leaves remainder 1: the debug assertion
+        // must fire rather than silently truncate.
+        div_exact(&n(1002), &n(7));
+    }
+
+    #[test]
     fn dividend_smaller_than_divisor() {
         let (q, r) = div_rem(&n(5), &n(1u128 << 100));
         assert!(is_zero(&q));

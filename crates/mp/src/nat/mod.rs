@@ -16,8 +16,9 @@
 pub mod div;
 pub mod kmul;
 pub mod mul;
+pub mod newton_div;
 
-use crate::backend::{mul_backend, MulBackend};
+use crate::backend::{mul_backend, DivBackend, MulBackend};
 use crate::limb::{DoubleLimb, Limb, LIMB_BITS};
 use std::cmp::Ordering;
 
@@ -44,6 +45,47 @@ pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
     match active_backend() {
         MulBackend::Schoolbook => mul::square(a),
         MulBackend::Fast => kmul::square(a),
+    }
+}
+
+/// The division backend to dispatch to: the installed session's choice,
+/// else the process-global selection (`RR_DIV`).
+#[inline]
+pub(crate) fn active_div_backend() -> DivBackend {
+    crate::session::current_div_backend().unwrap_or_else(crate::backend::div_backend)
+}
+
+/// Divides `u` by `v` using the active division backend — the single
+/// dispatching entry point `Int::div_rem` (and through it `div_exact`,
+/// the subresultant remainder steps, and every other division in the
+/// workspace) routes through. Both kernels return identical
+/// `(quotient, remainder)` pairs; only wall-clock differs.
+///
+/// # Panics
+/// Panics if `v` is zero.
+#[inline]
+pub fn div_rem_auto(u: &[Limb], v: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
+    match active_div_backend() {
+        DivBackend::Schoolbook => div::div_rem(u, v),
+        DivBackend::Newton => newton_div::div_rem(u, v),
+    }
+}
+
+/// Exact division `u / v` (zero remainder, debug-asserted) using the
+/// active division backend. Under [`DivBackend::Newton`] this is NOT the
+/// reciprocal kernel but the 2-adic (Hensel) one: exactness lets the
+/// quotient be recovered from low bits alone, with cost independent of
+/// the divisor's length. `Int::div_exact` — and through it the
+/// subresultant remainder steps and the tree stage's scalings — routes
+/// through here.
+///
+/// # Panics
+/// Panics if `v` is zero.
+#[inline]
+pub fn div_exact_auto(u: &[Limb], v: &[Limb]) -> Vec<Limb> {
+    match active_div_backend() {
+        DivBackend::Schoolbook => div::div_exact(u, v),
+        DivBackend::Newton => newton_div::div_exact(u, v),
     }
 }
 

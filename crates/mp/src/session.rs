@@ -45,7 +45,7 @@
 //! assert_eq!(school.snapshot().total().mul_count, 1);
 //! ```
 
-use crate::backend::{MulBackend, PolyMulBackend};
+use crate::backend::{DivBackend, MulBackend, PolyMulBackend};
 use crate::metrics::{CostSnapshot, MetricsSink, ThreadCounters};
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -60,6 +60,7 @@ use std::sync::{Arc, Weak};
 pub struct SolveCtx {
     backend: MulBackend,
     poly_backend: PolyMulBackend,
+    div_backend: DivBackend,
     sink: MetricsSink,
     recorder: Option<rr_obs::Recorder>,
     cancel: Option<rr_sched::CancelToken>,
@@ -70,6 +71,7 @@ pub struct SolveCtx {
 struct ActiveCtx {
     backend: MulBackend,
     poly_backend: PolyMulBackend,
+    div_backend: DivBackend,
     counters: Arc<ThreadCounters>,
 }
 
@@ -88,6 +90,7 @@ impl SolveCtx {
         SolveCtx {
             backend,
             poly_backend: PolyMulBackend::Schoolbook,
+            div_backend: DivBackend::Schoolbook,
             sink: MetricsSink::new(),
             recorder: None,
             cancel: None,
@@ -95,11 +98,13 @@ impl SolveCtx {
     }
 
     /// A fresh context on the process-default backends
-    /// ([`crate::mul_backend`] / [`crate::poly_mul_backend`], i.e.
-    /// `RR_MUL_BACKEND` + `RR_POLY_MUL` or schoolbook).
+    /// ([`crate::mul_backend`] / [`crate::poly_mul_backend`] /
+    /// [`crate::div_backend`], i.e. `RR_MUL_BACKEND` + `RR_POLY_MUL` +
+    /// `RR_DIV` or schoolbook).
     pub fn with_default_backend() -> SolveCtx {
         SolveCtx::new(crate::backend::mul_backend())
             .with_poly_backend(crate::backend::poly_mul_backend())
+            .with_div_backend(crate::backend::div_backend())
     }
 
     /// Selects the polynomial multiplication backend this context
@@ -112,6 +117,18 @@ impl SolveCtx {
     /// The polynomial multiplication backend carried by this context.
     pub fn poly_backend(&self) -> PolyMulBackend {
         self.poly_backend
+    }
+
+    /// Selects the division backend this context dispatches `Int`
+    /// divisions to (default: schoolbook).
+    pub fn with_div_backend(mut self, div_backend: DivBackend) -> SolveCtx {
+        self.div_backend = div_backend;
+        self
+    }
+
+    /// The division backend carried by this context.
+    pub fn div_backend(&self) -> DivBackend {
+        self.div_backend
     }
 
     /// Attaches a span recorder: while this context is installed, the
@@ -162,6 +179,14 @@ impl SolveCtx {
         self.sink.kron_snapshot()
     }
 
+    /// Newton-division execution counters recorded under this context —
+    /// what the Newton division path actually ran, which the
+    /// backend-invariant cost model in [`SolveCtx::snapshot`]
+    /// deliberately does not reflect.
+    pub fn newton_div_stats(&self) -> crate::metrics::NewtonDivStats {
+        self.sink.newton_div_snapshot()
+    }
+
     /// This thread's counter block in the context's sink, from the
     /// thread-local cache when possible.
     fn thread_counters(&self) -> Arc<ThreadCounters> {
@@ -194,6 +219,7 @@ impl SolveCtx {
         let active = ActiveCtx {
             backend: self.backend,
             poly_backend: self.poly_backend,
+            div_backend: self.div_backend,
             counters: self.thread_counters(),
         };
         AMBIENT.with(|stack| stack.borrow_mut().push(active));
@@ -237,6 +263,14 @@ impl Drop for CtxGuard {
 #[inline]
 pub(crate) fn current_backend() -> Option<MulBackend> {
     AMBIENT.with(|stack| stack.borrow().last().map(|a| a.backend))
+}
+
+/// The division backend of the innermost installed context, if any.
+/// Kernel dispatch (`nat::div_rem_auto`) consults this before the
+/// process-global atomic.
+#[inline]
+pub(crate) fn current_div_backend() -> Option<DivBackend> {
+    AMBIENT.with(|stack| stack.borrow().last().map(|a| a.div_backend))
 }
 
 /// True if the calling thread currently has a context installed.
@@ -306,6 +340,37 @@ pub(crate) fn record_session_kron(packed_bits: u64) -> bool {
     AMBIENT.with(|stack| match stack.borrow().last() {
         Some(active) => {
             active.counters.record_kron(packed_bits);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records one executed Newton-path division (its reciprocal iterations
+/// and correction steps) into the innermost installed context's sink.
+/// Returns false (and records nothing) if no context is installed.
+///
+/// Like the Kronecker counters, these live *outside* the paper cost
+/// model: they describe what actually ran, not what the model charges.
+#[inline]
+pub(crate) fn record_session_newton_div(recip_iters: u64, corrections: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_newton_div(recip_iters, corrections);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records one executed 2-adic exact division (and its Hensel lifting
+/// steps) into the innermost installed context's sink. Returns false
+/// (and records nothing) if no context is installed.
+#[inline]
+pub(crate) fn record_session_newton_exact_div(hensel_steps: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_newton_exact_div(hensel_steps);
             true
         }
         None => false,

@@ -161,8 +161,20 @@ impl Poly {
     }
 
     /// Divides every coefficient by `s` exactly (debug-asserted).
+    ///
+    /// A one-shot convenience over [`Poly::div_scalar_exact_prepared`]:
+    /// the divisor is prepared once here, so under `RR_DIV=newton` the
+    /// coefficients already share one cached 2-adic inverse of `s`.
     pub fn div_scalar_exact(&self, s: &Int) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|c| c.div_exact(s)).collect() }
+        self.div_scalar_exact_prepared(&rr_mp::ExactDivisor::new(s.clone()))
+    }
+
+    /// Divides every coefficient by the prepared divisor, exactly. Use
+    /// this form when the same divisor is shared beyond one polynomial —
+    /// the tree stage's per-entry tasks divide all four entries of a
+    /// `Mat2` by the same `c_k²·c_{k−1}²`.
+    pub fn div_scalar_exact_prepared(&self, s: &rr_mp::ExactDivisor) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|c| s.div_exact(c)).collect() }
     }
 
     /// `p(x) · x^k`.

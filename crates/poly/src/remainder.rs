@@ -32,7 +32,7 @@
 //! are the repeated roots of `p0`, with multiplicities reduced by one).
 
 use crate::Poly;
-use rr_mp::Int;
+use rr_mp::{ExactDivisor, Int};
 use std::fmt;
 
 /// Why a remainder sequence could not be built.
@@ -150,31 +150,38 @@ pub fn quotient_coeffs(f_prev: &Poly, f_cur: &Poly) -> (Int, Int) {
 /// `(f_{i,j}·q_0 + f_{i,j−1}·q_1 − c_i²·f_{i−1,j}) / denom`, where
 /// `c_i_sq = c_i²` and `denom = c_{i−1}²` (1 for the first step). The
 /// division is exact by Collins' theorem (debug-asserted).
+///
+/// The denominator is shared by every coefficient of the iteration, so it
+/// arrives *prepared* ([`ExactDivisor`]), and the whole combination goes
+/// through its fused kernel [`ExactDivisor::div_exact_dot`]: under
+/// `RR_DIV=newton` all the coefficient tasks of an iteration — however
+/// they are scheduled — reuse one cached 2-adic inverse of `c_{i−1}²`,
+/// and every product (not just the division) shrinks to a
+/// quotient-sized truncated product in the 2-adic domain.
 pub fn next_f_coeff(
     f_prev: &Poly,
     f_cur: &Poly,
     q0: &Int,
     q1: &Int,
     c_i_sq: &Int,
-    denom: &Int,
+    denom: &ExactDivisor,
     j: usize,
 ) -> Int {
-    let mut acc = f_cur.coeff(j) * q0;
+    let a = f_cur.coeff(j);
+    let c = f_prev.coeff(j);
     if j > 0 {
-        acc += &(f_cur.coeff(j - 1) * q1);
-    }
-    acc -= &(c_i_sq * f_prev.coeff(j));
-    if denom.is_one() {
-        acc
+        let b = f_cur.coeff(j - 1);
+        denom.div_exact_dot(&[(&a, q0), (&b, q1)], &[(c_i_sq, &c)])
     } else {
-        acc.div_exact(denom)
+        denom.div_exact_dot(&[(&a, q0)], &[(c_i_sq, &c)])
     }
 }
 
 /// One full step: `(Q_i, F_{i+1})` from `(F_{i−1}, F_i)`.
 ///
-/// `denom` is `c_{i−1}²` for `i ≥ 2` and 1 for `i = 1`.
-pub fn step(f_prev: &Poly, f_cur: &Poly, denom: &Int) -> (Poly, Poly) {
+/// `denom` is `c_{i−1}²` for `i ≥ 2` and 1 for `i = 1`, prepared once for
+/// the whole step.
+pub fn step(f_prev: &Poly, f_cur: &Poly, denom: &ExactDivisor) -> (Poly, Poly) {
     let (q0, q1) = quotient_coeffs(f_prev, f_cur);
     let c_i_sq = f_cur.lc().square();
     let d = f_cur.deg();
@@ -231,7 +238,8 @@ pub fn remainder_sequence(p0: &Poly) -> Result<RemainderSeq, SeqError> {
     let mut n_star = n;
     let mut gcd = None;
     for i in 1..n {
-        let denom = if i == 1 { Int::one() } else { f[i - 1].lc().square() };
+        let denom =
+            ExactDivisor::new(if i == 1 { Int::one() } else { f[i - 1].lc().square() });
         let (qi, f_next) = step(&f[i - 1], &f[i], &denom);
         if f_next.is_zero() {
             // Repeated roots: F_{i+1} = 0 and F_i = gcd(F_0, F_1) up to a

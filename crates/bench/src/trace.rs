@@ -72,6 +72,24 @@ pub fn report_to_json(report: &SolveReport) -> Value {
             None => Value::Null,
         },
     );
+    {
+        let mut row = BTreeMap::new();
+        let total = report.alloc.total();
+        row.insert("allocs".into(), Value::Num(total.allocs as f64));
+        row.insert("bytes".into(), Value::Num(total.bytes as f64));
+        let mut phases = BTreeMap::new();
+        for (phase, a) in report.alloc.iter() {
+            if a.allocs == 0 {
+                continue;
+            }
+            let mut cell = BTreeMap::new();
+            cell.insert("allocs".into(), Value::Num(a.allocs as f64));
+            cell.insert("bytes".into(), Value::Num(a.bytes as f64));
+            phases.insert(phase.label().into(), Value::Object(cell));
+        }
+        row.insert("phases".into(), Value::Object(phases));
+        o.insert("alloc".into(), Value::Object(row));
+    }
     if let Some(pool) = &report.pool {
         let mut row = BTreeMap::new();
         row.insert("workers".into(), Value::Num(pool.workers as f64));
@@ -85,6 +103,8 @@ pub fn report_to_json(report: &SolveReport) -> Value {
             "cancelled_tasks".into(),
             Value::Num(pool.cancelled_tasks as f64),
         );
+        row.insert("allocs".into(), Value::Num(pool.allocs as f64));
+        row.insert("alloc_bytes".into(), Value::Num(pool.alloc_bytes as f64));
         o.insert("pool".into(), Value::Object(row));
     }
     Value::Object(o)
@@ -140,5 +160,10 @@ mod tests {
             .iter()
             .any(|row| row["name"].as_str() == Some("treepoly")));
         assert!(v["pool"]["workers"].as_u64().unwrap() >= 2);
+        // Physical allocation counters ride along (value depends on
+        // RR_ARENA, but the fields are always present).
+        assert!(v["alloc"]["allocs"].as_f64().is_some());
+        assert!(v["alloc"]["bytes"].as_f64().is_some());
+        assert!(v["pool"]["allocs"].as_f64().is_some());
     }
 }

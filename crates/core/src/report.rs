@@ -80,6 +80,11 @@ pub struct SolveReport {
     /// (squarefree retry / Sturm baseline) instead of running the
     /// paper's pipeline on the literal input.
     pub degraded: Option<crate::solver::Degradation>,
+    /// Physical limb-buffer allocation counts per phase (see
+    /// [`crate::SolveStats::alloc`]) — the observability face of the
+    /// scratch arena: ratios of these across `RR_ARENA=on/off` are what
+    /// `tools/check_allocs.py` gates on.
+    pub alloc: rr_mp::AllocStats,
     /// The merged trace: phase/stage spans from the recorder, plus
     /// per-task spans and queue-depth counters from the scheduler.
     pub trace: Trace,
@@ -119,6 +124,10 @@ impl std::fmt::Display for SolveReport {
         }
         if let Some(d) = self.degraded {
             writeln!(f, "  degraded: {d}")?;
+        }
+        let alloc = self.alloc.total();
+        if alloc.allocs > 0 {
+            writeln!(f, "  allocs: {} ({} bytes)", alloc.allocs, alloc.bytes)?;
         }
         for p in &self.phases {
             writeln!(
@@ -251,6 +260,7 @@ pub(crate) fn build_report(result: &RootsResult, recorder: &Recorder) -> SolveRe
         panicked_tasks,
         cancelled_tasks,
         degraded: result.degraded,
+        alloc: result.stats.alloc,
         trace,
     }
 }

@@ -149,6 +149,10 @@ impl Runtime {
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Runtime {
+        // A fully idle pool should not pin scratch buffers: register the
+        // arena's per-thread release as the workers' idle hook (OnceLock
+        // inside — first registration wins, repeats are free).
+        rr_sched::set_worker_idle_hook(rr_mp::scratch::release_thread);
         Runtime {
             pool: Arc::new(Pool::new(threads)),
         }
@@ -301,7 +305,8 @@ impl Session {
     fn ctx_and_supervision(&self, limits: &SolveLimits) -> (SolveCtx, Option<Supervision>) {
         let ctx = SolveCtx::new(self.config.backend)
             .with_poly_backend(self.config.poly_mul)
-            .with_div_backend(self.config.div);
+            .with_div_backend(self.config.div)
+            .with_arena(self.config.arena);
         if limits.is_unlimited() && self.fault.is_none() {
             return (ctx, None);
         }

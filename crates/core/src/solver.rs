@@ -68,6 +68,13 @@ pub struct SolverConfig {
     /// `MulBackend::Fast` so the reciprocal's multiplications are
     /// subquadratic). Defaults to the `RR_DIV` environment selection.
     pub div: DivBackend,
+    /// Per-thread scratch-arena buffer reuse for this solve's big-int
+    /// temporaries, carried by the session context. Roots, metrics, and
+    /// every paper table are bit-identical either way (asserted by
+    /// `tests/arena_diff.rs`); only physical allocation counts
+    /// ([`SolveStats::alloc`]) and wall-clock change. Defaults to the
+    /// `RR_ARENA` environment selection (on unless `RR_ARENA=off`).
+    pub arena: bool,
     /// Graceful degradation (on by default): when the extended remainder
     /// sequence rejects the input (`NotNormal` / `NotRealRooted`), retry
     /// on its squarefree part and, failing that, fall back to the
@@ -89,6 +96,7 @@ impl SolverConfig {
             backend: MulBackend::Schoolbook,
             poly_mul: rr_mp::poly_mul_backend(),
             div: rr_mp::div_backend(),
+            arena: rr_mp::arena_enabled(),
             degrade: true,
         }
     }
@@ -108,6 +116,7 @@ impl SolverConfig {
             backend: MulBackend::Schoolbook,
             poly_mul: rr_mp::poly_mul_backend(),
             div: rr_mp::div_backend(),
+            arena: rr_mp::arena_enabled(),
             degrade: true,
         }
     }
@@ -129,6 +138,13 @@ impl SolverConfig {
     /// [`SolverConfig::div`]).
     pub fn with_div(mut self, div: DivBackend) -> SolverConfig {
         self.div = div;
+        self
+    }
+
+    /// The same configuration with the scratch arena switched on or off
+    /// (see [`SolverConfig::arena`]).
+    pub fn with_arena(mut self, arena: bool) -> SolverConfig {
+        self.arena = arena;
         self
     }
 
@@ -267,6 +283,13 @@ pub struct SolveStats {
     /// *outside* [`SolveStats::cost`], whose equality across backends is
     /// the model-invariance guarantee.
     pub newton_div: rr_mp::NewtonDivStats,
+    /// Physical limb-buffer allocation counts per phase, from the
+    /// solve's private sink. With the scratch arena on
+    /// ([`SolverConfig::arena`]) only cold misses count; with it off,
+    /// every acquisition. Like `newton_div`, deliberately outside
+    /// [`SolveStats::cost`]: it is *supposed* to vary with `RR_ARENA`
+    /// while `cost` stays bit-identical.
+    pub alloc: rr_mp::AllocStats,
 }
 
 impl SolveStats {
@@ -585,6 +608,7 @@ fn solve_inner(
         traces,
         bound_bits,
         newton_div: ctx.newton_div_stats(),
+        alloc: ctx.alloc_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
@@ -628,6 +652,7 @@ fn baseline_fallback(
         traces,
         bound_bits: root_bound_bits(p),
         newton_div: ctx.newton_div_stats(),
+        alloc: ctx.alloc_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),

@@ -52,7 +52,12 @@ impl Mat2 {
     /// multi-thousand-bit coefficients, which is exactly the regime
     /// where that pays. Recorded model counts are backend-invariant.
     pub fn mul_entry(a: &Mat2, b: &Mat2, row: usize, col: usize) -> Poly {
-        &a.e[row][0] * &b.e[0][col] + &a.e[row][1] * &b.e[1][col]
+        // Accumulate the second product into the first in place (sums are
+        // free in the cost model) instead of allocating a third
+        // coefficient vector for the sum.
+        let mut out = &a.e[row][0] * &b.e[0][col];
+        out += &a.e[row][1] * &b.e[1][col];
+        out
     }
 
     /// Full product `a·b` (the four entry tasks run in sequence).
@@ -95,7 +100,9 @@ impl Mat2 {
 
     /// The determinant `e00·e11 − e01·e10`.
     pub fn det(&self) -> Poly {
-        &self.e[0][0] * &self.e[1][1] - &self.e[0][1] * &self.e[1][0]
+        let mut out = &self.e[0][0] * &self.e[1][1];
+        out -= &self.e[0][1] * &self.e[1][0];
+        out
     }
 
     /// `max` entry degree (the paper's `d(T)`); `None` if all entries zero.

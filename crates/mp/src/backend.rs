@@ -212,6 +212,51 @@ pub fn set_div_backend(backend: DivBackend) -> DivBackend {
     }
 }
 
+static ARENA: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Whether the scratch-arena buffer-reuse layer ([`crate::scratch`]) is
+/// enabled process-wide.
+///
+/// First call reads `RR_ARENA` from the environment (`on`/`off`; unset
+/// or unknown means **on** — buffer reuse never changes results, only
+/// allocation traffic); later calls return the cached (or explicitly
+/// [set](set_arena_enabled)) value. Applies only when no
+/// [`crate::SolveCtx`] is installed on the current thread — an installed
+/// context's [`crate::SolveCtx::with_arena`] choice always wins.
+///
+/// Arenas change no recorded metrics and no results: with the gate off,
+/// every scratch acquisition falls through to a fresh allocation (and is
+/// counted as one), which is what makes the arena's allocation savings a
+/// measured on/off difference instead of an assumption.
+#[inline]
+pub fn arena_enabled() -> bool {
+    match ARENA.load(Ordering::Relaxed) {
+        SCHOOLBOOK => false,
+        FAST => true,
+        _ => init_arena_from_env(),
+    }
+}
+
+/// Enables or disables the scratch arena process-wide, returning the
+/// previous setting. Same caveats as [`set_mul_backend`]: prefer
+/// carrying the choice in a [`crate::SolveCtx`]; this is the no-session
+/// fallback.
+pub fn set_arena_enabled(enabled: bool) -> bool {
+    let raw = if enabled { FAST } else { SCHOOLBOOK };
+    ARENA.swap(raw, Ordering::Relaxed) != SCHOOLBOOK
+}
+
+#[cold]
+fn init_arena_from_env() -> bool {
+    let choice = !matches!(std::env::var("RR_ARENA").as_deref(), Ok("off") | Ok("0"));
+    let raw = if choice { FAST } else { SCHOOLBOOK };
+    // A racing set_arena_enabled wins: only replace UNINIT.
+    match ARENA.compare_exchange(UNINIT, raw, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => choice,
+        Err(prev) => prev != SCHOOLBOOK,
+    }
+}
+
 #[cold]
 fn init_div_from_env() -> DivBackend {
     let choice = match std::env::var("RR_DIV").as_deref() {

@@ -218,17 +218,21 @@ impl ExactDivisor {
         // Headroom so stripping the divisor's power of two still leaves
         // k valid limbs.
         let kw = k + (self.shift as usize).div_ceil(64);
-        let mut acc = vec![0 as Limb; kw];
-        let fold = |acc: &mut Vec<Limb>, x: &Int, y: &Int, negate: bool| {
+        // The accumulator and the per-term product buffer both come from
+        // the scratch arena; one buffer `t` serves every term in turn.
+        let mut acc = crate::scratch::take(kw);
+        acc.resize(kw, 0);
+        let mut t = crate::scratch::take(kw);
+        let mut fold = |acc: &mut [Limb], x: &Int, y: &Int, negate: bool| {
             let s = x.sign().mul(y.sign());
             if s == Sign::Zero {
                 return;
             }
-            let t = newton_div::mul_low(x.magnitude(), y.magnitude(), kw);
+            newton_div::mul_low_into(x.magnitude(), y.magnitude(), kw, &mut t);
             if (s == Sign::Positive) != negate {
                 newton_div::add_shifted_mod(acc, &t, 0);
             } else {
-                *acc = newton_div::mod_sub(acc, &t, kw);
+                newton_div::mod_sub_assign(acc, &t);
             }
         };
         for (x, y) in pos {
@@ -240,6 +244,8 @@ impl ExactDivisor {
         // acc ≡ true accumulator mod 2^(64kw), two's complement; it is
         // divisible by 2^shift, so the shift is a plain truncation.
         let acc_shifted = nat::shr(&acc, self.shift);
+        crate::scratch::put(t);
+        crate::scratch::put(acc);
         let q_mod = self.mul_by_inv(&acc_shifted, k);
         let (sign, mag) = if q_mod[k - 1] >> (Limb::BITS - 1) == 1 {
             (Sign::Negative, newton_div::mod_sub(&[], &q_mod, k))

@@ -175,8 +175,8 @@ impl Int {
 
     /// Fused `self += x * y`, recorded exactly like `x * y` (one
     /// multiplication at `‖x‖·‖y‖` bit cost) but accumulating in place:
-    /// the product magnitude folds into `self` with no intermediate
-    /// `Int` and, on the common same-sign path, no reallocation of the
+    /// the product magnitude lands in a scratch-arena buffer and folds
+    /// into `self` with no intermediate `Int` and no reallocation of the
     /// accumulator. This is the schoolbook polynomial loop's inner
     /// operation.
     pub fn add_mul_assign(&mut self, x: &Int, y: &Int) {
@@ -184,9 +184,19 @@ impl Int {
         self.add_mul_assign_raw(x, y, false);
     }
 
-    /// Unmetered `self ±= x·y` — the kernel of [`Int::add_mul_assign`],
-    /// shared with [`crate::ExactDivisor::div_exact_dot`], whose entry
-    /// point charges the model itself before dispatching.
+    /// Fused `self -= x * y` — [`Int::add_mul_assign`] with the product
+    /// negated, recorded identically (one multiplication at `‖x‖·‖y‖`
+    /// bit cost). The polynomial accumulation loops in `rr-linalg` and
+    /// `rr-poly` subtract scaled rows/coefficients through this.
+    pub fn sub_mul_assign(&mut self, x: &Int, y: &Int) {
+        metrics::record_mul(x.bit_len(), y.bit_len());
+        self.add_mul_assign_raw(x, y, true);
+    }
+
+    /// Unmetered `self ±= x·y` — the kernel of [`Int::add_mul_assign`] /
+    /// [`Int::sub_mul_assign`], shared with
+    /// [`crate::ExactDivisor::div_exact_dot`], whose entry point charges
+    /// the model itself before dispatching.
     pub(crate) fn add_mul_assign_raw(&mut self, x: &Int, y: &Int, negate: bool) {
         let mut psign = x.sign.mul(y.sign);
         if negate {
@@ -195,10 +205,12 @@ impl Int {
         if psign == Sign::Zero {
             return;
         }
-        let pmag = nat::mul_auto(&x.mag, &y.mag);
+        let mut pmag = crate::scratch::take(x.mag.len() + y.mag.len());
+        nat::mul_auto_into(&x.mag, &y.mag, &mut pmag);
         if self.sign == Sign::Zero {
             self.sign = psign;
-            self.mag = pmag;
+            self.mag.clear();
+            self.mag.extend_from_slice(&pmag);
         } else if self.sign == psign {
             nat::add_assign(&mut self.mag, &pmag);
         } else {
@@ -209,11 +221,27 @@ impl Int {
                 }
                 Ordering::Greater => nat::sub_assign(&mut self.mag, &pmag),
                 Ordering::Less => {
-                    self.mag = nat::sub(&pmag, &self.mag);
+                    nat::rsub_assign(&mut self.mag, &pmag);
                     self.sign = self.sign.flip();
                 }
             }
         }
+        crate::scratch::put(pmag);
+    }
+
+    /// `self * rhs` written into `out`, recorded exactly like `*` (one
+    /// multiplication at `‖self‖·‖rhs‖` bit cost) but reusing `out`'s
+    /// magnitude storage instead of allocating a fresh `Int`. `out`'s
+    /// previous value is discarded (its buffer is fully overwritten —
+    /// dirty contents are fine).
+    pub fn mul_into(&self, rhs: &Int, out: &mut Int) {
+        metrics::record_mul(self.bit_len(), rhs.bit_len());
+        nat::mul_auto_into(&self.mag, &rhs.mag, &mut out.mag);
+        out.sign = if out.mag.is_empty() {
+            Sign::Zero
+        } else {
+            self.sign.mul(rhs.sign)
+        };
     }
 
     /// `self^e` by binary exponentiation.
@@ -518,15 +546,46 @@ impl Neg for Int {
     }
 }
 
+impl Int {
+    /// In-place kernel of `+=` / `-=`: folds `±rhs` into `self` reusing
+    /// the accumulator's storage on every path (linear, uncharged —
+    /// additions are free in the paper's cost model).
+    fn add_assign_impl(&mut self, rhs: &Int, negate: bool) {
+        let rsign = if negate { rhs.sign.flip() } else { rhs.sign };
+        if rsign == Sign::Zero {
+            return;
+        }
+        if self.sign == Sign::Zero {
+            self.sign = rsign;
+            self.mag.clear();
+            self.mag.extend_from_slice(&rhs.mag);
+        } else if self.sign == rsign {
+            nat::add_assign(&mut self.mag, &rhs.mag);
+        } else {
+            match nat::cmp(&self.mag, &rhs.mag) {
+                Ordering::Equal => {
+                    self.sign = Sign::Zero;
+                    self.mag.clear();
+                }
+                Ordering::Greater => nat::sub_assign(&mut self.mag, &rhs.mag),
+                Ordering::Less => {
+                    nat::rsub_assign(&mut self.mag, &rhs.mag);
+                    self.sign = self.sign.flip();
+                }
+            }
+        }
+    }
+}
+
 impl AddAssign<&Int> for Int {
     fn add_assign(&mut self, rhs: &Int) {
-        *self = &*self + rhs;
+        self.add_assign_impl(rhs, false);
     }
 }
 
 impl SubAssign<&Int> for Int {
     fn sub_assign(&mut self, rhs: &Int) {
-        *self = &*self - rhs;
+        self.add_assign_impl(rhs, true);
     }
 }
 

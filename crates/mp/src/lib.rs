@@ -69,6 +69,7 @@ pub mod gcd;
 pub mod limb;
 pub mod metrics;
 pub mod nat;
+pub mod scratch;
 pub mod session;
 
 mod divisor;
@@ -76,10 +77,11 @@ mod fmt;
 mod int;
 
 pub use backend::{
-    div_backend, mul_backend, poly_mul_backend, set_div_backend, set_mul_backend,
-    set_poly_mul_backend, DivBackend, MulBackend, PolyMulBackend,
+    arena_enabled, div_backend, mul_backend, poly_mul_backend, set_arena_enabled,
+    set_div_backend, set_mul_backend, set_poly_mul_backend, DivBackend, MulBackend,
+    PolyMulBackend,
 };
 pub use divisor::ExactDivisor;
 pub use int::{Int, Sign};
-pub use metrics::{KroneckerStats, MetricsSink, NewtonDivStats};
+pub use metrics::{AllocStats, KroneckerStats, MetricsSink, NewtonDivStats, PhaseAlloc};
 pub use session::{active_poly_mul_backend, CtxGuard, SolveCtx};

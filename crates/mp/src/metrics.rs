@@ -151,6 +151,12 @@ pub(crate) struct ThreadCounters {
     newton_corrections: AtomicU64,
     newton_exact_divs: AtomicU64,
     newton_hensel_steps: AtomicU64,
+    // Physical limb-buffer allocations per phase (scratch-arena cold
+    // misses and gate-off acquisitions); outside `CostSnapshot` because
+    // they vary with `RR_ARENA` while the model cost must not. Read via
+    // `AllocStats`.
+    alloc_count: [AtomicU64; NUM_PHASES],
+    alloc_bytes: [AtomicU64; NUM_PHASES],
 }
 
 impl ThreadCounters {
@@ -189,6 +195,12 @@ impl ThreadCounters {
     pub(crate) fn record_newton_exact_div(&self, hensel_steps: u64) {
         self.newton_exact_divs.fetch_add(1, Ordering::Relaxed);
         self.newton_hensel_steps.fetch_add(hensel_steps, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_alloc(&self, phase: usize, bytes: u64) {
+        self.alloc_count[phase].fetch_add(1, Ordering::Relaxed);
+        self.alloc_bytes[phase].fetch_add(bytes, Ordering::Relaxed);
     }
 }
 
@@ -238,6 +250,63 @@ pub struct NewtonDivStats {
     /// Stays far below `exact_divs` when [`crate::ExactDivisor`]
     /// amortization is effective.
     pub hensel_steps: u64,
+}
+
+/// Physical limb-buffer allocation totals for one phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseAlloc {
+    /// Limb-buffer acquisitions that hit the system allocator.
+    pub allocs: u64,
+    /// Bytes requested by those acquisitions.
+    pub bytes: u64,
+}
+
+impl Add for PhaseAlloc {
+    type Output = PhaseAlloc;
+    fn add(self, rhs: PhaseAlloc) -> PhaseAlloc {
+        PhaseAlloc {
+            allocs: self.allocs + rhs.allocs,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl AddAssign for PhaseAlloc {
+    fn add_assign(&mut self, rhs: PhaseAlloc) {
+        *self = *self + rhs;
+    }
+}
+
+/// What the scratch-arena layer physically allocated, per phase, as
+/// opposed to what the paper cost model charged.
+///
+/// Kept separate from [`CostSnapshot`] on purpose: the model counters
+/// are asserted bit-identical with arenas on and off (`RR_ARENA`), so a
+/// counter whose whole point is to *vary* with the arena gate must live
+/// outside them — the same separation as [`KroneckerStats`] and
+/// [`NewtonDivStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    phases: [PhaseAlloc; NUM_PHASES],
+}
+
+impl AllocStats {
+    /// Allocations recorded under `p`.
+    pub fn phase(&self, p: Phase) -> PhaseAlloc {
+        self.phases[p as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> PhaseAlloc {
+        self.phases
+            .iter()
+            .fold(PhaseAlloc::default(), |acc, &c| acc + c)
+    }
+
+    /// Iterator over `(phase, allocs)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, PhaseAlloc)> + '_ {
+        ALL_PHASES.iter().map(move |&p| (p, self.phase(p)))
+    }
 }
 
 /// A registry of per-thread event counters that can be aggregated at any
@@ -335,6 +404,21 @@ impl MetricsSink {
             out.corrections += c.newton_corrections.load(Ordering::Relaxed);
             out.exact_divs += c.newton_exact_divs.load(Ordering::Relaxed);
             out.hensel_steps += c.newton_hensel_steps.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Aggregates the physical allocation counters of every thread that
+    /// has recorded into this sink.
+    pub fn alloc_snapshot(&self) -> AllocStats {
+        let mut out = AllocStats::default();
+        for c in self.inner.threads.lock().iter() {
+            for i in 0..NUM_PHASES {
+                out.phases[i] += PhaseAlloc {
+                    allocs: c.alloc_count[i].load(Ordering::Relaxed),
+                    bytes: c.alloc_bytes[i].load(Ordering::Relaxed),
+                };
+            }
         }
         out
     }
@@ -466,6 +550,30 @@ pub fn record_newton_exact_div(hensel_steps: u64) {
         return;
     }
     LOCAL.with(|c| c.record_newton_exact_div(hensel_steps));
+}
+
+/// Records one limb-buffer allocation of `bytes` bytes that reached the
+/// system allocator, under the calling thread's current phase. Called
+/// from the scratch layer ([`crate::scratch`]); not usually called
+/// directly.
+///
+/// Besides the per-phase session/global accounting, every event also
+/// bumps the thread-local [`rr_obs::alloc`] counters, which the pool
+/// reads around each task to attribute allocation churn to scopes.
+#[inline]
+pub fn record_alloc(bytes: u64) {
+    rr_obs::alloc::record(bytes);
+    let phase = CURRENT_PHASE.with(Cell::get);
+    if crate::session::record_session_alloc(phase, bytes) {
+        return;
+    }
+    LOCAL.with(|c| c.record_alloc(phase, bytes));
+}
+
+/// Aggregates the physical allocation counters of the process-global
+/// default sink (events recorded with no [`crate::SolveCtx`] installed).
+pub fn alloc_snapshot() -> AllocStats {
+    default_sink().alloc_snapshot()
 }
 
 /// Aggregates the Kronecker execution counters of the process-global

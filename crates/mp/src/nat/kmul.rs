@@ -19,7 +19,7 @@
 //! which is what keeps the paper's predicted-vs-observed counts
 //! identical under both backends (see [`crate::backend`]).
 
-use super::{add, mul, sub, trim};
+use super::{mul, trim};
 use crate::limb::Limb;
 
 /// Limb count at or above which the split pays for its extra additions.
@@ -42,49 +42,90 @@ pub fn square(a: &[Limb]) -> Vec<Limb> {
     sqr_with_threshold(a, KARATSUBA_THRESHOLD)
 }
 
+/// [`mul`] writing into `out` (cleared and fully overwritten; dirty
+/// scratch buffers are valid destinations — see [`crate::scratch`]).
+pub fn mul_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    mul_with_threshold_into(a, b, KARATSUBA_THRESHOLD, out);
+}
+
+/// [`square`] writing into `out` (cleared and fully overwritten).
+pub fn square_into(a: &[Limb], out: &mut Vec<Limb>) {
+    sqr_with_threshold_into(a, KARATSUBA_THRESHOLD, out);
+}
+
 /// [`mul`] with an explicit recursion threshold.
 ///
 /// The differential tests drive this with tiny thresholds to force deep
 /// recursion on small operands; `threshold` is clamped to ≥ 2 (a
 /// one-limb split cannot recurse).
 pub fn mul_with_threshold(a: &[Limb], b: &[Limb], threshold: usize) -> Vec<Limb> {
+    let mut out = Vec::new();
+    mul_with_threshold_into(a, b, threshold, &mut out);
+    out
+}
+
+/// [`mul_with_threshold`] writing into `out`.
+pub fn mul_with_threshold_into(a: &[Limb], b: &[Limb], threshold: usize, out: &mut Vec<Limb>) {
     let (a, b) = (trimmed(a), trimmed(b));
     let threshold = threshold.max(2);
     if a.len().min(b.len()) < threshold {
-        return mul::mul(a, b);
+        mul::mul_into(a, b, out);
+        return;
     }
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     if long.len() >= 2 * short.len() {
-        return mul_chunked(long, short, threshold);
+        mul_chunked_into(long, short, threshold, out);
+        return;
     }
-    let mut out = vec![0 as Limb; long.len() + short.len()];
-    karatsuba(long, short, threshold, &mut out);
-    trim(&mut out);
-    out
+    out.clear();
+    out.resize(long.len() + short.len(), 0);
+    karatsuba(long, short, threshold, out);
+    trim(out);
 }
 
 /// [`square`] with an explicit recursion threshold (clamped to ≥ 2).
 pub fn sqr_with_threshold(a: &[Limb], threshold: usize) -> Vec<Limb> {
+    let mut out = Vec::new();
+    sqr_with_threshold_into(a, threshold, &mut out);
+    out
+}
+
+/// [`sqr_with_threshold`] writing into `out`.
+pub fn sqr_with_threshold_into(a: &[Limb], threshold: usize, out: &mut Vec<Limb>) {
     let a = trimmed(a);
     let threshold = threshold.max(2);
     if a.len() < threshold {
-        return mul::square(a);
+        mul::mul_into(a, a, out);
+        return;
     }
     // a² = z₂·B²ᵐ + z₁·Bᵐ + z₀ with z₁ = (a₀+a₁)² − z₀ − z₂ — every
-    // sub-product is itself a square, and z₁ never underflows.
+    // sub-product is itself a square, and z₁ never underflows. The
+    // per-level temporaries come from the thread's scratch arena and go
+    // back before this level returns (LIFO), so a whole recursion tree
+    // cycles through a handful of buffers.
     let m = a.len() / 2;
     let (a0, a1) = (trimmed(&a[..m]), trimmed(&a[m..]));
-    let z0 = sqr_with_threshold(a0, threshold);
-    let z2 = sqr_with_threshold(a1, threshold);
-    let s = add(a0, a1);
-    let z1 = sub2(&sqr_with_threshold(&s, threshold), &z0, &z2);
+    let mut z0 = crate::scratch::take(2 * a0.len());
+    sqr_with_threshold_into(a0, threshold, &mut z0);
+    let mut z2 = crate::scratch::take(2 * a1.len());
+    sqr_with_threshold_into(a1, threshold, &mut z2);
+    let mut s = crate::scratch::take(a0.len().max(a1.len()) + 1);
+    super::add_into(a0, a1, &mut s);
+    let mut z1 = crate::scratch::take(2 * s.len());
+    sqr_with_threshold_into(&s, threshold, &mut z1);
+    super::sub_assign(&mut z1, &z0);
+    super::sub_assign(&mut z1, &z2);
 
-    let mut out = vec![0 as Limb; 2 * a.len()];
-    add_into(&mut out, 0, &z0);
-    add_into(&mut out, m, &z1);
-    add_into(&mut out, 2 * m, &z2);
-    trim(&mut out);
-    out
+    out.clear();
+    out.resize(2 * a.len(), 0);
+    add_at(out, 0, &z0);
+    add_at(out, m, &z1);
+    add_at(out, 2 * m, &z2);
+    trim(out);
+    crate::scratch::put(z1);
+    crate::scratch::put(s);
+    crate::scratch::put(z2);
+    crate::scratch::put(z0);
 }
 
 /// Balanced Karatsuba step; requires `long.len() >= short.len()` and
@@ -96,38 +137,50 @@ fn karatsuba(long: &[Limb], short: &[Limb], threshold: usize, out: &mut [Limb]) 
     let (a0, a1) = (trimmed(&long[..m]), trimmed(&long[m..]));
     let (b0, b1) = (trimmed(&short[..m]), trimmed(&short[m..]));
 
-    let z0 = mul_with_threshold(a0, b0, threshold);
-    let z2 = mul_with_threshold(a1, b1, threshold);
-    let sa = add(a0, a1);
-    let sb = add(b0, b1);
-    let z1 = sub2(&mul_with_threshold(&sa, &sb, threshold), &z0, &z2);
+    // All five temporaries of this level come from the scratch arena
+    // and are returned before the level unwinds.
+    let mut z0 = crate::scratch::take(a0.len() + b0.len());
+    mul_with_threshold_into(a0, b0, threshold, &mut z0);
+    let mut z2 = crate::scratch::take(a1.len() + b1.len());
+    mul_with_threshold_into(a1, b1, threshold, &mut z2);
+    let mut sa = crate::scratch::take(a0.len().max(a1.len()) + 1);
+    super::add_into(a0, a1, &mut sa);
+    let mut sb = crate::scratch::take(b0.len().max(b1.len()) + 1);
+    super::add_into(b0, b1, &mut sb);
+    let mut z1 = crate::scratch::take(sa.len() + sb.len());
+    mul_with_threshold_into(&sa, &sb, threshold, &mut z1);
+    super::sub_assign(&mut z1, &z0);
+    super::sub_assign(&mut z1, &z2);
 
-    add_into(out, 0, &z0);
-    add_into(out, m, &z1);
-    add_into(out, 2 * m, &z2);
+    add_at(out, 0, &z0);
+    add_at(out, m, &z1);
+    add_at(out, 2 * m, &z2);
+    crate::scratch::put(z1);
+    crate::scratch::put(sb);
+    crate::scratch::put(sa);
+    crate::scratch::put(z2);
+    crate::scratch::put(z0);
 }
 
 /// Unbalanced product: cuts `long` into `short.len()`-limb chunks so
-/// each partial product recurses on balanced operands.
-fn mul_chunked(long: &[Limb], short: &[Limb], threshold: usize) -> Vec<Limb> {
-    let mut out = vec![0 as Limb; long.len() + short.len()];
+/// each partial product recurses on balanced operands. One scratch
+/// buffer holds every partial product in turn.
+fn mul_chunked_into(long: &[Limb], short: &[Limb], threshold: usize, out: &mut Vec<Limb>) {
+    out.clear();
+    out.resize(long.len() + short.len(), 0);
+    let mut p = crate::scratch::take(2 * short.len());
     for (i, chunk) in long.chunks(short.len()).enumerate() {
-        let p = mul_with_threshold(chunk, short, threshold);
-        add_into(&mut out, i * short.len(), &p);
+        mul_with_threshold_into(chunk, short, threshold, &mut p);
+        add_at(out, i * short.len(), &p);
     }
-    trim(&mut out);
-    out
-}
-
-/// `x − y − z`; never underflows for Karatsuba's middle term.
-fn sub2(x: &[Limb], y: &[Limb], z: &[Limb]) -> Vec<Limb> {
-    sub(&sub(x, y), z)
+    crate::scratch::put(p);
+    trim(out);
 }
 
 /// Adds `p` into `out` starting `offset` limbs up, propagating the
 /// carry. The caller guarantees the running sum fits in `out` (partial
 /// sums of a product never exceed the full product).
-fn add_into(out: &mut [Limb], offset: usize, p: &[Limb]) {
+fn add_at(out: &mut [Limb], offset: usize, p: &[Limb]) {
     let mut carry: Limb = 0;
     let mut i = offset;
     for &x in p {

@@ -48,6 +48,31 @@ pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
     }
 }
 
+/// [`mul_auto`] writing into `out`.
+///
+/// `out` is cleared and every limb of the product is written before any
+/// is read back, so a dirty buffer from [`crate::scratch`] is a valid
+/// destination (its spare capacity is reused, never read). Neither
+/// operand may alias `out` — which the borrow checker already enforces
+/// for safe callers.
+#[inline]
+pub fn mul_auto_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    match active_backend() {
+        MulBackend::Schoolbook => mul::mul_into(a, b, out),
+        MulBackend::Fast => kmul::mul_into(a, b, out),
+    }
+}
+
+/// [`sqr_auto`] writing into `out` (same contract as
+/// [`mul_auto_into`]).
+#[inline]
+pub fn sqr_auto_into(a: &[Limb], out: &mut Vec<Limb>) {
+    match active_backend() {
+        MulBackend::Schoolbook => mul::mul_into(a, a, out),
+        MulBackend::Fast => kmul::square_into(a, out),
+    }
+}
+
 /// The division backend to dispatch to: the installed session's choice,
 /// else the process-global selection (`RR_DIV`).
 #[inline]
@@ -90,6 +115,11 @@ pub fn div_exact_auto(u: &[Limb], v: &[Limb]) -> Vec<Limb> {
 }
 
 /// Removes trailing zero limbs, restoring the normalization invariant.
+///
+/// Truncates only — this never reallocates or shrinks the backing
+/// storage, so the vector keeps its full capacity. The scratch-arena
+/// layer ([`crate::scratch`]) depends on that: buffers cycle through
+/// trim on every kernel and must come back with their capacity intact.
 #[inline]
 pub fn trim(v: &mut Vec<Limb>) {
     while v.last() == Some(&0) {
@@ -97,7 +127,9 @@ pub fn trim(v: &mut Vec<Limb>) {
     }
 }
 
-/// Returns `v` with trailing zero limbs removed.
+/// Returns `v` with trailing zero limbs removed. Like [`trim`], this
+/// never reallocates: the returned vector owns the same storage with
+/// the same capacity.
 #[inline]
 pub fn normalized(mut v: Vec<Limb>) -> Vec<Limb> {
     trim(&mut v);
@@ -189,6 +221,26 @@ pub fn sub(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
     normalized(out)
 }
 
+/// Sum written into `out` (cleared and fully overwritten; dirty scratch
+/// buffers are valid destinations). Same carry chain as [`add`].
+#[allow(clippy::needless_range_loop)] // carry chain reads clearer indexed
+pub fn add_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    out.clear();
+    out.reserve(long.len() + 1);
+    let mut carry: Limb = 0;
+    for i in 0..long.len() {
+        let s = long[i] as DoubleLimb
+            + *short.get(i).unwrap_or(&0) as DoubleLimb
+            + carry as DoubleLimb;
+        out.push(s as Limb);
+        carry = (s >> LIMB_BITS) as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+}
+
 /// In-place sum: `a += b`. Same carry chain as [`add`], without the
 /// output allocation (the vector only grows when the sum needs an extra
 /// limb). Preserves normalization.
@@ -230,6 +282,26 @@ pub fn sub_assign(a: &mut Vec<Limb>, b: &[Limb]) {
     trim(a);
 }
 
+/// In-place reversed difference: `a = b - a`; requires `b >= a`
+/// (debug-asserted). Preserves normalization. The in-place complement of
+/// [`sub_assign`] for the accumulator-flips-sign case: the accumulator
+/// keeps its storage instead of being replaced by a fresh [`sub`]
+/// allocation.
+#[allow(clippy::needless_range_loop)] // borrow chain reads clearer indexed
+pub fn rsub_assign(a: &mut Vec<Limb>, b: &[Limb]) {
+    debug_assert!(cmp(b, a) != Ordering::Less, "nat::rsub_assign underflow");
+    a.resize(b.len(), 0);
+    let mut borrow: Limb = 0;
+    for i in 0..b.len() {
+        let (d1, b1) = b[i].overflowing_sub(a[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 | b2) as Limb;
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(a);
+}
+
 /// Packs magnitudes into one magnitude with each `slots[i]` occupying
 /// the `slot_bits`-bit field starting at bit `i·slot_bits` — the
 /// Kronecker-substitution evaluation at `x = 2^slot_bits`.
@@ -238,11 +310,20 @@ pub fn sub_assign(a: &mut Vec<Limb>, b: &[Limb]) {
 /// debug-asserted); fields are then bit-disjoint, so packing is a pure
 /// OR of limb-shifted slots — limb-granularity, no per-bit work.
 pub fn pack_slots(slots: &[&[Limb]], slot_bits: u64) -> Vec<Limb> {
+    let mut out = Vec::new();
+    pack_slots_into(slots, slot_bits, &mut out);
+    out
+}
+
+/// [`pack_slots`] writing into `out` (cleared and fully overwritten; a
+/// dirty scratch buffer is a valid destination — see [`crate::scratch`]).
+pub fn pack_slots_into(slots: &[&[Limb]], slot_bits: u64, out: &mut Vec<Limb>) {
     debug_assert!(slot_bits > 0);
     let total_bits = slot_bits * slots.len() as u64;
     // One limb of headroom: a slot whose field straddles a limb boundary
     // writes a (possibly zero) carry limb past its field's last limb.
-    let mut out = vec![0 as Limb; total_bits.div_ceil(LIMB_BITS as u64) as usize + 1];
+    out.clear();
+    out.resize(total_bits.div_ceil(LIMB_BITS as u64) as usize + 1, 0);
     for (i, slot) in slots.iter().enumerate() {
         debug_assert!(bit_len(slot) <= slot_bits, "slot overflows its field");
         if slot.is_empty() {
@@ -264,7 +345,7 @@ pub fn pack_slots(slots: &[&[Limb]], slot_bits: u64) -> Vec<Limb> {
             out[limb_off + slot.len()] |= carry;
         }
     }
-    normalized(out)
+    trim(out);
 }
 
 /// Inverse of [`pack_slots`]: extracts `count` normalized magnitudes of
@@ -380,6 +461,31 @@ pub fn shl(a: &[Limb], bits: u64) -> Vec<Limb> {
         }
     }
     out
+}
+
+/// [`shl`] writing into `out` (cleared and fully overwritten; dirty
+/// scratch buffers are valid destinations).
+pub fn shl_into(a: &[Limb], bits: u64, out: &mut Vec<Limb>) {
+    out.clear();
+    if is_zero(a) {
+        return;
+    }
+    let limb_shift = (bits / LIMB_BITS as u64) as usize;
+    let bit_shift = (bits % LIMB_BITS as u64) as u32;
+    out.reserve(limb_shift + a.len() + 1);
+    out.resize(limb_shift, 0);
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry: Limb = 0;
+        for &l in a {
+            out.push((l << bit_shift) | carry);
+            carry = l >> (LIMB_BITS - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
 }
 
 /// Right shift by `bits` (floor — bits shifted out are discarded).

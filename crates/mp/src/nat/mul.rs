@@ -15,13 +15,28 @@ use crate::limb::{mac, Limb};
 
 /// Product of two magnitudes.
 pub fn mul(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let mut out = Vec::new();
+    mul_into(a, b, &mut out);
+    out
+}
+
+/// Schoolbook product written into `out`.
+///
+/// `out` is cleared and every limb of the product is written before any
+/// is read back, so a dirty scratch buffer (see [`crate::scratch`]) is a
+/// valid destination; its spare capacity is reused, never read. The
+/// operands may alias each other (squaring passes `a` twice) but, as the
+/// borrow checker already enforces for safe callers, neither may alias
+/// `out`.
+pub fn mul_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
     // Keep the inner loop running over the longer operand for better
     // locality of the carry chain.
     let (outer, inner) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut out = vec![0 as Limb; a.len() + b.len()];
+    out.resize(a.len() + b.len(), 0);
     for (i, &x) in outer.iter().enumerate() {
         if x == 0 {
             continue;
@@ -42,8 +57,7 @@ pub fn mul(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
             k += 1;
         }
     }
-    trim(&mut out);
-    out
+    trim(out);
 }
 
 /// Product of a magnitude and a single limb.

@@ -224,7 +224,9 @@ fn recip(v: &[Limb], t: u64, p: u64, iters: &mut u64) -> Vec<Limb> {
 pub const NEWTON_EXACT_THRESHOLD: usize = 16;
 
 /// Truncates/zero-pads `v` to exactly `n` limbs (fixed-width word of the
-/// ring `ℤ/2^(64n)`; high limbs may be zero).
+/// ring `ℤ/2^(64n)`; high limbs may be zero). The production paths write
+/// fixed-width words in place; this remains the tests' reference shape.
+#[cfg(test)]
 fn low(mut v: Vec<Limb>, n: usize) -> Vec<Limb> {
     v.truncate(n);
     v.resize(n, 0);
@@ -248,35 +250,56 @@ const MUL_LOW_SCHOOL_LIMBS: usize = 96;
 /// half-size full product through the active (possibly Karatsuba)
 /// kernel plus two half-size low products.
 pub(crate) fn mul_low(a: &[Limb], b: &[Limb], n: usize) -> Vec<Limb> {
+    let mut out = Vec::new();
+    mul_low_into(a, b, n, &mut out);
+    out
+}
+
+/// [`mul_low`] writing into `out` (cleared and fully overwritten; dirty
+/// scratch buffers are valid destinations). The recursion's temporaries
+/// come from the scratch arena.
+pub(crate) fn mul_low_into(a: &[Limb], b: &[Limb], n: usize, out: &mut Vec<Limb>) {
     let a = &a[..a.len().min(n)];
     let b = &b[..b.len().min(n)];
     let an = a.len() - a.iter().rev().take_while(|&&l| l == 0).count();
     let bn = b.len() - b.iter().rev().take_while(|&&l| l == 0).count();
     if an == 0 || bn == 0 {
-        return vec![0; n];
+        out.clear();
+        out.resize(n, 0);
+        return;
     }
     // Small or heavily unbalanced: the triangle loop is near-optimal
     // (cost ~min(an,bn)·n) and has no recursion overhead.
     if n <= MUL_LOW_SCHOOL_LIMBS || an.min(bn) * 8 < n {
-        return mul_low_school(&a[..an], &b[..bn], n);
+        mul_low_school_into(&a[..an], &b[..bn], n, out);
+        return;
     }
     // h = ⌈n/2⌉ so the dropped a1·b1 term lands at offset 2h ≥ n.
     let h = n.div_ceil(2);
     let (a0, a1) = a.split_at(h.min(a.len()));
     let (b0, b1) = b.split_at(h.min(b.len()));
     // a0·b0 in full (2h ≥ n limbs of it are kept), via the active
-    // backend's full-product kernel.
-    let mut out = low(mul_auto(&normalized(a0.to_vec()), &normalized(b0.to_vec())), n);
+    // backend's full-product kernel; one scratch buffer serves the full
+    // product and then both recursive low products in turn.
+    let mut p = crate::scratch::take(a0.len() + b0.len());
+    super::mul_auto_into(a0, b0, &mut p);
+    out.clear();
+    out.extend_from_slice(&p[..p.len().min(n)]);
+    out.resize(n, 0);
     let rest = n - h;
-    add_shifted_mod(&mut out, &mul_low(a0, b1, rest), h);
-    add_shifted_mod(&mut out, &mul_low(a1, b0, rest), h);
-    out
+    mul_low_into(a0, b1, rest, &mut p);
+    add_shifted_mod(out, &p, h);
+    mul_low_into(a1, b0, rest, &mut p);
+    add_shifted_mod(out, &p, h);
+    crate::scratch::put(p);
 }
 
-/// Schoolbook low product: accumulate only the limb products landing in
-/// columns `< n`. Operands must be free of high zero limbs.
-fn mul_low_school(a: &[Limb], b: &[Limb], n: usize) -> Vec<Limb> {
-    let mut out = vec![0 as Limb; n];
+/// Schoolbook low product written into `out`: accumulate only the limb
+/// products landing in columns `< n`. Operands must be free of high
+/// zero limbs.
+fn mul_low_school_into(a: &[Limb], b: &[Limb], n: usize, out: &mut Vec<Limb>) {
+    out.clear();
+    out.resize(n, 0);
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
             continue;
@@ -298,7 +321,6 @@ fn mul_low_school(a: &[Limb], b: &[Limb], n: usize) -> Vec<Limb> {
             idx += 1;
         }
     }
-    out
 }
 
 /// `out += p·2^(64h) mod 2^(64·out.len())`, wrapping.
@@ -321,7 +343,17 @@ pub(crate) fn add_shifted_mod(out: &mut [Limb], p: &[Limb], h: usize) {
 
 /// `(a − b) mod 2^(64n)` as a fixed-width `n`-limb word (wrapping).
 pub(crate) fn mod_sub(a: &[Limb], b: &[Limb], n: usize) -> Vec<Limb> {
-    let mut out = vec![0 as Limb; n];
+    let mut out = Vec::new();
+    mod_sub_into(a, b, n, &mut out);
+    out
+}
+
+/// [`mod_sub`] writing into `out` (cleared and fully overwritten; dirty
+/// scratch buffers are valid destinations). `out` must not alias either
+/// operand (enforced by the borrow checker for safe callers).
+pub(crate) fn mod_sub_into(a: &[Limb], b: &[Limb], n: usize, out: &mut Vec<Limb>) {
+    out.clear();
+    out.resize(n, 0);
     let mut borrow = false;
     for (i, slot) in out.iter_mut().enumerate() {
         let ai = a.get(i).copied().unwrap_or(0);
@@ -331,7 +363,19 @@ pub(crate) fn mod_sub(a: &[Limb], b: &[Limb], n: usize) -> Vec<Limb> {
         *slot = d2;
         borrow = b1 | b2;
     }
-    out
+}
+
+/// `a −= b mod 2^(64·a.len())`, wrapping in place. Limbs of `b` beyond
+/// `a.len()` cannot affect the result and are ignored.
+pub(crate) fn mod_sub_assign(a: &mut [Limb], b: &[Limb]) {
+    let mut borrow = false;
+    for (i, slot) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = slot.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow as Limb);
+        *slot = d2;
+        borrow = b1 | b2;
+    }
 }
 
 /// Inverse of an odd limb mod 2^64: seed correct to 5 bits, then four
@@ -360,15 +404,33 @@ pub fn inv_2adic(v: &[Limb], n: usize, steps: &mut u64) -> Vec<Limb> {
 /// limbs are a stable prefix — this is what lets [`crate::ExactDivisor`]
 /// grow its cache monotonically.
 pub(crate) fn extend_inv_2adic(v: &[Limb], x: &mut Vec<Limb>, n: usize, steps: &mut u64) {
+    if x.len() >= n {
+        return;
+    }
+    // Two scratch buffers serve every doubling step: `t` holds v·x, then
+    // is reused for 2x; `xt` holds x·(v·x).
+    let mut t = crate::scratch::take(n);
+    let mut xt = crate::scratch::take(n);
     while x.len() < n {
         let target = (x.len() * 2).min(n);
         *steps += 1;
         // x ← x·(2 − v·x) = 2x − x·(v·x), all mod 2^(64·target).
-        let t = mul_low(v, x, target);
-        let xt = mul_low(x, &t, target);
-        let two_x = low(shl(&normalized(x.clone()), 1), target);
-        *x = mod_sub(&two_x, &xt, target);
+        mul_low_into(v, x, target, &mut t);
+        mul_low_into(x, &t, target, &mut xt);
+        // t := 2x mod 2^(64·target); x.len() < target, so the shifted-out
+        // top bit always has a limb to land in.
+        t.clear();
+        t.resize(target, 0);
+        let mut carry: Limb = 0;
+        for (i, &xi) in x.iter().enumerate() {
+            t[i] = (xi << 1) | carry;
+            carry = xi >> (LIMB_BITS - 1);
+        }
+        t[x.len()] = carry;
+        mod_sub_into(&t, &xt, target, x);
     }
+    crate::scratch::put(xt);
+    crate::scratch::put(t);
 }
 
 /// Exact division via the 2-adic inverse above

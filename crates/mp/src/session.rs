@@ -61,6 +61,7 @@ pub struct SolveCtx {
     backend: MulBackend,
     poly_backend: PolyMulBackend,
     div_backend: DivBackend,
+    arena: bool,
     sink: MetricsSink,
     recorder: Option<rr_obs::Recorder>,
     cancel: Option<rr_sched::CancelToken>,
@@ -72,6 +73,7 @@ struct ActiveCtx {
     backend: MulBackend,
     poly_backend: PolyMulBackend,
     div_backend: DivBackend,
+    arena: bool,
     counters: Arc<ThreadCounters>,
 }
 
@@ -91,6 +93,7 @@ impl SolveCtx {
             backend,
             poly_backend: PolyMulBackend::Schoolbook,
             div_backend: DivBackend::Schoolbook,
+            arena: crate::backend::arena_enabled(),
             sink: MetricsSink::new(),
             recorder: None,
             cancel: None,
@@ -129,6 +132,21 @@ impl SolveCtx {
     /// The division backend carried by this context.
     pub fn div_backend(&self) -> DivBackend {
         self.div_backend
+    }
+
+    /// Selects whether the scratch arena ([`crate::scratch`]) reuses
+    /// limb buffers while this context is installed (default: the
+    /// process gate [`crate::arena_enabled`], seeded from `RR_ARENA`).
+    /// Like the backends, the innermost installed context wins, so two
+    /// concurrent solves can run with different arena settings.
+    pub fn with_arena(mut self, arena: bool) -> SolveCtx {
+        self.arena = arena;
+        self
+    }
+
+    /// Whether this context runs with the scratch arena enabled.
+    pub fn arena(&self) -> bool {
+        self.arena
     }
 
     /// Attaches a span recorder: while this context is installed, the
@@ -187,6 +205,15 @@ impl SolveCtx {
         self.sink.newton_div_snapshot()
     }
 
+    /// Physical allocation counters recorded under this context — how
+    /// many limb-buffer acquisitions reached the system allocator, per
+    /// phase. Varies with the arena setting by design, which is exactly
+    /// why it lives outside the backend-invariant cost model of
+    /// [`SolveCtx::snapshot`].
+    pub fn alloc_stats(&self) -> crate::metrics::AllocStats {
+        self.sink.alloc_snapshot()
+    }
+
     /// This thread's counter block in the context's sink, from the
     /// thread-local cache when possible.
     fn thread_counters(&self) -> Arc<ThreadCounters> {
@@ -220,6 +247,7 @@ impl SolveCtx {
             backend: self.backend,
             poly_backend: self.poly_backend,
             div_backend: self.div_backend,
+            arena: self.arena,
             counters: self.thread_counters(),
         };
         AMBIENT.with(|stack| stack.borrow_mut().push(active));
@@ -276,6 +304,16 @@ pub(crate) fn current_div_backend() -> Option<DivBackend> {
 /// True if the calling thread currently has a context installed.
 pub fn has_current() -> bool {
     AMBIENT.with(|stack| !stack.borrow().is_empty())
+}
+
+/// Whether the scratch arena should reuse buffers on the calling thread:
+/// the innermost installed context's choice, else the process gate
+/// [`crate::backend::arena_enabled`] (seeded from `RR_ARENA`). This is
+/// the single point [`crate::scratch`] consults.
+#[inline]
+pub(crate) fn arena_active() -> bool {
+    AMBIENT.with(|stack| stack.borrow().last().map(|a| a.arena))
+        .unwrap_or_else(crate::backend::arena_enabled)
 }
 
 /// The polynomial multiplication backend the calling thread should
@@ -371,6 +409,25 @@ pub(crate) fn record_session_newton_exact_div(hensel_steps: u64) -> bool {
     AMBIENT.with(|stack| match stack.borrow().last() {
         Some(active) => {
             active.counters.record_newton_exact_div(hensel_steps);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records one physical limb-buffer allocation into the innermost
+/// installed context's sink. Returns false (and records nothing) if no
+/// context is installed.
+///
+/// Like the Kronecker and Newton counters, these live *outside* the
+/// paper cost model: they describe what actually ran, not what the
+/// model charges — and unlike those, they intentionally vary with the
+/// arena gate.
+#[inline]
+pub(crate) fn record_session_alloc(phase: usize, bytes: u64) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_alloc(phase, bytes);
             true
         }
         None => false,

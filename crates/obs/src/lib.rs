@@ -52,8 +52,10 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod trace;
 
+pub use alloc::AllocReading;
 pub use trace::{CounterRecord, SpanRecord, Trace, WORKER_TRACK_BASE};
 
 use std::borrow::Cow;

@@ -35,10 +35,14 @@ pub fn pseudo_div_rem(a: &Poly, b: &Poly) -> PseudoDiv {
     let mut steps = 0u32;
     while !rem.is_zero() && rem.deg() >= db {
         let dr = rem.deg();
-        let t = Poly::monomial(rem.lc().clone(), dr - db);
-        // lb·rem − t·b cancels the leading term of rem.
-        rem = rem.scale(&lb) - &t * b;
-        quot = quot.scale(&lb) + t;
+        let c = rem.lc().clone();
+        // lb·rem − c·x^(dr−db)·b cancels the leading term of rem. Both
+        // updates run in place; the model charges are identical to the
+        // replaced `rem.scale(&lb) - &t * b` / `quot.scale(&lb) + t`.
+        rem.scale_assign(&lb);
+        rem.sub_mul_monomial_assign(&c, dr - db, b);
+        quot.scale_assign(&lb);
+        quot += Poly::monomial(c, dr - db);
         steps += 1;
         debug_assert!(rem.is_zero() || rem.deg() < dr, "degree must strictly drop");
     }
@@ -68,8 +72,8 @@ pub fn div_exact(a: &Poly, b: &Poly) -> Option<Poly> {
         if !r.is_zero() {
             return None;
         }
-        q[dr - db] = c.clone();
-        rem = rem - Poly::monomial(c, dr - db) * b;
+        rem.sub_mul_monomial_assign(&c, dr - db, b);
+        q[dr - db] = c;
         if !rem.is_zero() && rem.deg() >= dr {
             return None;
         }

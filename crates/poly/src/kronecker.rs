@@ -153,28 +153,43 @@ fn split(p: &Poly) -> (Vec<&[Limb]>, Vec<&[Limb]>) {
     (pos, neg)
 }
 
-/// Packs the split parts, skipping a pack when the part has no nonzero
-/// slot (an all-empty pack is the empty magnitude anyway, but skipping
-/// avoids allocating the zero-filled buffer).
-fn pack_part(part: &[&[Limb]], w: u64) -> Vec<Limb> {
+/// Packs the split parts into `out`, clearing it when the part has no
+/// nonzero slot (an all-empty pack is the empty magnitude anyway, but
+/// skipping avoids zero-filling the buffer).
+fn pack_part_into(part: &[&[Limb]], w: u64, out: &mut Vec<Limb>) {
     if part.iter().all(|s| s.is_empty()) {
-        Vec::new()
+        out.clear();
     } else {
-        nat::pack_slots(part, w)
+        nat::pack_slots_into(part, w, out);
     }
 }
 
-/// The signed evaluation `p(2^w)` as `(negative, magnitude)`:
-/// `pack(p⁺) − pack(p⁻)`, two packs and one linear subtraction.
-fn pack_signed(p: &Poly, w: u64) -> (bool, Vec<Limb>) {
+/// The signed evaluation `p(2^w)` written into `out` (a scratch buffer),
+/// returning its sign: `pack(p⁺) − pack(p⁻)`, two packs and one linear
+/// subtraction, with the negative part's pack buffer borrowed from the
+/// scratch arena for the duration.
+fn pack_signed_into(p: &Poly, w: u64, out: &mut Vec<Limb>) -> bool {
     let (pos, neg) = split(p);
-    let pp = pack_part(&pos, w);
-    let pn = pack_part(&neg, w);
-    match nat::cmp(&pp, &pn) {
-        Ordering::Greater => (false, nat::sub(&pp, &pn)),
-        Ordering::Less => (true, nat::sub(&pn, &pp)),
-        Ordering::Equal => (false, Vec::new()),
-    }
+    let limbs = (w * pos.len() as u64).div_ceil(u64::from(Limb::BITS)) as usize + 1;
+    let mut pn = rr_mp::scratch::take(limbs);
+    pack_part_into(&neg, w, &mut pn);
+    pack_part_into(&pos, w, out);
+    let negative = match nat::cmp(out, &pn) {
+        Ordering::Greater => {
+            nat::sub_assign(out, &pn);
+            false
+        }
+        Ordering::Less => {
+            nat::rsub_assign(out, &pn);
+            true
+        }
+        Ordering::Equal => {
+            out.clear();
+            false
+        }
+    };
+    rr_mp::scratch::put(pn);
+    negative
 }
 
 /// Rebuilds signed coefficients from `|A·B|` via balanced unpacking;
@@ -211,10 +226,21 @@ pub fn mul(a: &Poly, b: &Poly) -> Poly {
         .with_arg("packed_bits", packed_bits);
     metrics::record_kron(packed_bits);
 
-    let (sa, ma) = pack_signed(a, w);
-    let (sb, mb) = pack_signed(b, w);
-    let prod = nat::mul_auto(&ma, &mb);
-    recombine(&prod, sa != sb, w, la + lb - 1)
+    // All three big temporaries — both packed operands and the packed
+    // product — cycle through the thread's scratch arena; only the
+    // unpacked coefficients of the result are fresh allocations.
+    let limbs = |len: usize| (w * len as u64).div_ceil(u64::from(Limb::BITS)) as usize + 1;
+    let mut ma = rr_mp::scratch::take(limbs(la));
+    let sa = pack_signed_into(a, w, &mut ma);
+    let mut mb = rr_mp::scratch::take(limbs(lb));
+    let sb = pack_signed_into(b, w, &mut mb);
+    let mut prod = rr_mp::scratch::take(ma.len() + mb.len());
+    nat::mul_auto_into(&ma, &mb, &mut prod);
+    rr_mp::scratch::put(mb);
+    rr_mp::scratch::put(ma);
+    let out = recombine(&prod, sa != sb, w, la + lb - 1);
+    rr_mp::scratch::put(prod);
+    out
 }
 
 /// `a²` by Kronecker substitution, unconditionally: one packed
@@ -232,7 +258,14 @@ pub fn square(a: &Poly) -> Poly {
         .with_arg("packed_bits", packed_bits);
     metrics::record_kron(packed_bits);
 
-    let (_, m) = pack_signed(a, w);
-    let prod = nat::sqr_auto(&m);
-    recombine(&prod, false, w, 2 * la - 1)
+    let mut m = rr_mp::scratch::take(
+        (w * la as u64).div_ceil(u64::from(Limb::BITS)) as usize + 1,
+    );
+    pack_signed_into(a, w, &mut m);
+    let mut prod = rr_mp::scratch::take(2 * m.len());
+    nat::sqr_auto_into(&m, &mut prod);
+    rr_mp::scratch::put(m);
+    let out = recombine(&prod, false, w, 2 * la - 1);
+    rr_mp::scratch::put(prod);
+    out
 }

@@ -2,7 +2,7 @@
 
 use rr_mp::Int;
 use std::fmt;
-use std::ops::{Add, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 /// A dense univariate polynomial with integer coefficients.
 ///
@@ -158,6 +158,52 @@ impl Poly {
             return Poly::zero();
         }
         Poly { coeffs: self.coeffs.iter().map(|c| c * s).collect() }
+    }
+
+    /// Multiplies every coefficient by `s` in place.
+    ///
+    /// Records the same model multiplications as [`Poly::scale`] (one per
+    /// stored coefficient, zeros included), but reuses one product buffer
+    /// across the whole sweep instead of allocating a fresh coefficient
+    /// vector — the remainder stage's pseudo-division scales its running
+    /// remainder every step.
+    pub fn scale_assign(&mut self, s: &Int) {
+        if s.is_zero() {
+            self.coeffs.clear();
+            return;
+        }
+        let mut tmp = Int::zero();
+        for c in &mut self.coeffs {
+            c.mul_into(s, &mut tmp);
+            std::mem::swap(c, &mut tmp);
+        }
+    }
+
+    /// `self −= c·x^k·b`, accumulating in place.
+    ///
+    /// Records exactly what `self − Poly::monomial(c, k)·b` records — one
+    /// model multiplication per nonzero coefficient of `b` (a monomial
+    /// operand never clears the Kronecker dispatch gate, so the replaced
+    /// expression always took the zero-skipping schoolbook loop) — while
+    /// reusing `self`'s coefficient buffers instead of materializing the
+    /// product polynomial and a replaced difference.
+    pub fn sub_mul_monomial_assign(&mut self, c: &Int, k: usize, b: &Poly) {
+        if c.is_zero() || b.is_zero() {
+            return;
+        }
+        let n = k + b.coeffs.len();
+        if self.coeffs.len() < n {
+            self.coeffs.resize_with(n, Int::zero);
+        }
+        for (j, y) in b.coeffs.iter().enumerate() {
+            if y.is_zero() {
+                continue;
+            }
+            self.coeffs[k + j].sub_mul_assign(c, y);
+        }
+        while self.coeffs.last().is_some_and(Int::is_zero) {
+            self.coeffs.pop();
+        }
     }
 
     /// Divides every coefficient by `s` exactly (debug-asserted).
@@ -413,6 +459,74 @@ macro_rules! poly_binop {
 poly_binop!(Add, add, add_impl);
 poly_binop!(Sub, sub, sub_impl);
 poly_binop!(Mul, mul, mul_impl);
+
+impl AddAssign<&Poly> for Poly {
+    /// In-place sum: grows `self` only when `rhs` is longer, adding into
+    /// the existing coefficients (additions are free in the cost model,
+    /// exactly as in `Add`).
+    fn add_assign(&mut self, rhs: &Poly) {
+        for (j, y) in rhs.coeffs.iter().enumerate() {
+            if j < self.coeffs.len() {
+                self.coeffs[j] += y;
+            } else {
+                self.coeffs.push(y.clone());
+            }
+        }
+        while self.coeffs.last().is_some_and(Int::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+impl AddAssign<Poly> for Poly {
+    /// In-place sum taking ownership: coefficients past `self`'s length
+    /// are moved in, not cloned.
+    fn add_assign(&mut self, rhs: Poly) {
+        for (j, y) in rhs.coeffs.into_iter().enumerate() {
+            if j < self.coeffs.len() {
+                self.coeffs[j] += &y;
+            } else {
+                self.coeffs.push(y);
+            }
+        }
+        while self.coeffs.last().is_some_and(Int::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+impl SubAssign<&Poly> for Poly {
+    /// In-place difference, mirroring `AddAssign`.
+    fn sub_assign(&mut self, rhs: &Poly) {
+        for (j, y) in rhs.coeffs.iter().enumerate() {
+            if j < self.coeffs.len() {
+                self.coeffs[j] -= y;
+            } else {
+                self.coeffs.push(-y);
+            }
+        }
+        while self.coeffs.last().is_some_and(Int::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+impl SubAssign<Poly> for Poly {
+    /// In-place difference taking ownership: coefficients past `self`'s
+    /// length are negated in place and moved in, not cloned.
+    fn sub_assign(&mut self, rhs: Poly) {
+        for (j, y) in rhs.coeffs.into_iter().enumerate() {
+            if j < self.coeffs.len() {
+                self.coeffs[j] -= &y;
+            } else {
+                self.coeffs.push(-y);
+            }
+        }
+        while self.coeffs.last().is_some_and(Int::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+}
 
 impl Neg for &Poly {
     type Output = Poly;

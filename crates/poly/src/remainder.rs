@@ -139,10 +139,12 @@ impl RemainderSeq {
 pub fn quotient_coeffs(f_prev: &Poly, f_cur: &Poly) -> (Int, Int) {
     let d = f_cur.deg();
     debug_assert_eq!(f_prev.deg(), d + 1, "sequence must be normal");
+    let zero = Int::zero();
     let lc_prev = f_prev.lc();
     let lc_cur = f_cur.lc();
     let q1 = lc_prev * lc_cur;
-    let q0 = lc_cur * f_prev.coeff(d) - f_cur.coeff(d.wrapping_sub(1)) * lc_prev;
+    let q0 = lc_cur * f_prev.coeff_ref(d).unwrap_or(&zero)
+        - f_cur.coeff_ref(d.wrapping_sub(1)).unwrap_or(&zero) * lc_prev;
     (q0, q1)
 }
 
@@ -167,13 +169,17 @@ pub fn next_f_coeff(
     denom: &ExactDivisor,
     j: usize,
 ) -> Int {
-    let a = f_cur.coeff(j);
-    let c = f_prev.coeff(j);
+    // Borrow the stored coefficients directly (zero beyond the degree);
+    // cloning them here showed up as a per-task allocation in the
+    // remainder stage's alloc counters.
+    let zero = Int::zero();
+    let a = f_cur.coeff_ref(j).unwrap_or(&zero);
+    let c = f_prev.coeff_ref(j).unwrap_or(&zero);
     if j > 0 {
-        let b = f_cur.coeff(j - 1);
-        denom.div_exact_dot(&[(&a, q0), (&b, q1)], &[(c_i_sq, &c)])
+        let b = f_cur.coeff_ref(j - 1).unwrap_or(&zero);
+        denom.div_exact_dot(&[(a, q0), (b, q1)], &[(c_i_sq, c)])
     } else {
-        denom.div_exact_dot(&[(&a, q0)], &[(c_i_sq, &c)])
+        denom.div_exact_dot(&[(a, q0)], &[(c_i_sq, c)])
     }
 }
 

@@ -56,7 +56,7 @@ pub use cancel::{CancelReason, CancelToken};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use graph::Gate;
 pub use pool::{
-    current_task_id, run, run_traced, AbortKind, Pool, PoolStats, Scope, ScopeAbort, ScopeConfig,
-    TaskRecord, TaskTrace, TaskWrapper,
+    current_task_id, run, run_traced, set_worker_idle_hook, AbortKind, Pool, PoolStats, Scope,
+    ScopeAbort, ScopeConfig, TaskRecord, TaskTrace, TaskWrapper,
 };
 pub use sim::{critical_path, simulate_makespan, simulate_speedups};

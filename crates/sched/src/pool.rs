@@ -30,8 +30,25 @@ use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Hook run by a worker right before it parks indefinitely (no scopes
+/// open). Registered once per process via [`set_worker_idle_hook`].
+static IDLE_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Registers a process-wide hook that every pool worker runs just
+/// before parking indefinitely (i.e. when no scope is open, so the pool
+/// is fully idle). The arithmetic layer uses this to release the
+/// worker's thread-local scratch arena back to the system allocator —
+/// `rr-sched` cannot name that layer (the dependency points the other
+/// way), so the release is injected here as a plain function pointer.
+///
+/// First registration wins; later calls are ignored (the hook is a
+/// process-wide resource-release valve, not a per-pool callback).
+pub fn set_worker_idle_hook(hook: fn()) {
+    let _ = IDLE_HOOK.set(hook);
+}
 
 /// A task: runs once, may spawn more tasks through the scope.
 pub type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
@@ -169,6 +186,11 @@ struct ScopeCore {
     steal_retries: AtomicU64,
     /// Empty polls: a worker claimed a drain slot and found no task.
     empty_polls: AtomicU64,
+    /// Limb-buffer allocations that hit the system allocator inside this
+    /// scope's tasks (summed from per-task `rr_obs::alloc` deltas).
+    allocs: AtomicU64,
+    /// Bytes requested by those allocations.
+    alloc_bytes: AtomicU64,
     wrapper: Option<TaskWrapper>,
     trace: Option<TraceBuf>,
     /// (tasks, busy) per pool-worker index.
@@ -200,6 +222,8 @@ impl ScopeCore {
             epoch: Instant::now(),
             steal_retries: AtomicU64::new(0),
             empty_polls: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
             wrapper,
             trace: traced.then(|| TraceBuf {
                 records: Mutex::new(Vec::new()),
@@ -389,6 +413,14 @@ pub struct PoolStats {
     /// Tasks dropped without running because the scope was abandoned
     /// (cancelled or poisoned) before they were stolen.
     pub cancelled_tasks: u64,
+    /// Limb-buffer allocations that hit the system allocator inside this
+    /// scope's tasks (per-task `rr_obs::alloc` deltas, summed). With the
+    /// scratch arena on, this counts only cold misses; with it off,
+    /// every acquisition. Zero for workloads that never touch big-int
+    /// arithmetic.
+    pub allocs: u64,
+    /// Bytes requested by [`PoolStats::allocs`].
+    pub alloc_bytes: u64,
 }
 
 impl PoolStats {
@@ -421,6 +453,9 @@ impl std::fmt::Display for PoolStats {
             self.steal_retries,
             self.empty_polls,
         )?;
+        if self.allocs > 0 {
+            write!(f, ", {} allocs ({} B)", self.allocs, self.alloc_bytes)?;
+        }
         if self.panicked_tasks > 0 {
             write!(f, ", {} panicked", self.panicked_tasks)?;
         }
@@ -644,6 +679,8 @@ impl Pool {
             empty_polls: core.empty_polls.load(Ordering::Relaxed),
             panicked_tasks: core.panicked_tasks.load(Ordering::Relaxed),
             cancelled_tasks: core.dropped_tasks.load(Ordering::Relaxed),
+            allocs: core.allocs.load(Ordering::Relaxed),
+            alloc_bytes: core.alloc_bytes.load(Ordering::Relaxed),
         };
         // Panic outranks cancellation: a poisoned scope is reported as
         // such even if a deadline also fired while it drained.
@@ -726,6 +763,22 @@ fn worker_loop(shared: &PoolShared, worker_idx: usize) {
             return;
         }
         if scopes.is_empty() {
+            // Fully idle pool: give the arithmetic layer a chance to
+            // return retained scratch buffers before sleeping
+            // indefinitely. Dropping the registry lock first keeps the
+            // hook off the scope-registration critical path; the
+            // re-check afterwards covers a scope registered meanwhile.
+            if let Some(hook) = IDLE_HOOK.get() {
+                drop(scopes);
+                hook();
+                scopes = shared.scopes.lock();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !scopes.is_empty() {
+                    continue;
+                }
+            }
             shared.cv.wait(&mut scopes);
         } else {
             shared.cv.wait_for(&mut scopes, Duration::from_micros(200));
@@ -754,6 +807,7 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                 }
                 let scope: Scope<'static> = Scope::handle(Arc::clone(core));
                 let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
+                let alloc0 = rr_obs::alloc::reading();
                 let t0 = Instant::now();
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let mut f = Some(f);
@@ -764,6 +818,11 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                     }
                 }));
                 let elapsed = t0.elapsed();
+                let alloc_delta = rr_obs::alloc::reading() - alloc0;
+                if alloc_delta.allocs > 0 {
+                    core.allocs.fetch_add(alloc_delta.allocs, Ordering::Relaxed);
+                    core.alloc_bytes.fetch_add(alloc_delta.bytes, Ordering::Relaxed);
+                }
                 CURRENT_TASK.with(|c| c.set(prev));
                 if let Some(trace) = &core.trace {
                     trace.records.lock().push(TaskRecord {
@@ -1245,6 +1304,45 @@ mod tests {
         let mut ids = seen.lock().clone();
         ids.sort_unstable();
         assert_eq!(ids, (1..9).collect::<Vec<u64>>()); // seed took id 0
+    }
+
+    #[test]
+    fn task_alloc_deltas_attributed_to_scope() {
+        let pool = Pool::new(2);
+        let (stats, _) = pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+            for _ in 0..4 {
+                s.spawn(|_| rr_obs::alloc::record(64));
+            }
+        });
+        assert_eq!(stats.allocs, 4);
+        assert_eq!(stats.alloc_bytes, 256);
+        let shown = stats.to_string();
+        assert!(shown.contains("4 allocs (256 B)"), "{shown}");
+        // A scope that allocates nothing reports (and displays) nothing.
+        let (quiet, _) = pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+            s.spawn(|_| {});
+        });
+        assert_eq!(quiet.allocs, 0);
+        assert!(!quiet.to_string().contains("allocs"), "{quiet}");
+    }
+
+    #[test]
+    fn idle_hook_runs_when_pool_drains() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        set_worker_idle_hook(|| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+        });
+        let pool = Pool::new(2);
+        pool.scope(ScopeConfig::default(), |s: &Scope<'_>| {
+            s.spawn(|_| {});
+        });
+        // Workers run the hook on their way into the indefinite park;
+        // give them a moment to get there.
+        let t0 = Instant::now();
+        while CALLS.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(CALLS.load(Ordering::SeqCst) > 0, "idle hook never ran");
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! End-to-end differential test of the scratch arenas.
+//!
+//! `RR_ARENA=on` (here selected per-solve via `SolverConfig::with_arena`)
+//! lets the rewritten hot paths — the remainder step, the tree-stage
+//! matrix products, Karatsuba splits, Newton division — reuse per-thread
+//! limb buffers instead of hitting the system allocator. The arena is a
+//! pure storage optimization: the mathematics and the recorded cost
+//! model must be bit-identical across the switch; only wall clock and
+//! the physical allocation counters (`SolveStats::alloc`) may differ.
+
+use polyroots::core::{RootsResult, Session};
+use polyroots::mp::metrics::Phase;
+use polyroots::workload::charpoly_input;
+use polyroots::SolverConfig;
+
+fn solve(cfg: SolverConfig, p: &polyroots::Poly) -> RootsResult {
+    Session::new(cfg).solve(p).unwrap()
+}
+
+#[test]
+fn arena_differs_only_in_allocation_counters() {
+    let mu = 53;
+    for (n, seed) in [(10usize, 0u64), (18, 1), (24, 2), (30, 0)] {
+        let p = charpoly_input(n, seed);
+
+        let on = solve(SolverConfig::sequential(mu).with_arena(true), &p);
+        let off = solve(SolverConfig::sequential(mu).with_arena(false), &p);
+
+        // Identical mathematics: same roots, same degree bookkeeping.
+        let cell = format!("n={n} seed={seed}");
+        assert_eq!(on.roots, off.roots, "roots {cell}");
+        assert_eq!(on.n_star, off.n_star, "n_star {cell}");
+        assert_eq!(on.n, off.n);
+
+        // Identical cost model: the solver charges model costs before
+        // any kernel touches a buffer, and buffer reuse never changes
+        // which kernels run — so every phase's counts and bit costs
+        // match event-for-event across the switch.
+        assert_eq!(on.stats.cost, off.stats.cost, "stats.cost {cell}");
+
+        // The physical counters tell the two solves apart: with the
+        // gate off every scratch acquisition is a fresh allocation,
+        // with it on only cold misses are.
+        let (a_on, a_off) = (on.stats.alloc.total(), off.stats.alloc.total());
+        assert!(
+            a_off.allocs > a_on.allocs,
+            "arena reduces allocations at {cell}: on={a_on:?} off={a_off:?}"
+        );
+    }
+}
+
+#[test]
+fn remainder_phase_allocations_collapse_under_arena() {
+    // The subresultant remainder sequence is the allocation-bound phase
+    // the arena was built for. The quantitative ≥5× gate at n ≥ 64
+    // lives in `tools/check_allocs.py` over `results/BENCH_arena.json`;
+    // here we assert the qualitative shape at a test-sized n.
+    let p = charpoly_input(28, 0);
+    let on = solve(SolverConfig::sequential(53).with_arena(true), &p);
+    let off = solve(SolverConfig::sequential(53).with_arena(false), &p);
+
+    let rem_on = on.stats.alloc.phase(Phase::RemainderSeq);
+    let rem_off = off.stats.alloc.phase(Phase::RemainderSeq);
+    assert!(
+        rem_off.allocs > 0,
+        "the rewritten remainder step routes temporaries through scratch: {rem_off:?}"
+    );
+    assert!(
+        rem_on.allocs * 3 <= rem_off.allocs,
+        "remainder-phase reuse: on={rem_on:?} off={rem_off:?}"
+    );
+}
+
+#[test]
+fn parallel_solves_are_arena_invariant() {
+    // Worker threads each hold their own thread-local arena, and tasks
+    // inherit the solve's ctx (and so its arena gate) across the pool.
+    let mu = 53;
+    let p = charpoly_input(30, 1);
+    let cfg = SolverConfig::parallel(mu, 4);
+    let on = solve(cfg.with_arena(true), &p);
+    let off = solve(cfg.with_arena(false), &p);
+    assert_eq!(on.roots, off.roots);
+    assert_eq!(on.n_star, off.n_star);
+    assert_eq!(on.stats.cost, off.stats.cost, "parallel cost invariant");
+    assert!(
+        off.stats.alloc.total().allocs > on.stats.alloc.total().allocs,
+        "worker-side scratch reuse: on={:?} off={:?}",
+        on.stats.alloc.total(),
+        off.stats.alloc.total()
+    );
+
+    // Determinism under the arena: a second identical solve records the
+    // same roots and the same cost snapshot. (Physical alloc counters
+    // may differ run-to-run — work stealing decides which worker's
+    // arena is warm — which is exactly why they live outside the cost.)
+    let on2 = solve(cfg.with_arena(true), &p);
+    assert_eq!(on.roots, on2.roots);
+    assert_eq!(on.stats.cost, on2.stats.cost);
+}
+
+#[test]
+fn arena_composes_with_backend_grid() {
+    // The arena gate is orthogonal to every backend choice: flipping it
+    // on top of any cell of the backend cube leaves roots and cost
+    // untouched.
+    use polyroots::core::{DivBackend, MulBackend, PolyMulBackend};
+    let mu = 53;
+    let p = charpoly_input(20, 0);
+    let reference = solve(SolverConfig::sequential(mu).with_arena(false), &p);
+    for limb in [MulBackend::Schoolbook, MulBackend::Fast] {
+        for poly_mul in [PolyMulBackend::Schoolbook, PolyMulBackend::Kronecker] {
+            for div in [DivBackend::Schoolbook, DivBackend::Newton] {
+                let other = solve(
+                    SolverConfig::sequential(mu)
+                        .with_backend(limb)
+                        .with_poly_mul(poly_mul)
+                        .with_div(div)
+                        .with_arena(true),
+                    &p,
+                );
+                let cell = format!("{limb:?}/{poly_mul:?}/{div:?}+arena");
+                assert_eq!(reference.roots, other.roots, "roots {cell}");
+                assert_eq!(reference.n_star, other.n_star, "n_star {cell}");
+                assert_eq!(reference.stats.cost, other.stats.cost, "stats.cost {cell}");
+            }
+        }
+    }
+}

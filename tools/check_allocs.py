@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate the scratch-arena allocation reduction in results/BENCH_arena.json.
+
+Dependency-free (stdlib json only). The file is written by
+
+    cargo run --release -p rr-bench --bin alloc_ablation -- \
+        --json results/BENCH_arena.json
+
+and holds one row per (degree n, arena on|off) sequential solve, with the
+physical limb-buffer allocation counters from `SolveStats::alloc`
+(counted at the `rr_mp::scratch::take` sites: with the arena off every
+take allocates, with it on only cold misses do).
+
+Checks, per degree n present in the file:
+
+* both an "on" and an "off" row exist;
+* the off row actually exercised the rewritten paths
+  (rem_allocs > 0 for n >= MIN_ACTIVE_N);
+* remainder-phase reduction: off.rem_allocs >= MIN_RATIO * on.rem_allocs
+  for every n >= GATE_N (an on-count of 0 passes trivially — ratios are
+  recomputed from the raw counts, never read from the stored
+  *_reduction fields, which serialize infinity as null);
+* regression ceiling: on.total_allocs <= ON_TOTAL_CEILING — the arena's
+  whole point is that a warm solve performs a handful of allocations,
+  so a creeping on-count is a regression even while the ratio passes.
+
+Usage: tools/check_allocs.py results/BENCH_arena.json
+Exit status 0 iff the file passes.
+"""
+
+import json
+import sys
+
+# The ISSUE's acceptance bar: >= 5x fewer remainder-phase allocations
+# at n >= 64.  MIN_ACTIVE_N guards against a silent no-op (a refactor
+# that stops routing temporaries through scratch would make both counts
+# 0 and pass any ratio).
+GATE_N = 64
+MIN_RATIO = 5.0
+MIN_ACTIVE_N = 32
+ON_TOTAL_CEILING = 256
+
+
+def fail(msg):
+    print(f"check_allocs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 1:
+        fail(f"usage: {sys.argv[0]} <BENCH_arena.json>")
+
+    with open(args[0], "rb") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or not rows:
+        fail("top level is not a non-empty array")
+
+    by_n = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"row {i} is not an object")
+        for key in ("n", "arena", "rem_allocs", "total_allocs"):
+            if key not in row:
+                fail(f"row {i} missing {key!r}")
+        arena = row["arena"]
+        if arena not in ("on", "off"):
+            fail(f"row {i}: arena is {arena!r}, want 'on' or 'off'")
+        cell = by_n.setdefault(row["n"], {})
+        if arena in cell:
+            fail(f"duplicate ({row['n']}, {arena}) row")
+        cell[arena] = row
+
+    gated = 0
+    for n in sorted(by_n):
+        cell = by_n[n]
+        if set(cell) != {"on", "off"}:
+            fail(f"n={n}: need both on and off rows, have {sorted(cell)}")
+        off, on = cell["off"], cell["on"]
+        if n >= MIN_ACTIVE_N and off["rem_allocs"] == 0:
+            fail(
+                f"n={n}: off-row remainder phase performed no scratch "
+                "allocations — the rewritten paths are not being exercised"
+            )
+        if n >= GATE_N:
+            gated += 1
+            if off["rem_allocs"] < MIN_RATIO * on["rem_allocs"]:
+                ratio = off["rem_allocs"] / max(on["rem_allocs"], 1)
+                fail(
+                    f"n={n}: remainder-phase reduction {ratio:.2f}x "
+                    f"< {MIN_RATIO}x (off={off['rem_allocs']}, "
+                    f"on={on['rem_allocs']})"
+                )
+        if on["total_allocs"] > ON_TOTAL_CEILING:
+            fail(
+                f"n={n}: arena-on solve performed {on['total_allocs']} "
+                f"allocations > ceiling {ON_TOTAL_CEILING} — reuse regressed"
+            )
+        ratio = (
+            "inf"
+            if on["rem_allocs"] == 0
+            else f"{off['rem_allocs'] / on['rem_allocs']:.1f}"
+        )
+        print(
+            f"check_allocs: n={n}: rem {off['rem_allocs']} -> "
+            f"{on['rem_allocs']} ({ratio}x), total {off['total_allocs']} -> "
+            f"{on['total_allocs']}"
+        )
+    if gated == 0:
+        fail(f"no degree n >= {GATE_N} in the file — the gate never ran")
+    print(f"check_allocs: OK ({len(by_n)} degrees, {gated} gated at n>={GATE_N})")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,8 @@
 //!     [--max-n 96] [--mu-digits 16] [--json results/BENCH_arena.json]
 //! ```
 
-use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, Args};
+use rr_bench::json::Value;
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_bench_json, Args};
 use rr_core::{Session, SolverConfig};
 use rr_mp::metrics::Phase;
 use rr_workload::charpoly_input;
@@ -115,5 +116,13 @@ fn main() {
     println!(" the on-rows' counts are the cold-start warmup plus occasional capacity growth;");
     println!(" the off-rows pay one allocation per kernel temporary. `tools/check_allocs.py`");
     println!(" gates the remainder-phase reduction at ≥ 5× for n ≥ 64.)");
-    maybe_write_json(args.get("json"), &rows);
+    maybe_write_bench_json(
+        args.get("json"),
+        "alloc_ablation",
+        &[
+            ("max_n", Value::Num(max_n as f64)),
+            ("mu_digits", Value::Num(digits as f64)),
+        ],
+        &rows,
+    );
 }

@@ -26,7 +26,8 @@
 //! cargo run --release -p rr-bench --bin div_ablation -- --sweep
 //! ```
 
-use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, time_best, Args};
+use rr_bench::json::Value;
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_bench_json, time_best, Args};
 use rr_core::{Session, SolverConfig};
 use rr_mp::limb::Limb;
 use rr_mp::nat::{self, div, newton_div};
@@ -207,7 +208,16 @@ fn grid(args: &Args) {
     println!(" fused 2-adic remainder step shrinks the phase's products *and* divisions to");
     println!(" quotient-sized work; the solve column dilutes the win with the multiplication-");
     println!(" bound tree and interval stages.)");
-    maybe_write_json(args.get("json"), &rows);
+    maybe_write_bench_json(
+        args.get("json"),
+        "div_ablation",
+        &[
+            ("max_n", Value::Num(max_n as f64)),
+            ("mu_digits", Value::Num(digits as f64)),
+            ("reps", Value::Num(reps as f64)),
+        ],
+        &rows,
+    );
 }
 
 // ---------------------------------------------------------------------

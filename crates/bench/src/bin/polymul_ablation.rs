@@ -22,7 +22,8 @@
 //! cargo run --release -p rr-bench --bin polymul_ablation -- --sweep
 //! ```
 
-use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, time_best, Args};
+use rr_bench::json::Value;
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_bench_json, time_best, Args};
 use rr_core::tree::{is_spine, Tree};
 use rr_core::{treepoly, Session, SolverConfig};
 use rr_linalg::Mat2;
@@ -219,7 +220,16 @@ fn grid(args: &Args) {
     println!(" tree kernel is dominated by degree ≤ 8 products with 10⁴–10⁵-bit subresultant");
     println!(" coefficients — below the calibrated crossover, so Kronecker stays out and the");
     println!(" column hovers at 1×; the product-tree column is the regime it was built for.)");
-    maybe_write_json(args.get("json"), &rows);
+    maybe_write_bench_json(
+        args.get("json"),
+        "polymul_ablation",
+        &[
+            ("max_n", Value::Num(max_n as f64)),
+            ("mu_digits", Value::Num(digits as f64)),
+            ("reps", Value::Num(reps as f64)),
+        ],
+        &rows,
+    );
 }
 
 // ---------------------------------------------------------------------

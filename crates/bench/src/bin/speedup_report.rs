@@ -21,7 +21,9 @@
 //!     [--digits 8] [--min-n 10] [--max-n 45] [--json results/speedup_observed.json]
 //! ```
 
-use rr_bench::{digits_to_bits, impl_to_json, maybe_write_json, Args, PAPER_PROCS};
+use rr_bench::json::Value;
+use rr_bench::schema::maybe_write_bench_json;
+use rr_bench::{digits_to_bits, impl_to_json, Args, PAPER_PROCS};
 use rr_core::{ExecMode, Session, SolverConfig};
 use rr_sched::sim;
 use rr_workload::{charpoly_input, paper_degrees};
@@ -36,6 +38,11 @@ struct Row {
     procs: usize,
     simulated_speedup: f64,
     paper_speedup: f64, // -1 when the paper does not tabulate the cell
+    // Dwell-time distribution over processor-occupancy levels in the
+    // simulated schedule: `[level, seconds]` pairs (sim::concurrency_
+    // profile, summed across the solve's task graphs). The speedup
+    // columns are means; this is the shape behind them.
+    parallelism_hist: Vec<(u64, f64)>,
 }
 impl_to_json!(Row {
     n,
@@ -47,7 +54,25 @@ impl_to_json!(Row {
     procs,
     simulated_speedup,
     paper_speedup,
+    parallelism_hist,
 });
+
+/// Merges the per-trace concurrency profiles of one replay at `procs`
+/// into a single `[level, seconds]` histogram.
+fn parallelism_hist(traces: &[rr_sched::pool::TaskTrace], procs: usize) -> Vec<(u64, f64)> {
+    let mut dwell = vec![0.0f64; procs + 1];
+    for t in traces {
+        for (level, d) in sim::concurrency_profile(t, procs) {
+            dwell[level] += d.as_secs_f64();
+        }
+    }
+    dwell
+        .into_iter()
+        .enumerate()
+        .filter(|&(level, secs)| level > 0 && secs > 0.0)
+        .map(|(level, secs)| (level as u64, secs))
+        .collect()
+}
 
 fn main() {
     let args = Args::parse();
@@ -113,6 +138,7 @@ fn main() {
                     procs,
                     simulated_speedup: s,
                     paper_speedup: paper.unwrap_or(-1.0),
+                    parallelism_hist: parallelism_hist(&result.stats.traces, procs),
                 });
                 format!(
                     "{s:>5.2}/{:<5}",
@@ -136,5 +162,14 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create results dir");
         }
     }
-    maybe_write_json(Some(json_path), &rows);
+    maybe_write_bench_json(
+        Some(json_path),
+        "speedup_report",
+        &[
+            ("digits", Value::Num(digits as f64)),
+            ("min_n", Value::Num(min_n as f64)),
+            ("max_n", Value::Num(max_n as f64)),
+        ],
+        &rows,
+    );
 }

@@ -18,6 +18,7 @@
 //! | `fig8_baseline`       | Figure 8 (comparison with the PARI stand-in) |
 //! | `table1_complexity`   | Table 1 (asymptotic growth-order fits) |
 //! | `speedup_report`      | Figures 9–13 speedup tables re-derived from timed traces → `results/speedup_observed.json` |
+//! | `metrics_dump`        | not a paper artifact: runs a solve batch, then prints the always-on registry (percentile tables, Prometheus text) → `results/BENCH_metrics.json` |
 //!
 //! The µ values on the command line are the paper's **decimal digits**,
 //! converted with [`digits_to_bits`].
@@ -28,8 +29,10 @@ pub mod json;
 pub mod microbench;
 pub mod paper_data;
 pub mod plot;
+pub mod schema;
 pub mod trace;
 
+pub use schema::maybe_write_bench_json;
 pub use trace::{maybe_trace, report_to_json};
 
 use json::ToJson;

@@ -90,6 +90,22 @@ pub fn report_to_json(report: &SolveReport) -> Value {
         row.insert("phases".into(), Value::Object(phases));
         o.insert("alloc".into(), Value::Object(row));
     }
+    {
+        // Per-name aggregates of the trace's counter samples
+        // (`rr_obs::counter` events and the scheduler's queue-depth
+        // samples) — recorded into traces since PR 3 but previously
+        // dropped on the way to this JSON.
+        let mut counters = BTreeMap::new();
+        for c in report.counter_summary() {
+            let mut cell = BTreeMap::new();
+            cell.insert("samples".into(), Value::Num(c.samples as f64));
+            cell.insert("max".into(), Value::Num(c.max));
+            cell.insert("min".into(), Value::Num(c.min));
+            cell.insert("last".into(), Value::Num(c.last));
+            counters.insert(c.name, Value::Object(cell));
+        }
+        o.insert("counters".into(), Value::Object(counters));
+    }
     if let Some(pool) = &report.pool {
         let mut row = BTreeMap::new();
         row.insert("workers".into(), Value::Num(pool.workers as f64));
@@ -165,5 +181,11 @@ mod tests {
         assert!(v["alloc"]["allocs"].as_f64().is_some());
         assert!(v["alloc"]["bytes"].as_f64().is_some());
         assert!(v["pool"]["allocs"].as_f64().is_some());
+        // Counter samples are aggregated per name — a parallel traced
+        // solve always records scheduler queue-depth samples.
+        let qd = &v["counters"]["queue-depth"];
+        assert!(qd["samples"].as_u64().unwrap() > 0);
+        assert!(qd["max"].as_f64().is_some());
+        assert!(qd["last"].as_f64().is_some());
     }
 }

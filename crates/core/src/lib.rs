@@ -82,7 +82,7 @@ pub mod tree;
 pub mod treepoly;
 
 pub use dyadic::Dyadic;
-pub use report::{PhaseReport, SolveReport};
+pub use report::{CounterSummary, PhaseReport, SolveReport};
 pub use rr_mp::{DivBackend, MulBackend, PolyMulBackend};
 pub use rr_sched::{CancelReason, CancelToken, FaultAction, FaultInjector, FaultPlan};
 pub use session::{solve_batch, solve_batch_on, Runtime, Session, SolveLimits};

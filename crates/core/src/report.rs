@@ -100,6 +100,50 @@ impl SolveReport {
     pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
         self.trace.write_chrome(path)
     }
+
+    /// Aggregates the trace's counter samples (`rr_obs::counter` events
+    /// plus the scheduler's queue-depth samples) per counter name, in
+    /// first-appearance order. This is what surfaces counters in the
+    /// trace-report JSON — the raw samples stay in
+    /// [`trace`](SolveReport::trace), but reports want totals.
+    pub fn counter_summary(&self) -> Vec<CounterSummary> {
+        let mut rows: Vec<CounterSummary> = Vec::new();
+        for c in &self.trace.counters {
+            match rows.iter_mut().find(|r| r.name == *c.name) {
+                Some(r) => {
+                    r.samples += 1;
+                    r.max = r.max.max(c.value);
+                    r.min = r.min.min(c.value);
+                    r.last = c.value;
+                }
+                None => rows.push(CounterSummary {
+                    name: c.name.to_string(),
+                    samples: 1,
+                    max: c.value,
+                    min: c.value,
+                    last: c.value,
+                }),
+            }
+        }
+        rows
+    }
+}
+
+/// Per-name aggregate of a report's counter samples (see
+/// [`SolveReport::counter_summary`]). `last` relies on the trace's
+/// counters being time-sorted, which [`build_report`] guarantees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSummary {
+    /// Counter name as recorded (e.g. `queue-depth`).
+    pub name: String,
+    /// Number of samples recorded under that name.
+    pub samples: u64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// Smallest sampled value.
+    pub min: f64,
+    /// Final sampled value (time order).
+    pub last: f64,
 }
 
 impl std::fmt::Display for SolveReport {

@@ -150,8 +150,9 @@ impl Runtime {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Runtime {
         // A fully idle pool should not pin scratch buffers: register the
-        // arena's per-thread release as the workers' idle hook (OnceLock
-        // inside — first registration wins, repeats are free).
+        // arena's per-thread release as a workers' idle hook (hooks are
+        // deduplicated — repeats are free; the pool itself registers the
+        // metrics-shard release the same way).
         rr_sched::set_worker_idle_hook(rr_mp::scratch::release_thread);
         Runtime {
             pool: Arc::new(Pool::new(threads)),
@@ -186,6 +187,14 @@ impl Runtime {
     pub fn workers(&self) -> usize {
         self.pool.workers()
     }
+
+    /// A merged snapshot of the always-on metrics registry
+    /// ([`rr_obs::metrics`]): per-phase latency percentiles, scheduler
+    /// telemetry, per-solve outcomes. The registry is process-global —
+    /// every runtime (and session) sees the same fleet view.
+    pub fn metrics(&self) -> rr_obs::metrics::MetricsSnapshot {
+        rr_obs::metrics::snapshot()
+    }
 }
 
 impl std::fmt::Debug for Runtime {
@@ -193,6 +202,57 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("workers", &self.pool.workers())
             .finish()
+    }
+}
+
+/// Always-on fleet metrics for solves ([`rr_obs::metrics`]): per-solve
+/// wall-time histogram plus outcome counters carrying the typed label
+/// set outcome × mul/poly/div backend × arena.
+mod metric_defs {
+    use crate::solver::SolverConfig;
+    use rr_mp::{DivBackend, MulBackend, PolyMulBackend};
+    use rr_obs::metrics::{counter_with, Counter, Histogram};
+    use std::sync::LazyLock;
+
+    pub(super) static SOLVE_WALL: LazyLock<Histogram> = rr_obs::register_metric!(
+        histogram,
+        "rr_solve_wall_ns",
+        "Per-solve wall time, successful solves (ns)"
+    );
+
+    /// The `rr_solves_total` series for one (config, outcome) cell.
+    /// Label values are static enumerations, so the family's
+    /// cardinality is bounded (5 outcomes × 2×2×2 backends × 2).
+    pub(super) fn outcome_counter(config: &SolverConfig, outcome: &'static str) -> Counter {
+        counter_with(
+            "rr_solves_total",
+            "Solve attempts by outcome and backend selection",
+            &[
+                ("outcome", outcome),
+                (
+                    "mul",
+                    match config.backend {
+                        MulBackend::Schoolbook => "schoolbook",
+                        MulBackend::Fast => "fast",
+                    },
+                ),
+                (
+                    "poly",
+                    match config.poly_mul {
+                        PolyMulBackend::Schoolbook => "schoolbook",
+                        PolyMulBackend::Kronecker => "kronecker",
+                    },
+                ),
+                (
+                    "div",
+                    match config.div {
+                        DivBackend::Schoolbook => "schoolbook",
+                        DivBackend::Newton => "newton",
+                    },
+                ),
+                ("arena", if config.arena { "on" } else { "off" }),
+            ],
+        )
     }
 }
 
@@ -297,7 +357,29 @@ impl Session {
         if let Ok(r) = &result {
             *self.cumulative.lock() += r.stats.cost;
         }
+        self.record_solve_metrics(result.as_ref());
         result
+    }
+
+    /// Feeds the always-on registry after a solve attempt: one outcome
+    /// counter tick (labeled by this session's backend selection) and,
+    /// on success, the per-solve wall-time histogram. Observational
+    /// only — never touches `stats.cost` or the result.
+    fn record_solve_metrics(&self, result: Result<&RootsResult, &SolveError>) {
+        if !rr_obs::metrics::enabled() {
+            return;
+        }
+        let outcome = match result {
+            Ok(r) if r.degraded.is_some() => "degraded",
+            Ok(_) => "ok",
+            Err(SolveError::Cancelled { .. }) => "cancelled",
+            Err(SolveError::TaskPanicked { .. }) => "panicked",
+            Err(_) => "failed",
+        };
+        metric_defs::outcome_counter(&self.config, outcome).inc();
+        if let Ok(r) = result {
+            metric_defs::SOLVE_WALL.record_duration(r.stats.wall);
+        }
     }
 
     /// The per-solve context plus, when any limit is set or the session
@@ -339,6 +421,7 @@ impl Session {
         let result =
             ctx.run(|| solve_with(&self.config, &ctx, self.runtime.pool(), p, sup.as_ref()))?;
         *self.cumulative.lock() += result.stats.cost;
+        self.record_solve_metrics(Ok(&result));
         let report = crate::report::build_report(&result, &recorder);
         Ok((result, report))
     }
@@ -346,6 +429,12 @@ impl Session {
     /// Total cost of every successful [`solve`](Session::solve) so far.
     pub fn cumulative_cost(&self) -> CostSnapshot {
         *self.cumulative.lock()
+    }
+
+    /// See [`Runtime::metrics`]; the registry is process-global, so a
+    /// session's snapshot covers every session's solves.
+    pub fn metrics(&self) -> rr_obs::metrics::MetricsSnapshot {
+        rr_obs::metrics::snapshot()
     }
 }
 

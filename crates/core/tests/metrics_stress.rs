@@ -1,0 +1,139 @@
+//! Concurrency stress for the always-on `rr_obs::metrics` registry: one
+//! histogram hammered from every pool worker *while* `solve_batch` runs
+//! its own instrumented solves on the same pool, with worker threads
+//! draining their shards through the idle hook mid-run. The merged
+//! totals must be exact — sharding may reorder merges but can never
+//! lose or double-count a record.
+//!
+//! CI's `metrics` job runs this test in a loop to shake out interleaving
+//! windows (shard registration vs. scrape vs. idle-hook retirement).
+
+use rr_core::{solve_batch, Runtime, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+use rr_sched::ScopeConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn wilkinson(n: i64) -> Poly {
+    Poly::from_roots(&(1..=n).map(Int::from).collect::<Vec<_>>())
+}
+
+/// Exact count/sum/max bookkeeping for one histogram name across the
+/// process-global registry (all label sets summed).
+fn totals(name: &str) -> (u64, u64, u64) {
+    let snap = rr_obs::metrics::snapshot();
+    let mut count = 0;
+    let mut sum = 0;
+    let mut max = 0;
+    for h in snap.histograms_named(name) {
+        count += h.count;
+        sum += h.sum;
+        max = max.max(h.max);
+    }
+    (count, sum, max)
+}
+
+#[test]
+fn hammered_histogram_totals_stay_exact_under_solve_batch() {
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 20;
+    const TASKS_PER_ROUND: u64 = 64;
+    const RECORDS_PER_TASK: u64 = 250;
+
+    let rt = Runtime::new(WORKERS);
+    let hist = rr_obs::metrics::histogram(
+        "stress_hammer_ns",
+        "Test histogram hammered from pool workers",
+    );
+    let (count0, sum0, _) = totals("stress_hammer_ns");
+
+    // Interleave: an OS thread keeps the pool busy with real solves
+    // (whose instrumentation records into the same registry) while the
+    // main thread floods `stress_hammer_ns` from pool-worker tasks.
+    let inputs: Vec<Poly> = (8..12).map(wilkinson).collect();
+    let spawned = AtomicU64::new(0);
+    std::thread::scope(|ts| {
+        let rt = &rt;
+        ts.spawn(move || {
+            for _ in 0..4 {
+                let results = solve_batch(&inputs, SolverConfig::parallel(8, WORKERS));
+                assert!(results.iter().all(Result::is_ok), "batch solve failed");
+            }
+        });
+        for round in 0..ROUNDS {
+            let (_stats, _trace) = rt.pool().scope(ScopeConfig::default(), |s| {
+                for _ in 0..TASKS_PER_ROUND {
+                    let spawned = &spawned;
+                    s.spawn(move |_| {
+                        for i in 0..RECORDS_PER_TASK {
+                            // Values spread across buckets; sum is
+                            // closed-form so exactness is checkable.
+                            hist.record(i);
+                        }
+                        spawned.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Scrape concurrently with the next round's recording:
+            // snapshots taken mid-run must never exceed what was
+            // recorded, and the monotone count can only grow.
+            let (c, _, _) = totals("stress_hammer_ns");
+            assert!(
+                c >= count0 + (round as u64) * TASKS_PER_ROUND * RECORDS_PER_TASK,
+                "round {round}: scrape lost records"
+            );
+        }
+    });
+    assert_eq!(spawned.load(Ordering::Relaxed), ROUNDS as u64 * TASKS_PER_ROUND);
+
+    // Workers have parked by scope close; their idle hooks retired the
+    // TLS shards. Drain this thread's shard too, then check exactness.
+    rr_obs::metrics::release_thread();
+    let (count, sum, max) = totals("stress_hammer_ns");
+    let records = ROUNDS as u64 * TASKS_PER_ROUND * RECORDS_PER_TASK;
+    // Σ 0..RECORDS_PER_TASK per task.
+    let per_task_sum = RECORDS_PER_TASK * (RECORDS_PER_TASK - 1) / 2;
+    assert_eq!(count - count0, records, "lost or duplicated records");
+    assert_eq!(
+        sum - sum0,
+        ROUNDS as u64 * TASKS_PER_ROUND * per_task_sum,
+        "sum drifted"
+    );
+    assert_eq!(max, RECORDS_PER_TASK - 1, "max lost");
+
+    // The solver's own instrumentation ran concurrently on the same
+    // registry and pool; its series must be present and self-consistent.
+    let snap = rr_obs::metrics::snapshot();
+    let solves = snap.counter("rr_solves_total").unwrap_or(0);
+    assert!(solves >= 16, "outcome counters missing ({solves})");
+    for h in snap.histograms_named("rr_solve_wall_ns") {
+        assert!(h.count > 0 && h.sum >= h.count, "wall histogram degenerate");
+    }
+}
+
+#[test]
+fn release_thread_is_idempotent_and_preserves_totals() {
+    let hist = rr_obs::metrics::histogram(
+        "stress_release_ns",
+        "Test histogram for release_thread idempotence",
+    );
+    let before = totals("stress_release_ns").0;
+    std::thread::spawn(move || {
+        for i in 1..=1000u64 {
+            hist.record(i);
+        }
+        // Explicit drain, then thread exit: the retirement fold and the
+        // TLS destructor must not double-count.
+        rr_obs::metrics::release_thread();
+        rr_obs::metrics::release_thread();
+        for i in 1..=500u64 {
+            hist.record(i); // records after a drain land in a fresh shard
+        }
+    })
+    .join()
+    .unwrap();
+    let (count, sum, max) = totals("stress_release_ns");
+    assert_eq!(count - before, 1500);
+    assert_eq!(sum, 1000 * 1001 / 2 + 500 * 501 / 2);
+    assert_eq!(max, 1000);
+}

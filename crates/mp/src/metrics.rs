@@ -438,6 +438,72 @@ thread_local! {
     static LOCAL: Arc<ThreadCounters> = default_sink().register_thread();
 }
 
+/// Always-on `rr_obs::metrics` series fed by this module, alongside the
+/// per-session cost sinks: per-phase duration histograms recorded by
+/// [`with_phase`], and operand-bit-size histograms recorded at the
+/// `Int` dispatch layer ([`record_mul`] / [`record_div`]) — the
+/// work-per-precision-level distribution view. These observe only; the
+/// cost model ([`CostSnapshot`]) never reads them.
+///
+/// The operand-bit histograms are **sampled 1-in-[`SAMPLE`]** per
+/// thread: `Int` dispatch runs at tens of millions of events per
+/// second, where even a ~2 ns shard update is a double-digit-percent
+/// tax, while a deterministic 1/64 stride leaves the bit-length
+/// *distribution* statistically intact (`count` is the number of
+/// samples taken, not of dispatches — the exact totals live in
+/// [`CostSnapshot`]). Everything else records unsampled.
+mod obs_metrics {
+    use super::{ALL_PHASES, NUM_PHASES};
+    use rr_obs::metrics::{histogram_with, Histogram};
+    use std::cell::Cell;
+    use std::sync::LazyLock;
+
+    /// Sampling stride of the operand-bit histograms.
+    pub(super) const SAMPLE: u32 = 64;
+
+    thread_local! {
+        static SAMPLE_TICK: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// Deterministic per-thread 1-in-[`SAMPLE`] gate; the first event of
+    /// every thread is sampled so short-lived threads still show up.
+    #[inline]
+    pub(super) fn sampled() -> bool {
+        SAMPLE_TICK.with(|t| {
+            let c = t.get();
+            if c == 0 {
+                t.set(SAMPLE - 1);
+                true
+            } else {
+                t.set(c - 1);
+                false
+            }
+        })
+    }
+
+    pub(super) static PHASE_NS: LazyLock<[Histogram; NUM_PHASES]> = LazyLock::new(|| {
+        ALL_PHASES.map(|p| {
+            histogram_with(
+                "rr_phase_duration_ns",
+                "Wall-clock time inside with_phase regions, per phase (ns)",
+                &[("phase", p.label())],
+            )
+        })
+    });
+    pub(super) static MUL_BITS: LazyLock<Histogram> = rr_obs::register_metric!(
+        histogram,
+        "rr_mp_operand_bits",
+        "Largest operand bit length per Int arithmetic dispatch (sampled 1:64 per thread)",
+        "op" => "mul"
+    );
+    pub(super) static DIV_BITS: LazyLock<Histogram> = rr_obs::register_metric!(
+        histogram,
+        "rr_mp_operand_bits",
+        "Largest operand bit length per Int arithmetic dispatch (sampled 1:64 per thread)",
+        "op" => "div"
+    );
+}
+
 /// Sets the calling thread's current phase, returning the previous one.
 pub fn set_phase(p: Phase) -> Phase {
     CURRENT_PHASE.with(|c| {
@@ -460,14 +526,27 @@ pub fn current_phase() -> Phase {
 /// with per-phase operation counts. With no recorder installed the span
 /// call is a single branch.
 pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
-    struct Restore(Phase);
+    struct Restore {
+        prev: Phase,
+        cur: Phase,
+        start: Option<std::time::Instant>,
+    }
     impl Drop for Restore {
         fn drop(&mut self) {
-            set_phase(self.0);
+            set_phase(self.prev);
+            // Feed the always-on per-phase latency distribution (also
+            // on unwind, so panicking regions still count).
+            if let Some(t0) = self.start {
+                obs_metrics::PHASE_NS[self.cur as usize].record_duration(t0.elapsed());
+            }
         }
     }
     let _span = rr_obs::phase_span(p.label());
-    let _restore = Restore(set_phase(p));
+    let _restore = Restore {
+        prev: set_phase(p),
+        cur: p,
+        start: rr_obs::metrics::enabled().then(std::time::Instant::now),
+    };
     f()
 }
 
@@ -479,6 +558,9 @@ pub fn with_phase<R>(p: Phase, f: impl FnOnce() -> R) -> R {
 /// otherwise.
 #[inline]
 pub fn record_mul(a_bits: u64, b_bits: u64) {
+    if obs_metrics::sampled() {
+        obs_metrics::MUL_BITS.record(a_bits.max(b_bits));
+    }
     let phase = CURRENT_PHASE.with(Cell::get);
     if crate::session::record_session_mul(phase, a_bits, b_bits) {
         return;
@@ -490,6 +572,9 @@ pub fn record_mul(a_bits: u64, b_bits: u64) {
 /// (quotient length times divisor length, the Algorithm D work estimate).
 #[inline]
 pub fn record_div(a_bits: u64, b_bits: u64) {
+    if obs_metrics::sampled() {
+        obs_metrics::DIV_BITS.record(a_bits.max(b_bits));
+    }
     let phase = CURRENT_PHASE.with(Cell::get);
     let q_bits = a_bits.saturating_sub(b_bits) + 1;
     if crate::session::record_session_div(phase, q_bits, b_bits) {

@@ -20,12 +20,25 @@
 //! aggregation here — callers that need totals (the metrics sinks, the
 //! pool) take deltas on the thread doing the work.
 
+use crate::metrics::Counter;
 use std::cell::Cell;
+use std::sync::LazyLock;
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
     static BYTES: Cell<u64> = const { Cell::new(0) };
 }
+
+static M_ALLOCS: LazyLock<Counter> = crate::register_metric!(
+    counter,
+    "rr_alloc_total",
+    "Limb-buffer acquisitions that hit the system allocator"
+);
+static M_BYTES: LazyLock<Counter> = crate::register_metric!(
+    counter,
+    "rr_alloc_bytes_total",
+    "Bytes requested by allocator-hitting limb-buffer acquisitions"
+);
 
 /// A point-in-time reading of the calling thread's allocation counters.
 /// Monotone: the churn of a region is `after - before`.
@@ -54,6 +67,10 @@ impl std::ops::Sub for AllocReading {
 pub fn record(bytes: u64) {
     ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
     BYTES.with(|c| c.set(c.get().wrapping_add(bytes)));
+    // Mirror into the always-on registry so fleet dashboards see
+    // allocation rates without per-task delta plumbing.
+    M_ALLOCS.inc();
+    M_BYTES.add(bytes);
 }
 
 /// The calling thread's monotone allocation counters. Take a reading

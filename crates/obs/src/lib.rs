@@ -32,6 +32,13 @@
 //!   cost **a single branch** when none is installed, which is what
 //!   keeps untraced solves bit-identical and fast.
 //!
+//! The per-solve recorder is complemented by [`metrics`] — an
+//! always-on, process-wide registry of counters, gauges and log-scale
+//! histograms (per-thread shards merged on scrape) for the *fleet*
+//! view: latency percentiles and throughput over time, with Prometheus
+//! text exposition. Use the recorder to explain one solve; use the
+//! metrics registry to watch all of them.
+//!
 //! ```
 //! use rr_obs::Recorder;
 //!
@@ -53,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod metrics;
 pub mod trace;
 
 pub use alloc::AllocReading;

@@ -59,4 +59,4 @@ pub use pool::{
     current_task_id, run, run_traced, set_worker_idle_hook, AbortKind, Pool, PoolStats, Scope,
     ScopeAbort, ScopeConfig, TaskRecord, TaskTrace, TaskWrapper,
 };
-pub use sim::{critical_path, simulate_makespan, simulate_speedups};
+pub use sim::{concurrency_profile, critical_path, simulate_makespan, simulate_speedups};

@@ -30,24 +30,56 @@ use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Hook run by a worker right before it parks indefinitely (no scopes
-/// open). Registered once per process via [`set_worker_idle_hook`].
-static IDLE_HOOK: OnceLock<fn()> = OnceLock::new();
+/// Hooks run by a worker right before it parks indefinitely (no scopes
+/// open). Registered via [`set_worker_idle_hook`].
+static IDLE_HOOKS: Mutex<Vec<fn()>> = Mutex::new(Vec::new());
 
 /// Registers a process-wide hook that every pool worker runs just
 /// before parking indefinitely (i.e. when no scope is open, so the pool
 /// is fully idle). The arithmetic layer uses this to release the
-/// worker's thread-local scratch arena back to the system allocator —
-/// `rr-sched` cannot name that layer (the dependency points the other
-/// way), so the release is injected here as a plain function pointer.
+/// worker's thread-local scratch arena back to the system allocator,
+/// and the metrics layer to fold the worker's shards into the registry
+/// — `rr-sched` cannot name those layers (the dependencies point the
+/// other way), so the releases are injected here as plain function
+/// pointers.
 ///
-/// First registration wins; later calls are ignored (the hook is a
-/// process-wide resource-release valve, not a per-pool callback).
+/// Hooks run in registration order; registering the same function twice
+/// is a no-op (the hooks are process-wide resource-release valves, not
+/// per-pool callbacks).
 pub fn set_worker_idle_hook(hook: fn()) {
-    let _ = IDLE_HOOK.set(hook);
+    let mut hooks = IDLE_HOOKS.lock();
+    if !hooks.contains(&hook) {
+        hooks.push(hook);
+    }
+}
+
+/// Always-on scheduler metrics ([`rr_obs::metrics`]): fleet-level queue
+/// and task telemetry aggregated across every pool in the process, the
+/// continuous counterpart of the per-scope [`PoolStats`].
+mod m {
+    use rr_obs::metrics::{Counter, Gauge, Histogram};
+    use std::sync::LazyLock;
+
+    pub(super) static TASKS: LazyLock<Counter> = rr_obs::register_metric!(
+        counter, "rr_sched_tasks_total", "Pool tasks executed");
+    pub(super) static TASK_LATENCY: LazyLock<Histogram> = rr_obs::register_metric!(
+        histogram, "rr_sched_task_latency_ns", "Per-task execution wall time (ns)");
+    pub(super) static STEAL_RETRIES: LazyLock<Counter> = rr_obs::register_metric!(
+        counter, "rr_sched_steal_retries_total", "Steal collisions while draining scopes");
+    pub(super) static EMPTY_POLLS: LazyLock<Counter> = rr_obs::register_metric!(
+        counter, "rr_sched_empty_polls_total", "Polls that found a scope queue empty");
+    pub(super) static PANICKED: LazyLock<Counter> = rr_obs::register_metric!(
+        counter, "rr_sched_panicked_tasks_total", "Tasks that panicked");
+    pub(super) static CANCELLED: LazyLock<Counter> = rr_obs::register_metric!(
+        counter, "rr_sched_cancelled_tasks_total",
+        "Tasks dropped unrun by cancelled or panicked scopes");
+    pub(super) static QUEUE_DEPTH: LazyLock<Gauge> = rr_obs::register_metric!(
+        gauge, "rr_sched_queue_depth", "Queued tasks in the most recently polled scope");
+    pub(super) static WORKERS: LazyLock<Gauge> = rr_obs::register_metric!(
+        gauge, "rr_sched_workers", "Live pool worker threads");
 }
 
 /// A task: runs once, may spawn more tasks through the scope.
@@ -285,6 +317,7 @@ impl ScopeCore {
                 Steal::Success(q) => {
                     drop(q.f);
                     self.dropped_tasks.fetch_add(1, Ordering::Relaxed);
+                    m::CANCELLED.inc();
                     self.finish_task();
                 }
                 Steal::Retry => continue,
@@ -353,6 +386,7 @@ impl<'env> Scope<'env> {
             // The scope is being abandoned; new work is dropped so the
             // scope can quiesce.
             self.core.dropped_tasks.fetch_add(1, Ordering::Relaxed);
+            m::CANCELLED.inc();
             return;
         }
         // SAFETY: erases `'env` to store the task in the 'static core.
@@ -550,6 +584,10 @@ impl Pool {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Pool {
         assert!(workers > 0, "need at least one worker");
+        // Parked workers fold their metric shards into the registry so
+        // an idle fleet pins no per-thread state (and scrapes between
+        // batches see fully-merged totals).
+        set_worker_idle_hook(rr_obs::metrics::release_thread);
         let pool = Pool {
             shared: Arc::new(PoolShared {
                 scopes: Mutex::new(Vec::new()),
@@ -578,7 +616,11 @@ impl Pool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rr-pool-{idx}"))
-                    .spawn(move || worker_loop(&shared, idx))
+                    .spawn(move || {
+                        m::WORKERS.add(1);
+                        worker_loop(&shared, idx);
+                        m::WORKERS.add(-1);
+                    })
                     .expect("spawn pool worker"),
             );
         }
@@ -764,13 +806,17 @@ fn worker_loop(shared: &PoolShared, worker_idx: usize) {
         }
         if scopes.is_empty() {
             // Fully idle pool: give the arithmetic layer a chance to
-            // return retained scratch buffers before sleeping
-            // indefinitely. Dropping the registry lock first keeps the
-            // hook off the scope-registration critical path; the
-            // re-check afterwards covers a scope registered meanwhile.
-            if let Some(hook) = IDLE_HOOK.get() {
+            // return retained scratch buffers (and the metrics layer to
+            // fold this worker's shards) before sleeping indefinitely.
+            // Dropping the registry lock first keeps the hooks off the
+            // scope-registration critical path; the re-check afterwards
+            // covers a scope registered meanwhile.
+            let hooks: Vec<fn()> = IDLE_HOOKS.lock().clone();
+            if !hooks.is_empty() {
                 drop(scopes);
-                hook();
+                for hook in hooks {
+                    hook();
+                }
                 scopes = shared.scopes.lock();
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -803,7 +849,10 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                     // counts running tasks too, so subtract nothing — the
                     // injector length is the honest queue depth here).
                     let depth = core.injector.len() as u32;
+                    m::QUEUE_DEPTH.set(i64::from(depth));
                     trace.queue.lock().push((core.now_ns(), depth));
+                } else if rr_obs::metrics::enabled() {
+                    m::QUEUE_DEPTH.set(core.injector.len() as i64);
                 }
                 let scope: Scope<'static> = Scope::handle(Arc::clone(core));
                 let prev = CURRENT_TASK.with(|c| c.replace(Some(id)));
@@ -836,9 +885,12 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
                     });
                 }
                 core.record_task(worker_idx, elapsed);
+                m::TASKS.inc();
+                m::TASK_LATENCY.record_duration(elapsed);
                 did_work = true;
                 if let Err(payload) = result {
                     core.panicked_tasks.fetch_add(1, Ordering::Relaxed);
+                    m::PANICKED.inc();
                     let mut slot = core.panic_info.lock();
                     if slot.is_none() {
                         *slot = Some(PanicInfo {
@@ -860,10 +912,12 @@ fn drain_scope(core: &Arc<ScopeCore>, worker_idx: usize) -> bool {
             }
             Steal::Retry => {
                 core.steal_retries.fetch_add(1, Ordering::Relaxed);
+                m::STEAL_RETRIES.inc();
                 continue;
             }
             Steal::Empty => {
                 core.empty_polls.fetch_add(1, Ordering::Relaxed);
+                m::EMPTY_POLLS.inc();
                 break;
             }
         }

@@ -26,9 +26,20 @@ use std::time::Duration;
 /// # Panics
 /// Panics if `workers == 0` or if the trace references unknown parents.
 pub fn simulate_makespan(trace: &TaskTrace, workers: usize) -> Duration {
+    Duration::from_nanos(list_schedule(trace, workers, |_, _, _| {}))
+}
+
+/// Greedy FIFO list schedule of the traced DAG; calls
+/// `visit(id, start, done)` for every placed task and returns the
+/// makespan in nanoseconds.
+fn list_schedule(
+    trace: &TaskTrace,
+    workers: usize,
+    mut visit: impl FnMut(u64, u64, u64),
+) -> u64 {
     assert!(workers > 0, "need at least one virtual processor");
     if trace.records.is_empty() {
-        return Duration::ZERO;
+        return 0;
     }
     // Index tasks and children by id.
     let max_id = trace.records.iter().map(|r| r.id).max().unwrap() as usize;
@@ -73,11 +84,49 @@ pub fn simulate_makespan(trace: &TaskTrace, workers: usize) -> Duration {
         let done = start + dur[id as usize];
         free.push(Reverse(done));
         makespan = makespan.max(done);
+        visit(id, start, done);
         for &c in &children[id as usize] {
             ready.push(Reverse((done, started[c as usize], c)));
         }
     }
-    Duration::from_nanos(makespan)
+    makespan
+}
+
+/// Time-weighted concurrency profile of the simulated schedule: how
+/// long exactly `k` of the `workers` virtual processors were busy, for
+/// each occupancy level `k` that actually occurred (levels with zero
+/// dwell time are omitted; zero-duration tasks contribute nothing).
+///
+/// This is the *distribution* behind the mean observed parallelism —
+/// `Σ k·t_k / Σ t_k` over the returned pairs recovers the familiar
+/// `total_work / makespan` average, but the histogram also shows how
+/// much of the run sat at full width versus dribbled along the critical
+/// path, which a single mean hides.
+pub fn concurrency_profile(trace: &TaskTrace, workers: usize) -> Vec<(usize, Duration)> {
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    list_schedule(trace, workers, |_, start, done| {
+        if done > start {
+            events.push((start, 1));
+            events.push((done, -1));
+        }
+    });
+    events.sort_unstable();
+    let mut dwell = vec![0u64; workers + 1];
+    let mut level = 0i64;
+    let mut prev = 0u64;
+    for (t, delta) in events {
+        if t > prev && level > 0 {
+            dwell[level as usize] += t - prev;
+        }
+        level += delta;
+        prev = t;
+    }
+    dwell
+        .into_iter()
+        .enumerate()
+        .filter(|&(k, ns)| k > 0 && ns > 0)
+        .map(|(k, ns)| (k, Duration::from_nanos(ns)))
+        .collect()
 }
 
 /// Length of the trace's critical path: the longest duration-weighted
@@ -225,6 +274,48 @@ mod tests {
             };
         }
         assert_eq!(simulate_makespan(&observed, 2), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn concurrency_profile_partitions_the_makespan() {
+        // Diamond on 2 processors: 0:[0,10] 1:[10,110] 2:[10,40]
+        // 3:[40,70] → one busy during [0,10] and [70,110] (50ns), two
+        // busy during [10,70] (60ns).
+        let t = trace(vec![
+            rec(0, None, 10),
+            rec(1, Some(0), 100),
+            rec(2, Some(0), 30),
+            rec(3, Some(2), 30),
+        ]);
+        let prof = concurrency_profile(&t, 2);
+        assert_eq!(
+            prof,
+            vec![(1, Duration::from_nanos(50)), (2, Duration::from_nanos(60))]
+        );
+        // Weighted sum over levels recovers total work; dwell sum is
+        // the busy portion of the makespan.
+        let work: u64 = prof.iter().map(|&(k, d)| k as u64 * d.as_nanos() as u64).sum();
+        assert_eq!(Duration::from_nanos(work), t.total_work());
+
+        // A chain never leaves level 1.
+        let chain =
+            trace(vec![rec(0, None, 50), rec(1, Some(0), 50), rec(2, Some(1), 50)]);
+        assert_eq!(
+            concurrency_profile(&chain, 8),
+            vec![(1, Duration::from_nanos(150))]
+        );
+
+        // 8 independent 100ns tasks on 4 processors: flat at level 4.
+        let mut records = vec![rec(0, None, 0)];
+        for i in 1..=8 {
+            records.push(rec(i, Some(0), 100));
+        }
+        assert_eq!(
+            concurrency_profile(&trace(records), 4),
+            vec![(4, Duration::from_nanos(200))]
+        );
+
+        assert_eq!(concurrency_profile(&trace(vec![]), 4), vec![]);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The registry's fault counters must agree with [`PoolStats`]: every
+//! `panicked_tasks` / `cancelled_tasks` increment a scope reports has a
+//! matching increment of `rr_sched_panicked_tasks_total` /
+//! `rr_sched_cancelled_tasks_total` in the always-on metrics registry
+//! (the two are recorded at the same sites; this test pins them
+//! together so an instrumentation refactor cannot silently split them).
+//!
+//! One `#[test]` on purpose: the registry is process-global, so the
+//! assertions must own every fault in the process while they run.
+
+use rr_sched::{AbortKind, CancelReason, CancelToken, Pool, ScopeConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn counter(name: &str) -> u64 {
+    rr_obs::metrics::snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn registry_fault_counters_match_pool_stats() {
+    let pool = Pool::new(3);
+    let panicked0 = counter("rr_sched_panicked_tasks_total");
+    let cancelled0 = counter("rr_sched_cancelled_tasks_total");
+    let tasks0 = counter("rr_sched_tasks_total");
+
+    let mut expect_panicked = 0;
+    let mut expect_cancelled = 0;
+    let mut expect_tasks = 0;
+
+    // Panicking scopes: a few tasks blow up, the rest of the queue is
+    // dropped by the abandonment sweep.
+    for round in 0..4u64 {
+        let ran = AtomicU64::new(0);
+        let abort = pool
+            .try_scope(ScopeConfig::default(), |s| {
+                for i in 0..32u64 {
+                    let ran = &ran;
+                    s.spawn(move |_| {
+                        if i % 9 == 3 {
+                            panic!("metrics test fault {i}");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(50));
+                    });
+                }
+            })
+            .expect_err("a task always panics in this round");
+        assert!(matches!(abort.kind, AbortKind::Panicked { .. }), "round {round}");
+        assert!(abort.stats.panicked_tasks >= 1);
+        expect_panicked += abort.stats.panicked_tasks;
+        expect_cancelled += abort.stats.cancelled_tasks;
+        expect_tasks += abort.stats.total_tasks();
+    }
+
+    // Cancelled scope: fire the token from inside the first task; the
+    // queued remainder is dropped and counted.
+    let token = CancelToken::new();
+    let cfg = ScopeConfig { cancel: Some(token.clone()), ..ScopeConfig::default() };
+    let abort = pool
+        .try_scope(cfg, |s| {
+            for i in 0..64u64 {
+                let token = &token;
+                s.spawn(move |_| {
+                    if i == 0 {
+                        token.cancel(CancelReason::Requested { why: "metrics test".into() });
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                });
+            }
+        })
+        .expect_err("token fired inside the scope");
+    assert!(matches!(abort.kind, AbortKind::Cancelled { .. }));
+    assert!(abort.stats.cancelled_tasks >= 1, "nothing was dropped");
+    expect_panicked += abort.stats.panicked_tasks;
+    expect_cancelled += abort.stats.cancelled_tasks;
+    expect_tasks += abort.stats.total_tasks();
+
+    // A clean scope afterwards: the pool is healthy, counters advance
+    // by exactly its task count.
+    let (stats, _) = pool.scope(ScopeConfig::default(), |s| {
+        for _ in 0..16 {
+            s.spawn(|_| std::hint::black_box(()));
+        }
+    });
+    assert_eq!(stats.panicked_tasks, 0);
+    assert_eq!(stats.cancelled_tasks, 0);
+    expect_tasks += stats.total_tasks();
+
+    assert_eq!(
+        counter("rr_sched_panicked_tasks_total") - panicked0,
+        expect_panicked,
+        "registry panic counter diverged from PoolStats"
+    );
+    assert_eq!(
+        counter("rr_sched_cancelled_tasks_total") - cancelled0,
+        expect_cancelled,
+        "registry cancel counter diverged from PoolStats"
+    );
+    assert_eq!(
+        counter("rr_sched_tasks_total") - tasks0,
+        expect_tasks,
+        "registry task counter diverged from PoolStats"
+    );
+}

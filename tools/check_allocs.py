@@ -52,9 +52,15 @@ def main():
         fail(f"usage: {sys.argv[0]} <BENCH_arena.json>")
 
     with open(args[0], "rb") as f:
-        rows = json.load(f)
+        doc = json.load(f)
+    # Unified bench schema (see tools/check_bench.py): the rows live
+    # under "series"; a bare array is the pre-unification layout.
+    if isinstance(doc, dict):
+        rows = doc.get("series")
+    else:
+        rows = doc
     if not isinstance(rows, list) or not rows:
-        fail("top level is not a non-empty array")
+        fail("no series rows (neither unified schema nor a bare array)")
 
     by_n = {}
     for i, row in enumerate(rows):

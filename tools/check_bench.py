@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate and gate the unified bench artifacts in results/.
+
+Dependency-free (stdlib json only). Every results/BENCH_*.json file
+(and results/speedup_observed.json) shares one top-level schema,
+written by rr_bench::schema::bench_doc:
+
+    {
+      "schema_version": 1,
+      "commit": "<short git hash>",
+      "config": { "bin": "<emitting binary>", ...effective args... },
+      "series": [ { ...one row per measurement cell... } ]
+    }
+
+Modes:
+
+  validate <files...>
+      Structural check of the wrapper and every series row. Exit 0 iff
+      all files conform.
+
+  compare <baseline> <candidate> [--threshold 0.15]
+      Regression gate over the *watched* fields — wall-clock seconds
+      (``*_wall_s``/``*_secs``) and latency percentiles (``p50*``) —
+      of rows matched across the two files by their identity key (all
+      string-valued fields plus the standard grid keys: n, mu_digits,
+      procs, solves, threads). A candidate value more than threshold
+      (default 15%) above the baseline fails. Values below a noise
+      floor (1e-4 s for seconds, 1000 for nanosecond percentiles) are
+      skipped: timing jitter at that scale is not signal.
+
+  selftest <file>
+      Proves the gate can fire: synthesizes a +20% regression of every
+      watched field of <file> in memory and asserts compare rejects it.
+
+Exit status 0 iff the requested check passes.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+KEY_FIELDS = ("n", "mu_digits", "procs", "solves", "threads")
+DEFAULT_THRESHOLD = 0.15
+# Noise floors: baselines below these are skipped by the comparator.
+FLOOR_SECS = 1e-4
+FLOOR_P50 = 1000.0  # percentile fields are nanoseconds
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "rb") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate_doc(path, doc):
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object (legacy bare array? "
+             "re-emit with the current bench bins)")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version is {doc.get('schema_version')!r}, "
+             f"want {SCHEMA_VERSION}")
+    commit = doc.get("commit")
+    if not isinstance(commit, str) or not commit:
+        fail(f"{path}: commit must be a non-empty string")
+    config = doc.get("config")
+    if not isinstance(config, dict) or not isinstance(config.get("bin"), str):
+        fail(f"{path}: config must be an object naming its emitting 'bin'")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail(f"{path}: series must be a non-empty array")
+    for i, row in enumerate(series):
+        if not isinstance(row, dict) or not row:
+            fail(f"{path}: series[{i}] is not a non-empty object")
+        for k, v in row.items():
+            if isinstance(v, float) and not math.isfinite(v):
+                fail(f"{path}: series[{i}].{k} is not finite")
+            if isinstance(v, (dict, list)):
+                # Distribution rows may carry histogram arrays; require
+                # the elements to be finite numbers (or [level, value]
+                # pairs).
+                flat = v.values() if isinstance(v, dict) else v
+                for item in flat:
+                    for x in (item if isinstance(item, list) else [item]):
+                        if not isinstance(x, (int, float)) or (
+                            isinstance(x, float) and not math.isfinite(x)
+                        ):
+                            fail(f"{path}: series[{i}].{k} holds a "
+                                 f"non-numeric nested value {x!r}")
+    return config["bin"], len(series)
+
+
+def watched(field):
+    return field.endswith("_wall_s") or field.endswith("_secs") or field.startswith("p50")
+
+
+def floor_for(field):
+    return FLOOR_P50 if field.startswith("p50") else FLOOR_SECS
+
+
+def row_key(row):
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str) or k in KEY_FIELDS:
+            parts.append(f"{k}={v}")
+    return "|".join(parts) or "<single>"
+
+
+def compare_docs(base_doc, cand_doc, threshold, base_name, cand_name):
+    base_rows = {row_key(r): r for r in base_doc["series"]}
+    regressions = []
+    checked = 0
+    for row in cand_doc["series"]:
+        key = row_key(row)
+        base = base_rows.get(key)
+        if base is None:
+            continue
+        for field, cand_v in row.items():
+            if not watched(field) or not isinstance(cand_v, (int, float)):
+                continue
+            base_v = base.get(field)
+            if not isinstance(base_v, (int, float)) or base_v < floor_for(field):
+                continue
+            checked += 1
+            if cand_v > base_v * (1.0 + threshold):
+                regressions.append(
+                    f"  {key} .{field}: {base_v:.6g} -> {cand_v:.6g} "
+                    f"(+{(cand_v / base_v - 1.0) * 100.0:.1f}% > {threshold * 100.0:.0f}%)"
+                )
+    print(f"check_bench: compared {checked} watched values "
+          f"({base_name} -> {cand_name})")
+    return regressions
+
+
+def main():
+    argv = sys.argv[1:]
+    threshold = DEFAULT_THRESHOLD
+    if "--threshold" in argv:
+        i = argv.index("--threshold")
+        threshold = float(argv[i + 1])
+        del argv[i:i + 2]
+    if not argv:
+        fail("usage: check_bench.py validate <files...> | "
+             "compare <baseline> <candidate> | selftest <file>")
+    mode, args = argv[0], argv[1:]
+
+    if mode == "validate":
+        if not args:
+            fail("validate: no files given")
+        for path in args:
+            bin_name, n = validate_doc(path, load(path))
+            print(f"check_bench: {path}: OK ({bin_name}, {n} series rows)")
+    elif mode == "compare":
+        if len(args) != 2:
+            fail("compare: need <baseline> <candidate>")
+        base_doc, cand_doc = load(args[0]), load(args[1])
+        validate_doc(args[0], base_doc)
+        validate_doc(args[1], cand_doc)
+        regressions = compare_docs(base_doc, cand_doc, threshold, args[0], args[1])
+        if regressions:
+            fail("p50/wall regressions over threshold:\n" + "\n".join(regressions))
+        print("check_bench: OK (no watched regressions)")
+    elif mode == "selftest":
+        if len(args) != 1:
+            fail("selftest: need <file>")
+        doc = load(args[0])
+        validate_doc(args[0], doc)
+        regressed = json.loads(json.dumps(doc))
+        inflatable = 0
+        for row in regressed["series"]:
+            for field, v in list(row.items()):
+                if watched(field) and isinstance(v, (int, float)) and v >= floor_for(field):
+                    row[field] = v * 1.20
+                    inflatable += 1
+        if inflatable == 0:
+            fail(f"selftest: {args[0]} has no watched fields above the noise "
+                 "floor — the gate would never fire on this artifact")
+        regressions = compare_docs(doc, regressed, threshold, args[0], "+20% synthetic")
+        if not regressions:
+            fail("selftest: a synthetic +20% regression passed the gate")
+        print(f"check_bench: selftest OK (gate caught {len(regressions)} of "
+              f"{inflatable} synthetic +20% regressions)")
+    else:
+        fail(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,14 @@ Perfetto and chrome://tracing rely on, plus this repo's conventions:
   (the synthetic worker-track convention), and the track is named;
 * at least one span for each pipeline stage of a traced solve.
 
-Usage: tools/check_trace.py <trace.json> [--min-phases N]
-Exit status 0 iff the file passes.
+With --report=<path>, additionally validates a solve-report JSON
+(rr_bench::report_to_json): its "counters" object must summarize every
+recorder counter series as {samples, max, min, last} with numeric
+values and samples >= 1, and a report that carries pool statistics must
+include the "queue-depth" series the scheduler emits.
+
+Usage: tools/check_trace.py <trace.json> [--min-phases N] [--report=<report.json>]
+Exit status 0 iff the file (and the report, if given) passes.
 """
 
 import json
@@ -30,14 +36,43 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_report(path):
+    """Validate the counter summaries of a report_to_json document."""
+    with open(path, "rb") as f:
+        report = json.load(f)
+    if not isinstance(report, dict):
+        fail(f"{path}: report is not an object")
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: report has no 'counters' object")
+    for name, summary in counters.items():
+        if not isinstance(summary, dict):
+            fail(f"{path}: counter {name!r} summary is not an object")
+        for key in ("samples", "max", "min", "last"):
+            v = summary.get(key)
+            if not isinstance(v, (int, float)):
+                fail(f"{path}: counter {name!r}.{key} is {v!r}, want a number")
+        if summary["samples"] < 1:
+            fail(f"{path}: counter {name!r} has no samples")
+        if summary["min"] > summary["max"]:
+            fail(f"{path}: counter {name!r} min {summary['min']} > max {summary['max']}")
+    if isinstance(report.get("pool"), dict) and "queue-depth" not in counters:
+        fail(f"{path}: pool-backed report is missing the 'queue-depth' counter")
+    print(f"check_trace: report OK: {len(counters)} counter series "
+          f"({', '.join(sorted(counters))})")
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} <trace.json> [--min-phases N]")
+        fail(f"usage: {sys.argv[0]} <trace.json> [--min-phases N] [--report=<report.json>]")
     min_phases = 1
+    report_path = None
     for a in sys.argv[1:]:
         if a.startswith("--min-phases="):
             min_phases = int(a.split("=", 1)[1])
+        elif a.startswith("--report="):
+            report_path = a.split("=", 1)[1]
 
     with open(args[0], "rb") as f:
         doc = json.load(f)
@@ -119,6 +154,8 @@ def main():
         f"({counts['X']} spans: {cats}, {counts['M']} track names, "
         f"{counts['C']} counter samples), phases {sorted(phase_names)}"
     )
+    if report_path is not None:
+        check_report(report_path)
 
 
 if __name__ == "__main__":

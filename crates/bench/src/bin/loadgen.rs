@@ -1,0 +1,352 @@
+//! Load generator for the `rr-serve` daemon: closed-loop capacity,
+//! deliberate overload (≥4× saturation), and fault-seeded chaos, each
+//! reported as one row of `results/BENCH_serve.json`.
+//!
+//! The generator is a pure TCP client — it deliberately does not link
+//! `rr-serve` — and by default (`--spawn`) launches the sibling
+//! `rr-serve` binary as a subprocess per scenario with exactly the
+//! admission knobs that scenario wants, parsing the bound address from
+//! its stdout and terminating it with SIGTERM (exercising the graceful
+//! drain) when the scenario ends. `--addr host:port` targets an
+//! already-running daemon instead (scenario knobs then describe the
+//! *expected* server shape, not an enforced one).
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin loadgen -- \
+//!     [--spawn] [--serve-bin path/to/rr-serve] [--addr host:port] \
+//!     [--duration-s 5] [--json results/BENCH_serve.json]
+//! ```
+//!
+//! Scenario rows (`scenario` is the identity key for
+//! `tools/check_bench.py`; `p50_latency_ns` is its watched latency
+//! field):
+//!
+//! * `closed_loop` — 4 clients, ample admission capacity: the baseline
+//!   service latency and throughput.
+//! * `overload_shed` — 12 concurrent clients against 1 solve slot + 2
+//!   queue seats (4× saturation): measures the shed rate, that shedding
+//!   is *typed* (`overloaded` + `retry_after_ms`) and *fast*
+//!   (`reject_p50_ns` ≪ solve time), and that admitted work still
+//!   completes.
+//! * `fault_seeded` — every other solve's first attempt gets an
+//!   injected worker panic: measures the server-side retry rate and
+//!   that the service stays available (no failed responses, zero
+//!   handler panics).
+
+use rr_bench::json::{from_str, Value};
+use rr_bench::{maybe_write_bench_json, Args};
+use rr_poly::Poly;
+use rr_workload::charpoly_input;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One response as the generator saw it.
+struct Outcome {
+    code: String,
+    degraded: bool,
+    latency: Duration,
+    retries: u64,
+    retry_hint: bool,
+}
+
+fn request_line(id: u64, tenant: &str, poly: &Poly, mu: u64, deadline_ms: u64) -> String {
+    let coeffs: Vec<String> = poly.coeffs().iter().map(|c| format!("\"{c}\"")).collect();
+    format!(
+        "{{\"id\": {id}, \"tenant\": \"{tenant}\", \"coeffs\": [{}], \"mu\": {mu}, \"deadline_ms\": {deadline_ms}}}",
+        coeffs.join(", ")
+    )
+}
+
+/// Closed-loop client fleet: each client sends back-to-back requests
+/// until `duration` elapses, recording every response.
+fn run_closed_loop(
+    addr: &str,
+    clients: usize,
+    duration: Duration,
+    poly: &Poly,
+    mu: u64,
+    deadline_ms: u64,
+) -> Vec<Outcome> {
+    let ids = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let Ok(stream) = TcpStream::connect(addr) else {
+                        return out;
+                    };
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+                    let mut reader = BufReader::new(stream);
+                    let tenant = format!("client-{c}");
+                    let t_end = Instant::now() + duration;
+                    while Instant::now() < t_end {
+                        let id = ids.fetch_add(1, Ordering::Relaxed);
+                        let line = request_line(id, &tenant, poly, mu, deadline_ms);
+                        let t0 = Instant::now();
+                        {
+                            let s = reader.get_mut();
+                            if s.write_all(line.as_bytes()).is_err()
+                                || s.write_all(b"\n").is_err()
+                                || s.flush().is_err()
+                            {
+                                break;
+                            }
+                        }
+                        let mut resp = String::new();
+                        match reader.read_line(&mut resp) {
+                            Ok(n) if n > 0 => {}
+                            _ => break,
+                        }
+                        let latency = t0.elapsed();
+                        let Ok(v) = from_str(resp.trim()) else { break };
+                        out.push(Outcome {
+                            code: v["code"].as_str().unwrap_or("?").to_string(),
+                            degraded: v["degraded"].as_str().is_some(),
+                            latency,
+                            retries: v["retries"].as_u64().unwrap_or(0),
+                            retry_hint: v["retry_after_ms"].as_f64().is_some(),
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    })
+}
+
+fn p50_ns(mut ns: Vec<u64>) -> u64 {
+    if ns.is_empty() {
+        return 0;
+    }
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+/// Folds a scenario's outcomes into one series row.
+fn scenario_row(name: &str, clients: usize, elapsed: Duration, outcomes: &[Outcome]) -> Value {
+    let total = outcomes.len() as u64;
+    let count = |pred: &dyn Fn(&Outcome) -> bool| outcomes.iter().filter(|o| pred(o)).count() as u64;
+    let ok = count(&|o| o.code == "ok" && !o.degraded);
+    let degraded = count(&|o| o.code == "ok" && o.degraded);
+    let overloaded = count(&|o| o.code == "overloaded");
+    let throttled = count(&|o| o.code == "throttled");
+    let deadline = count(&|o| o.code == "deadline");
+    let other =
+        total - ok - degraded - overloaded - throttled - deadline;
+    let solve_lat: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.code == "ok")
+        .map(|o| o.latency.as_nanos() as u64)
+        .collect();
+    let reject_lat: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.code == "overloaded" || o.code == "throttled")
+        .map(|o| o.latency.as_nanos() as u64)
+        .collect();
+    let retries: u64 = outcomes.iter().map(|o| o.retries).sum();
+    let hinted = count(&|o| o.code == "overloaded" && o.retry_hint);
+    let shed_rate = if total > 0 { overloaded as f64 / total as f64 } else { 0.0 };
+    let qps = if elapsed.as_secs_f64() > 0.0 {
+        total as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    println!(
+        "{name:<14} total={total:<5} ok={ok:<5} degraded={degraded:<3} overloaded={overloaded:<5} \
+         throttled={throttled:<3} deadline={deadline:<3} other={other:<3} retries={retries:<4} \
+         shed={shed_rate:.2} qps={qps:.1} p50={:.2}ms reject_p50={:.3}ms",
+        p50_ns(solve_lat.clone()) as f64 / 1e6,
+        p50_ns(reject_lat.clone()) as f64 / 1e6,
+    );
+
+    let mut row = BTreeMap::new();
+    row.insert("scenario".to_string(), Value::Str(name.to_string()));
+    row.insert("clients".to_string(), Value::Num(clients as f64));
+    row.insert("requests".to_string(), Value::Num(total as f64));
+    row.insert("ok".to_string(), Value::Num(ok as f64));
+    row.insert("degraded".to_string(), Value::Num(degraded as f64));
+    row.insert("overloaded".to_string(), Value::Num(overloaded as f64));
+    row.insert("throttled".to_string(), Value::Num(throttled as f64));
+    row.insert("deadline".to_string(), Value::Num(deadline as f64));
+    row.insert("other".to_string(), Value::Num(other as f64));
+    row.insert("retries".to_string(), Value::Num(retries as f64));
+    row.insert("hinted_rejections".to_string(), Value::Num(hinted as f64));
+    row.insert("shed_rate".to_string(), Value::Num(shed_rate));
+    row.insert("qps".to_string(), Value::Num(qps));
+    row.insert("p50_latency_ns".to_string(), Value::Num(p50_ns(solve_lat) as f64));
+    row.insert("reject_p50_ns".to_string(), Value::Num(p50_ns(reject_lat) as f64));
+    row.insert("elapsed_s".to_string(), Value::Num(elapsed.as_secs_f64()));
+    Value::Object(row)
+}
+
+/// An `rr-serve` child process bound to a kernel-chosen port.
+struct SpawnedServer {
+    child: Child,
+    addr: String,
+}
+
+fn serve_bin_path(args: &Args) -> std::path::PathBuf {
+    if let Some(p) = args.get::<String>("serve-bin") {
+        return p.into();
+    }
+    // The sibling binary in the same target directory as this one.
+    let mut p = std::env::current_exe().expect("current exe");
+    p.set_file_name("rr-serve");
+    p
+}
+
+fn spawn_server(bin: &std::path::Path, extra: &[&str]) -> SpawnedServer {
+    let mut child = Command::new(bin)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawning {}: {e} (build rr-serve first)", bin.display()));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("server banner");
+    let addr = line
+        .trim()
+        .strip_prefix("rr-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+    SpawnedServer { child, addr }
+}
+
+impl SpawnedServer {
+    /// SIGTERM (graceful drain), then wait; hard-kill only if the drain
+    /// protocol wedges.
+    fn shutdown(mut self) {
+        #[cfg(unix)]
+        {
+            let _ = Command::new("kill")
+                .args(["-s", "TERM", &self.child.id().to_string()])
+                .status();
+            for _ in 0..100 {
+                if let Ok(Some(_)) = self.child.try_wait() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let duration = Duration::from_secs(args.get::<u64>("duration-s").unwrap_or(5));
+    let json_path = args.get::<String>("json");
+    let external_addr = args.get::<String>("addr");
+    let spawn = args.flag("spawn") || external_addr.is_none();
+    let bin = serve_bin_path(&args);
+
+    // Moderate solve for capacity, heavier one so overload piles up.
+    let light = charpoly_input(12, 1);
+    let heavy = charpoly_input(20, 3);
+    let mut rows: Vec<Value> = Vec::new();
+
+    // --- closed_loop: ample capacity, baseline latency/throughput ----
+    {
+        let server = spawn.then(|| {
+            spawn_server(
+                &bin,
+                &["--threads", "4", "--solve-threads", "3", "--max-inflight", "4",
+                  "--queue-cap", "16"],
+            )
+        });
+        let addr = server.as_ref().map(|s| s.addr.clone()).or_else(|| external_addr.clone()).unwrap();
+        let t0 = Instant::now();
+        let outcomes = run_closed_loop(&addr, 4, duration, &light, 32, 60_000);
+        rows.push(scenario_row("closed_loop", 4, t0.elapsed(), &outcomes));
+        assert!(
+            outcomes.iter().any(|o| o.code == "ok"),
+            "closed loop produced no successful solves"
+        );
+        if let Some(s) = server {
+            s.shutdown();
+        }
+    }
+
+    // --- overload_shed: 12 clients vs 1 slot + 2 seats = 4x ----------
+    {
+        let server = spawn.then(|| {
+            spawn_server(
+                &bin,
+                &["--threads", "3", "--solve-threads", "3", "--max-inflight", "1",
+                  "--queue-cap", "2", "--deadline-ms", "60000"],
+            )
+        });
+        let addr = server.as_ref().map(|s| s.addr.clone()).or_else(|| external_addr.clone()).unwrap();
+        let t0 = Instant::now();
+        let outcomes = run_closed_loop(&addr, 12, duration, &heavy, 64, 60_000);
+        let row = scenario_row("overload_shed", 12, t0.elapsed(), &outcomes);
+        // The overload proof: excess load was shed with typed, hinted
+        // rejections, and the server still completed admitted work.
+        let overloaded = outcomes.iter().filter(|o| o.code == "overloaded").count();
+        let ok = outcomes.iter().filter(|o| o.code == "ok").count();
+        assert!(ok >= 1, "overloaded server stopped serving entirely");
+        if spawn {
+            assert!(
+                overloaded >= 1,
+                "4x saturation produced no typed overload rejections"
+            );
+            assert!(
+                outcomes.iter().filter(|o| o.code == "overloaded").all(|o| o.retry_hint),
+                "overload rejections must carry retry_after_ms"
+            );
+        }
+        rows.push(row);
+        if let Some(s) = server {
+            s.shutdown();
+        }
+    }
+
+    // --- fault_seeded: every other first attempt panics --------------
+    {
+        let server = spawn.then(|| {
+            spawn_server(
+                &bin,
+                &["--threads", "4", "--solve-threads", "3", "--max-inflight", "4",
+                  "--queue-cap", "16", "--retries", "2", "--chaos-seed", "7",
+                  "--chaos-period", "2", "--chaos-limit", "1000000"],
+            )
+        });
+        let addr = server.as_ref().map(|s| s.addr.clone()).or_else(|| external_addr.clone()).unwrap();
+        let t0 = Instant::now();
+        let outcomes = run_closed_loop(&addr, 2, duration, &light, 32, 60_000);
+        let row = scenario_row("fault_seeded", 2, t0.elapsed(), &outcomes);
+        if spawn {
+            let retries: u64 = outcomes.iter().map(|o| o.retries).sum();
+            assert!(
+                retries >= 1,
+                "seeded faults produced no server-side retries"
+            );
+            assert!(
+                outcomes.iter().all(|o| o.code == "ok"),
+                "retries must absorb every seeded fault"
+            );
+        }
+        rows.push(row);
+        if let Some(s) = server {
+            s.shutdown();
+        }
+    }
+
+    let config: Vec<(&str, Value)> = vec![
+        ("duration_s", Value::Num(duration.as_secs_f64())),
+        ("spawned", Value::Bool(spawn)),
+    ];
+    maybe_write_bench_json(json_path, "loadgen", &config, &Value::Array(rows));
+}

@@ -19,6 +19,7 @@
 //! | `table1_complexity`   | Table 1 (asymptotic growth-order fits) |
 //! | `speedup_report`      | Figures 9–13 speedup tables re-derived from timed traces → `results/speedup_observed.json` |
 //! | `metrics_dump`        | not a paper artifact: runs a solve batch, then prints the always-on registry (percentile tables, Prometheus text) → `results/BENCH_metrics.json` |
+//! | `loadgen`             | not a paper artifact: closed-loop / overload / fault-seeded load against a spawned `rr-serve` daemon → `results/BENCH_serve.json` |
 //!
 //! The µ values on the command line are the paper's **decimal digits**,
 //! converted with [`digits_to_bits`].

@@ -70,6 +70,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default)]
 pub struct SolveLimits {
     deadline: Option<Duration>,
+    deadline_at: Option<std::time::Instant>,
     max_muls: Option<u64>,
     token: Option<CancelToken>,
 }
@@ -84,6 +85,19 @@ impl SolveLimits {
     /// Abandon the solve once `deadline` of wall-clock time has passed.
     pub fn with_deadline(mut self, deadline: Duration) -> SolveLimits {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Abandon the solve at the *absolute* instant `at` — the form a
+    /// service uses to propagate a caller's end-to-end deadline after
+    /// subtracting queue wait (no time is lost between measuring the
+    /// remainder and arming it). A deadline already in the past returns
+    /// [`SolveError::Cancelled`] with a `Deadline` reason before any
+    /// work runs. When both this and
+    /// [`with_deadline`](SolveLimits::with_deadline) are set, whichever
+    /// is armed first on the shared token wins (they share one slot).
+    pub fn with_deadline_at(mut self, at: std::time::Instant) -> SolveLimits {
+        self.deadline_at = Some(at);
         self
     }
 
@@ -102,7 +116,10 @@ impl SolveLimits {
     }
 
     fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_muls.is_none() && self.token.is_none()
+        self.deadline.is_none()
+            && self.deadline_at.is_none()
+            && self.max_muls.is_none()
+            && self.token.is_none()
     }
 }
 
@@ -393,6 +410,9 @@ impl Session {
             return (ctx, None);
         }
         let token = limits.token.clone().unwrap_or_default();
+        if let Some(at) = limits.deadline_at {
+            token.arm_deadline_at(at);
+        }
         if let Some(deadline) = limits.deadline {
             token.arm_deadline(deadline);
         }

@@ -203,6 +203,59 @@ pub enum SolveError {
     Internal(String),
 }
 
+impl SolveError {
+    /// Stable machine-readable code for this error — the wire taxonomy
+    /// shared by `rr-serve` responses and [`solve_supervised`]
+    /// (`Session::solve_supervised`) callers, so callers branch on a
+    /// fixed string instead of parsing `Display` output. The full set:
+    ///
+    /// | code | meaning |
+    /// |------|---------|
+    /// | `rejected-input`  | the remainder sequence rejected the input (not normal / not all-real-rooted) |
+    /// | `inconsistent`    | the interval stage detected an inconsistency |
+    /// | `deadline`        | cancelled: wall-clock deadline expired |
+    /// | `budget`          | cancelled: multiplication budget exhausted |
+    /// | `cancelled`       | cancelled: explicit request (operator abort, client disconnect, shed) |
+    /// | `task-panicked`   | a worker task panicked (contained; transient) |
+    /// | `internal`        | internal invariant failure (transient) |
+    ///
+    /// These strings are a wire contract: changing one is a breaking
+    /// protocol change.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SolveError::Seq(_) => "rejected-input",
+            SolveError::Interval(_) => "inconsistent",
+            SolveError::Cancelled { reason, .. } => match reason {
+                CancelReason::Deadline { .. } => "deadline",
+                CancelReason::Budget { .. } => "budget",
+                CancelReason::Requested { .. } => "cancelled",
+            },
+            SolveError::TaskPanicked { .. } => "task-panicked",
+            SolveError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether a retry of the same input may succeed: true for contained
+    /// task panics and internal invariant failures (scheduling races,
+    /// injected chaos), false for errors the input or the caller's own
+    /// limits caused. This is the server-side retry predicate.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SolveError::TaskPanicked { .. } | SolveError::Internal(_)
+        )
+    }
+
+    /// The partial accounting of a cancelled solve, if this error
+    /// carries one.
+    pub fn partial_stats(&self) -> Option<&PartialStats> {
+        match self {
+            SolveError::Cancelled { partial_stats, .. } => Some(partial_stats),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -248,12 +301,21 @@ pub enum Degradation {
     SturmBaseline,
 }
 
+impl Degradation {
+    /// Stable machine-readable code (the `degraded` field of the wire
+    /// taxonomy — see [`SolveError::code`]): `"squarefree-retry"` or
+    /// `"sturm-baseline"`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Degradation::SquarefreeRetry => "squarefree-retry",
+            Degradation::SturmBaseline => "sturm-baseline",
+        }
+    }
+}
+
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Degradation::SquarefreeRetry => write!(f, "squarefree-retry"),
-            Degradation::SturmBaseline => write!(f, "sturm-baseline"),
-        }
+        f.write_str(self.code())
     }
 }
 

@@ -53,6 +53,90 @@ fn deadline_exceeded_returns_cancelled_within_twice_the_deadline() {
 }
 
 #[test]
+fn already_expired_deadline_cancels_before_any_work() {
+    // Regression: a deadline that has already passed at solve start must
+    // return Cancelled{Deadline} immediately — zero multiplications, no
+    // first phase — not after the first probe deep inside the pipeline.
+    let (p, cfg) = slow_input();
+    let session = Session::with_runtime(cfg, &Runtime::new(3));
+    for limits in [
+        SolveLimits::none().with_deadline(Duration::ZERO),
+        SolveLimits::none().with_deadline_at(Instant::now() - Duration::from_secs(1)),
+    ] {
+        let t0 = Instant::now();
+        let err = session.solve_supervised(&p, &limits).expect_err("expired at start");
+        let elapsed = t0.elapsed();
+        match &err {
+            SolveError::Cancelled { reason, partial_stats } => {
+                assert!(
+                    matches!(reason, CancelReason::Deadline { .. }),
+                    "expected a deadline reason, got {reason:?}"
+                );
+                assert_eq!(
+                    partial_stats.cost.total().mul_count,
+                    0,
+                    "an expired deadline must not run the first phase"
+                );
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_millis(50),
+            "expired-deadline rejection took {elapsed:.2?}"
+        );
+        assert_eq!(err.code(), "deadline");
+    }
+    // The session stays usable afterwards.
+    assert_eq!(session.solve(&wilkinson(8)).unwrap().roots.len(), 8);
+}
+
+#[test]
+fn absolute_deadline_cancels_a_running_solve() {
+    let (p, cfg) = slow_input();
+    let session = Session::with_runtime(cfg, &Runtime::new(3));
+    let limits = SolveLimits::none().with_deadline_at(Instant::now() + Duration::from_millis(80));
+    let err = session.solve_supervised(&p, &limits).expect_err("80ms cannot fit this solve");
+    assert!(
+        matches!(&err, SolveError::Cancelled { reason: CancelReason::Deadline { .. }, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn wire_taxonomy_codes_are_stable() {
+    let session = Session::new(SolverConfig::sequential(8));
+    // budget
+    let err = session
+        .solve_supervised(&wilkinson(20), &SolveLimits::none().with_max_muls(10))
+        .expect_err("tiny budget");
+    assert_eq!(err.code(), "budget");
+    assert!(!err.is_transient());
+    assert!(err.partial_stats().is_some());
+    // explicit request
+    let token = CancelToken::new();
+    token.cancel(CancelReason::Requested { why: "shed".into() });
+    let err = session
+        .solve_supervised(&wilkinson(12), &SolveLimits::none().with_token(token))
+        .expect_err("pre-fired token");
+    assert_eq!(err.code(), "cancelled");
+    // rejected input (degradation off)
+    let complex = Poly::from_i64(&[1, 0, 1]);
+    let strict = Session::new(SolverConfig::sequential(8).with_degradation(false));
+    let err = strict.solve(&complex).expect_err("complex roots");
+    assert_eq!(err.code(), "rejected-input");
+    assert!(!err.is_transient());
+    // contained panic is transient
+    let faulty = Session::with_runtime(SolverConfig::parallel(12, 2), &Runtime::new(2))
+        .with_fault_injection(FaultInjector::new(FaultPlan::new().panic_at(2)));
+    let err = faulty.solve(&wilkinson(16)).expect_err("injected panic");
+    assert_eq!(err.code(), "task-panicked");
+    assert!(err.is_transient());
+    // degradation markers
+    assert_eq!(Degradation::SquarefreeRetry.code(), "squarefree-retry");
+    assert_eq!(Degradation::SturmBaseline.code(), "sturm-baseline");
+}
+
+#[test]
 fn budget_exhaustion_cancels_sequential_solves() {
     let session = Session::new(SolverConfig::sequential(16));
     let limits = SolveLimits::none().with_max_muls(50);

@@ -115,6 +115,21 @@ impl CancelToken {
         }
     }
 
+    /// Arms an *absolute* wall-clock deadline. Equivalent to
+    /// [`arm_deadline`](CancelToken::arm_deadline) with the remaining
+    /// duration, but exact: no time is lost between computing a
+    /// remainder and arming it. A deadline already in the past fires on
+    /// the very next [`is_cancelled`](CancelToken::is_cancelled) check —
+    /// this is how a server propagates a caller's end-to-end deadline
+    /// (minus queue wait) into a solve. At most one deadline can be
+    /// armed per token; later calls are ignored.
+    pub fn arm_deadline_at(&self, at: Instant) {
+        let limit = at.saturating_duration_since(Instant::now());
+        if self.inner.deadline.set(at).is_ok() {
+            let _ = self.inner.limit.set(limit);
+        }
+    }
+
     /// The armed deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.inner.deadline.get().copied()

@@ -1,0 +1,90 @@
+//! Queue-wait estimation from the always-on scheduler telemetry.
+//!
+//! Admission control needs one number: *if this request is queued now,
+//! how long until a worker picks it up?* The registry already holds the
+//! answer's raw material — `rr_sched_task_latency_ns` records the wall
+//! time of every pool task ever executed in the process. This module
+//! turns that histogram into a cheap estimate:
+//!
+//! * [`task_latency_p50`] — the median per-task latency (merged across
+//!   label sets and live/retired shards).
+//! * [`estimated_queue_wait`] — `p50 × tasks_ahead / workers`: the time
+//!   for `tasks_ahead` median tasks to clear `workers` workers. The
+//!   caller converts queued *requests* into queued *tasks* with its own
+//!   tasks-per-request ratio (e.g. `rr_sched_tasks_total` over its
+//!   completed-solve count).
+//!
+//! The estimate is deliberately coarse (base-2 log buckets are within
+//! 2× of the true order statistic) — it gates fast-rejection decisions,
+//! not billing. Taking a snapshot locks the registry for microseconds;
+//! callers on a hot admission path should cache the result for ~100 ms.
+
+use std::time::Duration;
+
+/// Median per-task execution latency across every pool task recorded in
+/// this process, from the `rr_sched_task_latency_ns` histogram. `None`
+/// until at least one task has completed (or with `RR_METRICS=off`).
+pub fn task_latency_p50() -> Option<Duration> {
+    let snap = rr_obs::metrics::snapshot();
+    let mut count = 0u64;
+    let mut p50 = 0.0f64;
+    for h in snap.histograms_named("rr_sched_task_latency_ns") {
+        // One label set in practice; weight by count if that changes.
+        if h.count > count {
+            count = h.count;
+            p50 = h.p50();
+        }
+    }
+    (count > 0).then(|| Duration::from_nanos(p50 as u64))
+}
+
+/// Estimated wall-clock wait for `tasks_ahead` median-sized tasks to
+/// drain through `workers` workers: `p50 × tasks_ahead / workers`.
+/// `None` when no task latency has been observed yet — callers should
+/// then admit optimistically (an empty process has no queue to wait
+/// behind).
+pub fn estimated_queue_wait(tasks_ahead: u64, workers: usize) -> Option<Duration> {
+    let p50 = task_latency_p50()?;
+    let per_worker = tasks_ahead.div_ceil(workers.max(1) as u64);
+    Some(p50.saturating_mul(u32::try_from(per_worker).unwrap_or(u32::MAX)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{Pool, ScopeConfig};
+
+    #[test]
+    fn estimate_appears_after_pool_work() {
+        let pool = Pool::new(2);
+        pool.scope(ScopeConfig::default(), |s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    std::hint::black_box((0..1000u64).sum::<u64>());
+                });
+            }
+        });
+        if !rr_obs::metrics::enabled() {
+            return; // RR_METRICS=off: nothing to estimate
+        }
+        let p50 = task_latency_p50().expect("tasks ran, latency recorded");
+        assert!(p50 >= Duration::ZERO);
+        let wait = estimated_queue_wait(64, 2).unwrap();
+        assert!(wait >= p50, "64 tasks on 2 workers wait at least one median task");
+        // More work ahead on fewer workers never shortens the estimate.
+        let wider = estimated_queue_wait(64, 8).unwrap();
+        assert!(wider <= wait);
+    }
+
+    #[test]
+    fn zero_tasks_ahead_waits_zero() {
+        let pool = Pool::new(1);
+        pool.scope(ScopeConfig::default(), |s| {
+            s.spawn(|_| {});
+        });
+        if !rr_obs::metrics::enabled() {
+            return;
+        }
+        assert_eq!(estimated_queue_wait(0, 4), Some(Duration::ZERO));
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod estimate;
 pub mod fault;
 pub mod graph;
 pub mod pool;
@@ -53,6 +54,7 @@ pub mod sim;
 pub mod static_sched;
 
 pub use cancel::{CancelReason, CancelToken};
+pub use estimate::{estimated_queue_wait, task_latency_p50};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use graph::Gate;
 pub use pool::{

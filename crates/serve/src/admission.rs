@@ -1,0 +1,339 @@
+//! Admission control: a bounded wait queue in front of a fixed
+//! in-flight cap, per-tenant fair-share token buckets, and the
+//! queue-wait estimator that turns scheduler telemetry into shed
+//! decisions.
+//!
+//! The math (DESIGN.md §16): with `I` in-flight slots and a queue bound
+//! `Q`, at most `I + Q` requests occupy the server; everything beyond
+//! is rejected in O(µs) with a typed `overloaded` response. A queued
+//! request waits at most its own remaining deadline — the gate's
+//! condvar wait is bounded by the request's absolute deadline, so a
+//! caller's deadline budget is spent *observably* (the wait is
+//! subtracted before the solve is armed) rather than silently. The
+//! estimator predicts the wait as
+//! `p50(task latency) × tasks-per-solve × requests-ahead / workers`
+//! and lets the server refuse requests whose deadline cannot survive
+//! the queue *before* they join it.
+
+use crate::metrics;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The wait queue is at capacity; `queued` requests are ahead.
+    QueueFull {
+        /// Requests currently queued.
+        queued: usize,
+    },
+    /// The request's deadline expired while it was queued.
+    DeadlineWhileQueued {
+        /// How long it waited before expiring.
+        waited: Duration,
+    },
+    /// The estimated queue wait exceeds the request's remaining
+    /// deadline — shedding now is strictly better than queueing.
+    WouldMissDeadline {
+        /// The estimate that doomed it.
+        estimated_wait: Duration,
+    },
+}
+
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// The bounded admission gate: `max_inflight` concurrent solve slots
+/// and at most `queue_cap` waiters behind them.
+pub struct Gate {
+    max_inflight: usize,
+    queue_cap: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+impl Gate {
+    /// A gate with the given capacities (both at least 1 slot).
+    pub fn new(max_inflight: usize, queue_cap: usize) -> Gate {
+        Gate {
+            max_inflight: max_inflight.max(1),
+            queue_cap,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquires a solve slot, waiting in the bounded queue until
+    /// `deadline_at` if all slots are busy. Returns the RAII permit or
+    /// a typed refusal; never blocks past the deadline.
+    pub fn admit(&self, deadline_at: Instant) -> Result<Permit<'_>, AdmitError> {
+        let t0 = Instant::now();
+        let mut s = self.state.lock();
+        if s.inflight < self.max_inflight {
+            s.inflight += 1;
+            metrics::INFLIGHT.set(s.inflight as i64);
+            return Ok(Permit { gate: self });
+        }
+        if s.queued >= self.queue_cap {
+            return Err(AdmitError::QueueFull { queued: s.queued });
+        }
+        s.queued += 1;
+        loop {
+            let timed_out = self.freed.wait_until(&mut s, deadline_at).timed_out();
+            if s.inflight < self.max_inflight {
+                s.inflight += 1;
+                s.queued -= 1;
+                metrics::INFLIGHT.set(s.inflight as i64);
+                return Ok(Permit { gate: self });
+            }
+            if timed_out || Instant::now() >= deadline_at {
+                s.queued -= 1;
+                return Err(AdmitError::DeadlineWhileQueued { waited: t0.elapsed() });
+            }
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.state.lock().queued
+    }
+
+    /// Requests currently holding a solve slot.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().inflight
+    }
+
+    /// Blocks until every slot is free or `deadline_at` passes; returns
+    /// whether the gate went idle in time (the drain wait).
+    pub fn wait_idle(&self, deadline_at: Instant) -> bool {
+        let mut s = self.state.lock();
+        while s.inflight > 0 {
+            if self.freed.wait_until(&mut s, deadline_at).timed_out() {
+                return s.inflight == 0;
+            }
+        }
+        true
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock();
+        s.inflight -= 1;
+        metrics::INFLIGHT.set(s.inflight as i64);
+        drop(s);
+        self.freed.notify_all();
+    }
+}
+
+/// An RAII solve slot; dropping it frees the slot and wakes a waiter.
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Per-tenant fair-share token buckets: every tenant gets the same
+/// refill rate, so one chatty tenant exhausts its own budget instead of
+/// the shared queue. State per tenant is 16 bytes; the map is bounded
+/// in practice by the tenant-label cap upstream of any unbounded-key
+/// abuse (distinct names beyond [`metrics::MAX_TENANT_LABELS`] still
+/// bucket individually here, but the map only grows by what callers
+/// actually send — admission itself sheds the flood).
+pub struct TokenBuckets {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// Buckets refilling at `rate` requests/second with `burst`
+    /// capacity. A non-positive `rate` disables throttling.
+    pub fn new(rate: f64, burst: f64) -> TokenBuckets {
+        TokenBuckets {
+            rate,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `tenant`'s bucket, or reports how long
+    /// until one is available.
+    pub fn try_take(&self, tenant: &str) -> Result<(), Duration> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut map = self.buckets.lock();
+        let b = map.entry(tenant.to_string()).or_insert(Bucket { tokens: self.burst, last: now });
+        b.tokens = (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate)
+            .min(self.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64((1.0 - b.tokens) / self.rate))
+        }
+    }
+}
+
+/// Predicts the queue wait of a newly arrived request from the
+/// always-on scheduler telemetry: the median task latency
+/// ([`rr_sched::task_latency_p50`]) times the observed tasks-per-solve
+/// ratio gives a per-solve cost, which `requests ahead / workers`
+/// converts into a wait. Snapshots are cached for
+/// [`WaitEstimator::REFRESH`] so the admission fast path stays lock-free
+/// in the common case.
+pub struct WaitEstimator {
+    workers: usize,
+    solves_done: AtomicU64,
+    /// Cached per-request tasks estimate (×1000, fixed point).
+    tasks_per_solve_m: AtomicU64,
+    refreshed: Mutex<Option<Instant>>,
+}
+
+impl WaitEstimator {
+    /// How long a cached estimate stays fresh.
+    pub const REFRESH: Duration = Duration::from_millis(100);
+
+    /// An estimator for a pool of `workers` workers.
+    pub fn new(workers: usize) -> WaitEstimator {
+        WaitEstimator {
+            workers: workers.max(1),
+            solves_done: AtomicU64::new(0),
+            tasks_per_solve_m: AtomicU64::new(0),
+            refreshed: Mutex::new(None),
+        }
+    }
+
+    /// Notes one completed solve attempt (the tasks-per-solve
+    /// denominator).
+    pub fn note_solve(&self) {
+        self.solves_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn refresh(&self) {
+        let mut guard = self.refreshed.lock();
+        let now = Instant::now();
+        if guard.is_some_and(|t| now.duration_since(t) < Self::REFRESH) {
+            return;
+        }
+        *guard = Some(now);
+        drop(guard);
+        let solves = self.solves_done.load(Ordering::Relaxed);
+        if solves == 0 {
+            return;
+        }
+        let snap = rr_obs::metrics::snapshot();
+        let tasks = snap.counter("rr_sched_tasks_total").unwrap_or(0);
+        // ×1000 fixed point; at least one task per solve.
+        let ratio_m = (tasks.saturating_mul(1000) / solves).max(1000);
+        self.tasks_per_solve_m.store(ratio_m, Ordering::Relaxed);
+    }
+
+    /// Estimated wait for a request with `requests_ahead` admitted or
+    /// queued requests in front of it. `None` until the process has
+    /// telemetry (first solves, metrics off) — callers should admit
+    /// optimistically then.
+    pub fn estimate(&self, requests_ahead: u64) -> Option<Duration> {
+        if requests_ahead == 0 {
+            return Some(Duration::ZERO);
+        }
+        self.refresh();
+        let ratio_m = self.tasks_per_solve_m.load(Ordering::Relaxed);
+        if ratio_m == 0 {
+            return None;
+        }
+        let tasks_ahead = requests_ahead.saturating_mul(ratio_m) / 1000;
+        rr_sched::estimated_queue_wait(tasks_ahead.max(1), self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gate_admits_up_to_capacity_then_queues_then_rejects() {
+        let gate = Arc::new(Gate::new(2, 1));
+        let deadline = Instant::now() + Duration::from_millis(200);
+        let p1 = gate.admit(deadline).unwrap();
+        let _p2 = gate.admit(deadline).unwrap();
+        assert_eq!(gate.inflight(), 2);
+
+        // Third caller queues; fourth bounces off the full queue.
+        let g = gate.clone();
+        let queued = std::thread::spawn(move || g.admit(Instant::now() + Duration::from_secs(2)).is_ok());
+        while gate.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let err = gate.admit(deadline).unwrap_err();
+        assert_eq!(err, AdmitError::QueueFull { queued: 1 });
+        drop(p1); // frees a slot; the queued caller gets it
+        assert!(queued.join().unwrap());
+    }
+
+    #[test]
+    fn queued_caller_times_out_at_its_deadline() {
+        let gate = Gate::new(1, 4);
+        let _held = gate.admit(Instant::now() + Duration::from_secs(5)).unwrap();
+        let t0 = Instant::now();
+        let err = gate.admit(Instant::now() + Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, AdmitError::DeadlineWhileQueued { .. }), "{err:?}");
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert_eq!(gate.queued(), 0, "timed-out waiter must leave the queue");
+    }
+
+    #[test]
+    fn token_bucket_throttles_then_refills() {
+        let buckets = TokenBuckets::new(1000.0, 2.0);
+        assert!(buckets.try_take("t").is_ok());
+        assert!(buckets.try_take("t").is_ok());
+        let retry_after = match buckets.try_take("t") {
+            Err(d) => d,
+            Ok(()) => panic!("burst of 2 must throttle the third take"),
+        };
+        assert!(retry_after <= Duration::from_millis(2));
+        // Tenants are independent.
+        assert!(buckets.try_take("u").is_ok());
+        // Refill at 1000/s: a couple of ms restores a token.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(buckets.try_take("t").is_ok());
+    }
+
+    #[test]
+    fn zero_rate_disables_throttling() {
+        let buckets = TokenBuckets::new(0.0, 1.0);
+        for _ in 0..100 {
+            assert!(buckets.try_take("t").is_ok());
+        }
+    }
+
+    #[test]
+    fn estimator_needs_telemetry_and_scales_with_queue() {
+        let est = WaitEstimator::new(4);
+        assert_eq!(est.estimate(0), Some(Duration::ZERO));
+        // No solves noted: optimistic None.
+        assert_eq!(est.estimate(5), None);
+    }
+}

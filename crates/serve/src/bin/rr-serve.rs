@@ -1,0 +1,147 @@
+//! The `rr-serve` daemon binary.
+//!
+//! ```text
+//! rr-serve [--addr 127.0.0.1:0] [--threads N] [--solve-threads N]
+//!          [--max-inflight N] [--queue-cap N] [--tenant-rate R]
+//!          [--tenant-burst B] [--deadline-ms D] [--drain-deadline-ms D]
+//!          [--max-degree N] [--max-mu BITS] [--retries N]
+//!          [--breaker-window N] [--breaker-threshold F]
+//!          [--breaker-cooldown-ms D]
+//!          [--chaos-seed S] [--chaos-period P] [--chaos-limit L]
+//! ```
+//!
+//! Prints `rr-serve listening on <addr>` on stdout once bound (the load
+//! generator's `--spawn` mode parses that line), serves until SIGTERM /
+//! SIGINT, then drains gracefully and prints the drain report and final
+//! metrics snapshot on stderr.
+
+use rr_bench::Args;
+use rr_serve::{BreakerConfig, ChaosConfig, RetryConfig, ServeConfig, Server};
+use std::io::Write;
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs SIGINT/SIGTERM handlers that set [`STOP`] (no allocation
+    /// or locking in the handler — just the atomic store).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal as *const () as usize); // SIGINT
+            signal(15, on_signal as *const () as usize); // SIGTERM
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = ServeConfig {
+        addr: args.get::<String>("addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    };
+    if let Some(v) = args.get("threads") {
+        cfg.threads = v;
+    }
+    if let Some(v) = args.get("solve-threads") {
+        cfg.solve_threads = v;
+    }
+    if let Some(v) = args.get("max-inflight") {
+        cfg.max_inflight = v;
+    }
+    if let Some(v) = args.get("queue-cap") {
+        cfg.queue_cap = v;
+    }
+    if let Some(v) = args.get("tenant-rate") {
+        cfg.tenant_rate = v;
+    }
+    if let Some(v) = args.get("tenant-burst") {
+        cfg.tenant_burst = v;
+    }
+    if let Some(v) = args.get::<u64>("deadline-ms") {
+        cfg.default_deadline = Duration::from_millis(v);
+    }
+    if let Some(v) = args.get::<u64>("drain-deadline-ms") {
+        cfg.drain_deadline = Duration::from_millis(v);
+    }
+    if let Some(v) = args.get("max-degree") {
+        cfg.max_degree = v;
+    }
+    if let Some(v) = args.get("max-mu") {
+        cfg.max_mu = v;
+    }
+    if let Some(v) = args.get("retries") {
+        cfg.retry = RetryConfig { max_retries: v, ..RetryConfig::default() };
+    }
+    let mut breaker = BreakerConfig::default();
+    if let Some(v) = args.get("breaker-window") {
+        breaker.window = v;
+        breaker.min_samples = (v / 4).max(2);
+    }
+    if let Some(v) = args.get("breaker-threshold") {
+        breaker.threshold = v;
+    }
+    if let Some(v) = args.get::<u64>("breaker-cooldown-ms") {
+        breaker.cooldown = Duration::from_millis(v);
+    }
+    cfg.breaker = breaker;
+    if let Some(seed) = args.get::<u64>("chaos-seed") {
+        cfg.chaos = Some(ChaosConfig {
+            seed,
+            period: args.get("chaos-period").unwrap_or(3),
+            limit: args.get("chaos-limit").unwrap_or(30),
+        });
+    }
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rr-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("rr-serve listening on {addr}");
+    std::io::stdout().flush().expect("flush stdout");
+
+    #[cfg(unix)]
+    {
+        sig::install();
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            while !sig::stop_requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("rr-serve: signal received, draining");
+            handle.drain();
+        });
+    }
+
+    match server.serve() {
+        Ok(report) => {
+            eprintln!(
+                "rr-serve: drained: served={} stragglers_cancelled={} within_deadline={}",
+                report.served, report.cancelled_stragglers, report.drained_within_deadline
+            );
+            eprintln!("{}", report.final_metrics);
+        }
+        Err(e) => {
+            eprintln!("rr-serve: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

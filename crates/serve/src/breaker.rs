@@ -1,0 +1,267 @@
+//! A sliding-window circuit breaker that trips the service down the
+//! degradation ladder.
+//!
+//! The solver already degrades per-request (squarefree retry, Sturm
+//! baseline). The breaker lifts that ladder to the *service* level:
+//! when the recent failure rate (panic-after-retries, deadline misses)
+//! crosses a threshold, new requests are routed straight to the Sturm
+//! baseline — slower per root but with no parallel machinery to fail —
+//! instead of burning deadline budget on a sick full pipeline. After a
+//! cooldown the breaker goes half-open and lets exactly one probe
+//! through the full pipeline; a probe success closes the breaker, a
+//! probe failure re-opens it for another cooldown.
+
+use crate::metrics;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Outcomes remembered in the sliding window.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Failure-rate threshold in `(0, 1]`; `> threshold` trips.
+    pub threshold: f64,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            threshold: 0.5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Where the breaker routes a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Full parallel pipeline; `probe` marks the single half-open
+    /// probe whose outcome decides recovery.
+    Full {
+        /// This request is the half-open probe.
+        probe: bool,
+    },
+    /// Sturm-only baseline service (breaker open).
+    Baseline,
+}
+
+/// Breaker state, exported as the `rr_serve_breaker_state` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service; outcomes are being windowed.
+    Closed,
+    /// Tripped; requests take the baseline route.
+    Open,
+    /// Cooldown elapsed; one probe is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding (0 closed, 1 open, 2 half-open).
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Stable label for wire accounting and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+struct Inner {
+    outcomes: VecDeque<bool>, // true = failure
+    failures: usize,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+    probing: bool,
+}
+
+/// The breaker itself; shared across connection threads.
+pub struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        metrics::BREAKER_STATE.set(BreakerState::Closed.gauge_value());
+        Breaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                outcomes: VecDeque::new(),
+                failures: 0,
+                state: BreakerState::Closed,
+                opened_at: None,
+                probing: false,
+            }),
+        }
+    }
+
+    /// Decides the route for the next request. Transitions Open →
+    /// HalfOpen once the cooldown has elapsed and hands out exactly one
+    /// probe at a time.
+    pub fn route(&self) -> Route {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Route::Full { probe: false },
+            BreakerState::Open => {
+                let elapsed = inner.opened_at.map(|t| t.elapsed()).unwrap_or_default();
+                if elapsed >= self.cfg.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probing = true;
+                    metrics::BREAKER_STATE.set(BreakerState::HalfOpen.gauge_value());
+                    Route::Full { probe: true }
+                } else {
+                    Route::Baseline
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probing {
+                    // A probe is already in flight; keep everyone else
+                    // on the safe route until it reports.
+                    Route::Baseline
+                } else {
+                    inner.probing = true;
+                    Route::Full { probe: true }
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of a full-route request. `probe` must echo
+    /// the flag from [`Breaker::route`].
+    pub fn record(&self, probe: bool, failure: bool) {
+        let mut inner = self.inner.lock();
+        if probe {
+            inner.probing = false;
+            if failure {
+                // Probe failed: re-open for a fresh cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                metrics::BREAKER_STATE.set(BreakerState::Open.gauge_value());
+            } else {
+                // Probe succeeded: close and forget the bad window.
+                inner.state = BreakerState::Closed;
+                inner.outcomes.clear();
+                inner.failures = 0;
+                metrics::BREAKER_STATE.set(BreakerState::Closed.gauge_value());
+            }
+            return;
+        }
+        if inner.state != BreakerState::Closed {
+            // A stale pre-trip request finishing late; the window it
+            // belonged to is gone.
+            return;
+        }
+        inner.outcomes.push_back(failure);
+        if failure {
+            inner.failures += 1;
+        }
+        while inner.outcomes.len() > self.cfg.window {
+            if inner.outcomes.pop_front() == Some(true) {
+                inner.failures -= 1;
+            }
+        }
+        let n = inner.outcomes.len();
+        if n >= self.cfg.min_samples
+            && inner.failures as f64 / n as f64 > self.cfg.threshold
+        {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            metrics::BREAKER_STATE.set(BreakerState::Open.gauge_value());
+            metrics::BREAKER_TRIPS.inc();
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            threshold: 0.5,
+            cooldown: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn trips_after_failure_burst_then_recovers_via_probe() {
+        let b = Breaker::new(fast_cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..4 {
+            assert_eq!(b.route(), Route::Full { probe: false });
+            b.record(false, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(), Route::Baseline);
+
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: one probe goes through, the rest stay safe.
+        assert_eq!(b.route(), Route::Full { probe: true });
+        assert_eq!(b.route(), Route::Baseline);
+        b.record(true, false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.route(), Route::Full { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false, true);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.route(), Route::Full { probe: true });
+        b.record(true, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(), Route::Baseline);
+    }
+
+    #[test]
+    fn below_threshold_stays_closed() {
+        let b = Breaker::new(fast_cfg());
+        for i in 0..32 {
+            b.record(false, i % 3 == 0); // 1/3 failure rate < 0.5
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn stale_outcomes_after_trip_are_ignored() {
+        let b = Breaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Late non-probe successes must not silently close it.
+        for _ in 0..16 {
+            b.record(false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rr-serve — an overload-safe root-finding daemon
+//!
+//! Composes the pieces the library already provides — the persistent
+//! [`rr_core::Runtime`] pool, [`rr_core::Session`] solves,
+//! [`rr_core::SolveLimits`] deadlines, [`rr_sched::CancelToken`]
+//! cancellation, the degradation ladder, and the always-on
+//! [`rr_obs::metrics`] registry — into a zero-dependency,
+//! thread-per-connection TCP daemon speaking newline-delimited JSON.
+//! The headline is not the transport but **overload safety**:
+//!
+//! * **Admission control** ([`admission`]) — a bounded wait queue in
+//!   front of a fixed in-flight cap, plus per-tenant fair-share token
+//!   buckets. When the queue is full, or the caller's deadline would
+//!   expire before its estimated queue wait (derived from the
+//!   `rr_sched_task_latency_ns` histogram via [`rr_sched::estimate`]),
+//!   the request is rejected *fast* with a typed
+//!   `{"code":"overloaded","retry_after_ms":…}` response instead of
+//!   being allowed to rot in the queue.
+//! * **End-to-end deadline propagation** ([`server`]) — the wire
+//!   deadline becomes an absolute instant on arrival; queue wait eats
+//!   into it; what remains is armed on the solve via
+//!   [`rr_core::SolveLimits::with_deadline_at`]. A client that
+//!   disconnects mid-solve fires the solve's [`rr_sched::CancelToken`],
+//!   so abandoned work is abandoned early.
+//! * **Retry / backoff and a circuit breaker** ([`retry`], [`breaker`])
+//!   — transient failures (contained task panics, internal races) are
+//!   retried server-side with jittered exponential backoff while the
+//!   deadline allows; a sliding-window circuit breaker trips the whole
+//!   service down the degradation ladder to Sturm-only solves when the
+//!   failure rate spikes, recovering through half-open probes.
+//! * **Graceful drain** ([`server::ShutdownHandle`]) — stop accepting,
+//!   finish in-flight solves under a drain deadline, cancel stragglers,
+//!   flush a final metrics snapshot.
+//!
+//! Plus `GET /metrics` (Prometheus text,
+//! [`rr_obs::metrics::render_prometheus`]), `GET /healthz`, and
+//! `GET /readyz` on the same port (the daemon sniffs `GET ` lines).
+//!
+//! The wire protocol and its stable error taxonomy live in [`wire`];
+//! the taxonomy codes themselves are owned by
+//! [`rr_core::SolveError::code`] so library callers and wire clients
+//! branch on the same strings. See DESIGN.md §16 for the admission
+//! math, breaker thresholds and drain protocol, and
+//! `crates/bench/src/bin/loadgen.rs` for the load generator that
+//! produces `results/BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod breaker;
+pub mod metrics;
+pub mod retry;
+pub mod server;
+pub mod wire;
+
+pub use admission::{AdmitError, Gate, Permit, TokenBuckets, WaitEstimator};
+pub use breaker::{Breaker, BreakerConfig, BreakerState, Route};
+pub use retry::RetryConfig;
+pub use server::{ChaosConfig, DrainReport, ServeConfig, Server, ShutdownHandle};
+pub use wire::Request;

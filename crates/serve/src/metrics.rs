@@ -1,0 +1,176 @@
+//! The daemon's always-on metric series, registered through
+//! [`rr_obs::metrics`] so `metrics_dump` and the `/metrics` endpoint
+//! report them with no extra plumbing.
+//!
+//! The registry requires `'static` label values (typed enumerations,
+//! bounded cardinality). Tenants arrive as free-form wire strings, so
+//! [`tenant_label`] interns them: the first [`MAX_TENANT_LABELS`]
+//! distinct (sanitized) names each get a leaked `'static` copy — a
+//! deliberate, bounded leak — and everything past the cap folds into
+//! the `"other"` label. Cardinality stays bounded no matter what
+//! clients send.
+
+use parking_lot::Mutex;
+use rr_obs::metrics::{counter_with, Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::LazyLock;
+
+/// Maximum number of distinct tenant label values; later tenants are
+/// reported as `other`.
+pub const MAX_TENANT_LABELS: usize = 32;
+
+/// Outcome label values for [`requests_total`]. Keeping the list here
+/// (rather than scattered string literals) makes the bounded label set
+/// auditable.
+pub mod outcome {
+    /// Solved natively.
+    pub const OK: &str = "ok";
+    /// Solved through the degradation ladder (squarefree retry, Sturm
+    /// baseline, or breaker-forced baseline).
+    pub const DEGRADED: &str = "degraded";
+    /// Shed by admission control (queue full / would miss deadline).
+    pub const REJECTED_OVERLOAD: &str = "rejected-overload";
+    /// Shed by the tenant token bucket.
+    pub const REJECTED_THROTTLED: &str = "rejected-throttled";
+    /// Refused because the server is draining.
+    pub const REJECTED_SHUTDOWN: &str = "rejected-shutdown";
+    /// Deadline expired while queued (never solved).
+    pub const REJECTED_DEADLINE: &str = "rejected-deadline";
+    /// Deadline expired mid-solve.
+    pub const DEADLINE: &str = "deadline";
+    /// Cancelled (drain stragglers, explicit request).
+    pub const CANCELLED: &str = "cancelled";
+    /// Client disconnected mid-solve; the solve was cancelled.
+    pub const DISCONNECTED: &str = "disconnected";
+    /// Unparseable request line.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Non-transient solve failure (rejected input, internal error, or
+    /// retries exhausted).
+    pub const FAILED: &str = "failed";
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .take(40)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    if s.is_empty() {
+        s.push('_');
+    }
+    s
+}
+
+/// Interns a wire tenant name as a `'static` Prometheus-safe label
+/// value (see the module docs for the bounded-leak policy).
+pub fn tenant_label(name: &str) -> &'static str {
+    static INTERNED: LazyLock<Mutex<BTreeMap<String, &'static str>>> =
+        LazyLock::new(|| Mutex::new(BTreeMap::new()));
+    let key = sanitize(name);
+    let mut map = INTERNED.lock();
+    if let Some(&label) = map.get(&key) {
+        return label;
+    }
+    if map.len() >= MAX_TENANT_LABELS {
+        return "other";
+    }
+    let label: &'static str = Box::leak(key.clone().into_boxed_str());
+    map.insert(key, label);
+    label
+}
+
+/// The `rr_serve_requests_total{tenant,outcome}` series for one cell.
+pub fn requests_total(tenant: &'static str, outcome: &'static str) -> Counter {
+    counter_with(
+        "rr_serve_requests_total",
+        "Requests by tenant and outcome",
+        &[("tenant", tenant), ("outcome", outcome)],
+    )
+}
+
+/// Time admitted requests spent queued before a solve slot freed (ns).
+pub static QUEUE_WAIT: LazyLock<Histogram> = rr_obs::register_metric!(
+    histogram,
+    "rr_serve_queue_wait_ns",
+    "Admission-queue wait of admitted requests (ns)"
+);
+
+/// Wall time of typed rejections, request-line receipt to response
+/// write (ns) — the "sheds fast" guarantee, measurable.
+pub static REJECT_LATENCY: LazyLock<Histogram> = rr_obs::register_metric!(
+    histogram,
+    "rr_serve_rejection_ns",
+    "Latency of typed rejections (ns)"
+);
+
+/// Server-side retry attempts consumed by transient solve failures.
+pub static RETRIES: LazyLock<Counter> = rr_obs::register_metric!(
+    counter,
+    "rr_serve_retries_total",
+    "Server-side solve retries after transient failures"
+);
+
+/// Circuit-breaker state: 0 closed, 1 open (Sturm-only service),
+/// 2 half-open (probing).
+pub static BREAKER_STATE: LazyLock<Gauge> = rr_obs::register_metric!(
+    gauge,
+    "rr_serve_breaker_state",
+    "Circuit breaker state (0 closed, 1 open, 2 half-open)"
+);
+
+/// Times the breaker tripped open.
+pub static BREAKER_TRIPS: LazyLock<Counter> = rr_obs::register_metric!(
+    counter,
+    "rr_serve_breaker_trips_total",
+    "Circuit breaker trips to Sturm-only service"
+);
+
+/// Requests currently holding a solve slot.
+pub static INFLIGHT: LazyLock<Gauge> = rr_obs::register_metric!(
+    gauge,
+    "rr_serve_inflight",
+    "Requests currently holding a solve slot"
+);
+
+/// Open client connections.
+pub static CONNECTIONS: LazyLock<Gauge> = rr_obs::register_metric!(
+    gauge,
+    "rr_serve_connections",
+    "Open client connections"
+);
+
+/// Panics caught at the connection-handler boundary. Stays zero in a
+/// healthy server — solver panics are contained by the pool scope and
+/// never reach this counter; the chaos suite asserts on it.
+pub static HANDLER_PANICS: LazyLock<Counter> = rr_obs::register_metric!(
+    counter,
+    "rr_serve_handler_panics_total",
+    "Panics caught at the connection-handler boundary"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_caps_cardinality_and_sanitizes() {
+        assert_eq!(tenant_label("acme"), "acme");
+        assert_eq!(tenant_label("acme"), "acme"); // stable
+        assert_eq!(tenant_label("we ird\"name"), "we_ird_name");
+        for i in 0..2 * MAX_TENANT_LABELS {
+            let _ = tenant_label(&format!("tenant-{i}"));
+        }
+        assert_eq!(tenant_label("one-more-past-the-cap"), "other");
+        // Pre-cap names keep their identity.
+        assert_eq!(tenant_label("acme"), "acme");
+    }
+
+    #[test]
+    fn request_counters_register() {
+        requests_total(tenant_label("metrics-test"), outcome::OK).inc();
+        let snap = rr_obs::metrics::snapshot();
+        if rr_obs::metrics::enabled() {
+            assert!(snap.counter("rr_serve_requests_total").unwrap_or(0) >= 1);
+        }
+    }
+}

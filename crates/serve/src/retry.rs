@@ -1,0 +1,75 @@
+//! Server-side retry policy: jittered exponential backoff for
+//! transient solve failures.
+//!
+//! Only errors the library marks transient
+//! ([`rr_core::SolveError::is_transient`]: contained task panics,
+//! internal races) are retried, and only while the request's deadline
+//! still allows another attempt. The jitter is deterministic in the
+//! `(seed, attempt)` pair — a splitmix64 hash, matching the scheduler's
+//! fault-plan idiom — so load tests replay identically while real
+//! fleets still spread their retries.
+
+use std::time::Duration;
+
+/// Retry tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling for any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            max_retries: 2,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Backoff before retry number `attempt` (0-based): `base × 2^attempt`
+/// scaled by a deterministic jitter in `[0.5, 1.5)`, capped at
+/// `cfg.cap`.
+pub fn backoff_delay(cfg: &RetryConfig, attempt: u32, seed: u64) -> Duration {
+    let exp = cfg.base.saturating_mul(1u32 << attempt.min(16));
+    let h = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0xa076_1d64_78bd_642f));
+    let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64; // [0.5, 1.5)
+    let jittered = Duration::from_secs_f64(exp.as_secs_f64() * jitter);
+    jittered.min(cfg.cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let cfg = RetryConfig {
+            max_retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(60),
+        };
+        let d0 = backoff_delay(&cfg, 0, 7);
+        let d3 = backoff_delay(&cfg, 3, 7);
+        assert!(d0 >= Duration::from_millis(5) && d0 < Duration::from_millis(15), "{d0:?}");
+        assert!(d3 >= Duration::from_millis(40) && d3 <= cfg.cap, "{d3:?}");
+        // Deterministic in (seed, attempt).
+        assert_eq!(backoff_delay(&cfg, 1, 42), backoff_delay(&cfg, 1, 42));
+        // Different seeds spread.
+        let spread: Vec<Duration> = (0..8).map(|s| backoff_delay(&cfg, 0, s)).collect();
+        assert!(spread.iter().any(|d| d != &spread[0]));
+    }
+}

@@ -1,0 +1,658 @@
+//! The daemon: accept loop, connection handling, deadline propagation,
+//! retry loop, and graceful drain.
+//!
+//! One thread per connection (connections are long-lived NDJSON
+//! streams; the bounded admission [`Gate`] — not the thread count — is
+//! what bounds concurrent *solves*). Each request's wire deadline
+//! becomes an absolute [`Instant`] the moment the line is parsed; queue
+//! wait, retries, and backoff all spend that same budget, and whatever
+//! remains is armed on the solve through
+//! [`rr_core::SolveLimits::with_deadline_at`]. A monitor thread watches
+//! the client socket during the solve and fires the solve's
+//! [`CancelToken`] on disconnect, so abandoned work is cancelled rather
+//! than computed into a closed socket.
+
+use crate::admission::{AdmitError, Gate, TokenBuckets, WaitEstimator};
+use crate::breaker::{Breaker, BreakerConfig, Route};
+use crate::retry::{backoff_delay, RetryConfig};
+use crate::{metrics, wire};
+use parking_lot::Mutex;
+use rr_core::{
+    CancelReason, CancelToken, Dyadic, FaultInjector, FaultPlan, RootsResult, Runtime, Session,
+    SolveError, SolveLimits, SolverConfig,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Socket read timeout between request lines: the cadence at which idle
+/// connection threads notice a drain.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+/// Socket read timeout while the disconnect monitor owns the socket.
+const MONITOR_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Deterministic fault seeding for the chaos suite: request sequence
+/// numbers `s < limit` with `s % period == 0` get a seeded
+/// [`FaultPlan`] injected into their *first* solve attempt (retries run
+/// clean, so server-side retry absorbs the fault and the breaker can
+/// recover once the window passes).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Base seed; request `s` uses `seed ^ s`.
+    pub seed: u64,
+    /// Every `period`-th request is faulted.
+    pub period: u64,
+    /// Only requests with sequence number below `limit` are faulted.
+    pub limit: u64,
+}
+
+/// Server tuning. [`ServeConfig::default`] is sized for a small shared
+/// host; the load generator and tests override the admission knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads in the shared solve pool.
+    pub threads: usize,
+    /// Per-solve parallelism (`SolverConfig::parallel` threads).
+    pub solve_threads: usize,
+    /// Largest accepted polynomial degree.
+    pub max_degree: usize,
+    /// Largest accepted output precision (bits).
+    pub max_mu: u64,
+    /// Concurrent solve slots (admission gate).
+    pub max_inflight: usize,
+    /// Bounded wait queue behind the slots.
+    pub queue_cap: usize,
+    /// Per-tenant token-bucket refill rate (requests/second; 0 disables
+    /// throttling).
+    pub tenant_rate: f64,
+    /// Per-tenant burst capacity.
+    pub tenant_burst: f64,
+    /// Deadline applied to requests that set none.
+    pub default_deadline: Duration,
+    /// Server-side retry policy for transient solve failures.
+    pub retry: RetryConfig,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// How long a drain waits for in-flight solves before cancelling
+    /// stragglers.
+    pub drain_deadline: Duration,
+    /// Deterministic fault seeding (chaos suite only).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            solve_threads: 3,
+            max_degree: 512,
+            max_mu: 256,
+            max_inflight: 4,
+            queue_cap: 16,
+            tenant_rate: 0.0,
+            tenant_burst: 8.0,
+            default_deadline: Duration::from_secs(5),
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
+            drain_deadline: Duration::from_secs(2),
+            chaos: None,
+        }
+    }
+}
+
+/// What a completed drain looked like.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Requests that received a response (including typed rejections).
+    pub served: u64,
+    /// In-flight solves cancelled at the drain deadline.
+    pub cancelled_stragglers: usize,
+    /// Whether every in-flight solve finished inside the drain window.
+    pub drained_within_deadline: bool,
+    /// Final Prometheus snapshot, flushed after the last connection
+    /// closed.
+    pub final_metrics: String,
+}
+
+/// Cloneable handle that initiates a graceful drain from another thread
+/// (the signal watcher, a test, an operator endpoint).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    draining: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Stop accepting; let [`Server::serve`] run its drain protocol.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// The daemon. [`Server::bind`], then [`Server::serve`] on a dedicated
+/// thread; stop with [`Server::shutdown_handle`].
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    runtime: Runtime,
+    gate: Gate,
+    buckets: TokenBuckets,
+    breaker: Breaker,
+    estimator: WaitEstimator,
+    draining: Arc<AtomicBool>,
+    seq: AtomicU64,
+    served: AtomicU64,
+    /// Tokens of solves currently in flight, so a drain can cancel
+    /// stragglers.
+    active: Mutex<Vec<(u64, CancelToken)>>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the solve pool.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let runtime = Runtime::new(cfg.threads);
+        Ok(Server {
+            gate: Gate::new(cfg.max_inflight, cfg.queue_cap),
+            buckets: TokenBuckets::new(cfg.tenant_rate, cfg.tenant_burst),
+            breaker: Breaker::new(cfg.breaker.clone()),
+            estimator: WaitEstimator::new(cfg.threads),
+            draining: Arc::new(AtomicBool::new(false)),
+            seq: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            active: Mutex::new(Vec::new()),
+            cfg,
+            listener,
+            runtime,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful drain.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { draining: self.draining.clone() }
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Runs the accept loop until a drain is requested, then executes
+    /// the drain protocol: stop accepting, wait for in-flight solves
+    /// under [`ServeConfig::drain_deadline`], cancel stragglers, join
+    /// every connection thread, flush a final metrics snapshot.
+    pub fn serve(&self) -> std::io::Result<DrainReport> {
+        let (stragglers, drained_in_time) = std::thread::scope(|scope| {
+            loop {
+                if self.draining() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move || {
+                            if catch_unwind(AssertUnwindSafe(|| self.handle_conn(stream)))
+                                .is_err()
+                            {
+                                metrics::HANDLER_PANICS.inc();
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Drain: connections keep answering in-flight work but
+            // refuse new lines (they observe `draining`). Give solves
+            // the drain window, then cancel what is left.
+            let drain_deadline = Instant::now() + self.cfg.drain_deadline;
+            let in_time = self.gate.wait_idle(drain_deadline);
+            let stragglers = {
+                let active = self.active.lock();
+                for (_, token) in active.iter() {
+                    token.cancel(CancelReason::Requested { why: "server draining".into() });
+                }
+                active.len()
+            };
+            Ok((stragglers, in_time))
+            // Scope join: every connection thread exits once its
+            // (possibly cancelled) solve returns and it sees `draining`.
+        })?;
+        Ok(DrainReport {
+            served: self.served.load(Ordering::Relaxed),
+            cancelled_stragglers: stragglers,
+            drained_within_deadline: drained_in_time,
+            final_metrics: rr_obs::metrics::render_prometheus(),
+        })
+    }
+
+    fn handle_conn(&self, stream: TcpStream) {
+        metrics::CONNECTIONS.add(1);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = stream.set_nodelay(true);
+        let leftover: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+        let mut stream = stream;
+        loop {
+            match self.read_line(&stream, &leftover) {
+                LineRead::Line(line) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if let Some(path) = line.strip_prefix("GET ") {
+                        self.handle_http(&mut stream, path);
+                        break; // Connection: close
+                    }
+                    let response = self.handle_request(line, &stream, &leftover);
+                    self.served.fetch_add(1, Ordering::Relaxed);
+                    if let Some(resp) = response {
+                        if write_line(&mut stream, &resp).is_err() {
+                            break;
+                        }
+                    }
+                }
+                LineRead::Idle => {
+                    if self.draining() {
+                        break;
+                    }
+                }
+                LineRead::Closed => break,
+            }
+        }
+        metrics::CONNECTIONS.add(-1);
+    }
+
+    fn read_line(&self, mut stream: &TcpStream, leftover: &Mutex<Vec<u8>>) -> LineRead {
+        let mut buf = leftover.lock().split_off(0);
+        loop {
+            if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let rest = buf.split_off(pos + 1);
+                buf.pop();
+                *leftover.lock() = rest;
+                return match String::from_utf8(buf) {
+                    Ok(s) => LineRead::Line(s),
+                    Err(_) => LineRead::Closed, // non-UTF-8 peer: drop it
+                };
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return LineRead::Closed,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    *leftover.lock() = buf;
+                    return LineRead::Idle;
+                }
+                Err(_) => return LineRead::Closed,
+            }
+        }
+    }
+
+    fn handle_http(&self, stream: &mut TcpStream, request_line: &str) {
+        let path = request_line.split_whitespace().next().unwrap_or("/");
+        let (status, body) = match path {
+            "/metrics" => ("200 OK", rr_obs::metrics::render_prometheus()),
+            "/healthz" => ("200 OK", "ok\n".to_string()),
+            "/readyz" => {
+                if self.draining() {
+                    ("503 Service Unavailable", "draining\n".to_string())
+                } else {
+                    ("200 OK", "ready\n".to_string())
+                }
+            }
+            _ => ("404 Not Found", "not found\n".to_string()),
+        };
+        let _ = write!(
+            stream,
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.flush();
+    }
+
+    /// Full request lifecycle. Returns the response line, or `None`
+    /// when the client is gone and there is nowhere to write it.
+    fn handle_request(
+        &self,
+        line: &str,
+        stream: &TcpStream,
+        leftover: &Mutex<Vec<u8>>,
+    ) -> Option<String> {
+        let t_recv = Instant::now();
+        let req = match wire::parse_request(line, self.cfg.max_degree, self.cfg.max_mu) {
+            Ok(req) => req,
+            Err(reason) => {
+                self.count(metrics::tenant_label("anon"), metrics::outcome::BAD_REQUEST);
+                metrics::REJECT_LATENCY.record(t_recv.elapsed().as_nanos() as u64);
+                return Some(wire::reject_response(0, wire::codes::BAD_REQUEST, &reason, None));
+            }
+        };
+        let tenant = metrics::tenant_label(&req.tenant);
+        let deadline_at = t_recv + req.deadline.unwrap_or(self.cfg.default_deadline);
+
+        let reject = |outcome: &'static str, resp: String| {
+            self.count(tenant, outcome);
+            metrics::REJECT_LATENCY.record(t_recv.elapsed().as_nanos() as u64);
+            Some(resp)
+        };
+
+        if self.draining() {
+            return reject(
+                metrics::outcome::REJECTED_SHUTDOWN,
+                wire::reject_response(
+                    req.id,
+                    wire::codes::SHUTTING_DOWN,
+                    "server is draining",
+                    None,
+                ),
+            );
+        }
+        if let Err(after) = self.buckets.try_take(&req.tenant) {
+            return reject(
+                metrics::outcome::REJECTED_THROTTLED,
+                wire::reject_response(
+                    req.id,
+                    wire::codes::THROTTLED,
+                    "tenant rate limit",
+                    Some(after),
+                ),
+            );
+        }
+        // Shed-before-queue: if telemetry predicts the queue alone will
+        // outlive the caller's deadline, rejecting now is cheaper for
+        // everyone than letting the request rot and expire in line.
+        let ahead = (self.gate.inflight() + self.gate.queued()) as u64;
+        if let Some(est) = self.estimator.estimate(ahead) {
+            if t_recv + est > deadline_at {
+                return reject(
+                    metrics::outcome::REJECTED_OVERLOAD,
+                    wire::reject_response(
+                        req.id,
+                        wire::codes::OVERLOADED,
+                        &format!("estimated queue wait {est:.1?} exceeds the deadline"),
+                        Some(est),
+                    ),
+                );
+            }
+        }
+        let permit = match self.gate.admit(deadline_at) {
+            Ok(p) => p,
+            Err(AdmitError::QueueFull { queued }) => {
+                let hint = self
+                    .estimator
+                    .estimate(queued as u64 + self.cfg.max_inflight as u64)
+                    .unwrap_or(Duration::from_millis(50));
+                return reject(
+                    metrics::outcome::REJECTED_OVERLOAD,
+                    wire::reject_response(
+                        req.id,
+                        wire::codes::OVERLOADED,
+                        "admission queue full",
+                        Some(hint),
+                    ),
+                );
+            }
+            Err(AdmitError::DeadlineWhileQueued { waited }) => {
+                return reject(
+                    metrics::outcome::REJECTED_DEADLINE,
+                    wire::reject_response(
+                        req.id,
+                        "deadline",
+                        &format!("deadline expired after {waited:.1?} in the admission queue"),
+                        None,
+                    ),
+                );
+            }
+            Err(AdmitError::WouldMissDeadline { estimated_wait }) => {
+                return reject(
+                    metrics::outcome::REJECTED_OVERLOAD,
+                    wire::reject_response(
+                        req.id,
+                        wire::codes::OVERLOADED,
+                        "estimated wait exceeds the deadline",
+                        Some(estimated_wait),
+                    ),
+                );
+            }
+        };
+        let queue_wait = t_recv.elapsed();
+        metrics::QUEUE_WAIT.record(queue_wait.as_nanos() as u64);
+
+        let response =
+            self.solve_admitted(&req, deadline_at, queue_wait, tenant, stream, leftover);
+        drop(permit);
+        response
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_admitted(
+        &self,
+        req: &wire::Request,
+        deadline_at: Instant,
+        queue_wait: Duration,
+        tenant: &'static str,
+        stream: &TcpStream,
+        leftover: &Mutex<Vec<u8>>,
+    ) -> Option<String> {
+        let route = self.breaker.route();
+        let breaker_label = self.breaker.state().label();
+        let mut acct = wire::Accounting { queue_wait, retries: 0, breaker: breaker_label };
+
+        if route == Route::Baseline {
+            // Breaker open: Sturm-only service. Slower per root, but no
+            // parallel machinery to fail while the pool is suspect.
+            let t0 = Instant::now();
+            let cfg = rr_baseline::BaselineConfig::new(req.mu);
+            return match rr_baseline::find_real_roots(&req.poly, &cfg) {
+                Ok(nums) => {
+                    self.count(tenant, metrics::outcome::DEGRADED);
+                    let roots: Vec<Dyadic> =
+                        nums.into_iter().map(|num| Dyadic::new(num, req.mu)).collect();
+                    Some(wire::baseline_response(
+                        req.id,
+                        req.poly.deg(),
+                        &roots,
+                        t0.elapsed(),
+                        &acct,
+                    ))
+                }
+                Err(e) => {
+                    self.count(tenant, metrics::outcome::FAILED);
+                    Some(wire::reject_response(req.id, "rejected-input", &e.to_string(), None))
+                }
+            };
+        }
+        let probe = matches!(route, Route::Full { probe: true });
+
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        self.active.lock().push((seq, token.clone()));
+        let result =
+            self.solve_with_monitor(req, &token, deadline_at, seq, &mut acct, stream, leftover);
+        self.active.lock().retain(|(id, _)| *id != seq);
+        self.estimator.note_solve();
+
+        // Breaker failure = the pipeline let the caller down: a panic
+        // that survived retries, an internal error, or a deadline miss.
+        let failure = matches!(
+            &result,
+            Err(e) if matches!(e.code(), "task-panicked" | "internal" | "deadline")
+        );
+        self.breaker.record(probe, failure);
+
+        match result {
+            Ok(r) => {
+                let outcome = if r.degraded.is_some() {
+                    metrics::outcome::DEGRADED
+                } else {
+                    metrics::outcome::OK
+                };
+                self.count(tenant, outcome);
+                Some(wire::ok_response(req.id, &r, &acct))
+            }
+            Err(e) => {
+                let disconnected = matches!(
+                    token.reason(),
+                    Some(CancelReason::Requested { ref why }) if why == "client disconnected"
+                );
+                let outcome = if disconnected {
+                    metrics::outcome::DISCONNECTED
+                } else {
+                    match e.code() {
+                        "deadline" => metrics::outcome::DEADLINE,
+                        "cancelled" => metrics::outcome::CANCELLED,
+                        _ => metrics::outcome::FAILED,
+                    }
+                };
+                self.count(tenant, outcome);
+                if disconnected {
+                    // Nowhere to write the response.
+                    None
+                } else {
+                    Some(wire::solve_error_response(req.id, &e, &acct))
+                }
+            }
+        }
+    }
+
+    /// Runs the retry loop under a disconnect monitor: a scoped thread
+    /// owns the socket's read side for the duration of the solve and
+    /// fires the token on EOF, so a vanished client cancels its own
+    /// solve instead of having roots computed into a closed socket.
+    /// Bytes that arrive early (pipelined requests) go into the
+    /// connection's leftover buffer for `read_line` to consume next.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_with_monitor(
+        &self,
+        req: &wire::Request,
+        token: &CancelToken,
+        deadline_at: Instant,
+        seq: u64,
+        acct: &mut wire::Accounting,
+        stream: &TcpStream,
+        leftover: &Mutex<Vec<u8>>,
+    ) -> Result<RootsResult, SolveError> {
+        let done = AtomicBool::new(false);
+        let result = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _ = stream.set_read_timeout(Some(MONITOR_TIMEOUT));
+                let mut side = stream;
+                let mut chunk = [0u8; 1024];
+                while !done.load(Ordering::Relaxed) {
+                    match side.read(&mut chunk) {
+                        Ok(0) => {
+                            token.cancel(CancelReason::Requested {
+                                why: "client disconnected".into(),
+                            });
+                            break;
+                        }
+                        Ok(n) => leftover.lock().extend_from_slice(&chunk[..n]),
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock
+                                    | std::io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => break,
+                    }
+                }
+            });
+            let r = self.run_attempts(req, token, deadline_at, seq, acct);
+            done.store(true, Ordering::Relaxed);
+            r
+        });
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        result
+    }
+
+    /// The retry loop proper: solve, retry transient failures with
+    /// jittered backoff while the deadline allows, give up otherwise.
+    fn run_attempts(
+        &self,
+        req: &wire::Request,
+        token: &CancelToken,
+        deadline_at: Instant,
+        seq: u64,
+        acct: &mut wire::Accounting,
+    ) -> Result<RootsResult, SolveError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let mut session = Session::with_runtime(
+                SolverConfig::parallel(req.mu, self.cfg.solve_threads),
+                &self.runtime,
+            );
+            if attempt == 0 {
+                if let Some(chaos) = self.cfg.chaos {
+                    if seq < chaos.limit && seq % chaos.period.max(1) == 0 {
+                        let plan = FaultPlan::seeded(
+                            chaos.seed ^ seq,
+                            8,
+                            1,
+                            0,
+                            Duration::ZERO,
+                        );
+                        session = session.with_fault_injection(FaultInjector::new(plan));
+                    }
+                }
+            }
+            let limits = SolveLimits::none()
+                .with_deadline_at(deadline_at)
+                .with_token(token.clone());
+            let result = session.solve_supervised(&req.poly, &limits);
+            match result {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    let backoff = backoff_delay(&self.cfg.retry, attempt, seq);
+                    let can_retry = e.is_transient()
+                        && attempt < self.cfg.retry.max_retries
+                        && !token.is_cancelled()
+                        && Instant::now() + backoff < deadline_at;
+                    if !can_retry {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    acct.retries = attempt;
+                    metrics::RETRIES.inc();
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    fn count(&self, tenant: &'static str, outcome: &'static str) {
+        metrics::requests_total(tenant, outcome).inc();
+    }
+}
+
+enum LineRead {
+    Line(String),
+    Idle,
+    Closed,
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

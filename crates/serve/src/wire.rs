@@ -1,0 +1,329 @@
+//! The newline-delimited JSON wire protocol and its stable taxonomy.
+//!
+//! One request per line, one response per line. Requests:
+//!
+//! ```json
+//! {"id": 7, "tenant": "acme", "coeffs": ["-6", "11", "-6", "1"],
+//!  "mu": 8, "deadline_ms": 2000}
+//! ```
+//!
+//! `coeffs` are the polynomial's integer coefficients in ascending
+//! degree order (constant term first), as decimal strings (exact at any
+//! size) or plain JSON integers (exact below 2⁵³). `mu` is the output
+//! precision in bits; `deadline_ms` the caller's end-to-end deadline.
+//!
+//! Successful responses carry the exact dyadic roots
+//! (`⌈2^µ·x⌉ / 2^µ`, numerator as a decimal string) plus an `f64`
+//! rendering, the degradation marker, and per-request accounting;
+//! failures carry the stable `code` taxonomy of
+//! [`SolveError::code`](rr_core::SolveError::code) extended with the
+//! server-side admission codes (see [`codes`]), a human `reason`, the
+//! partial accounting when the solve was cancelled mid-flight, and —
+//! for shed requests — a `retry_after_ms` hint.
+
+use rr_bench::json::{from_str, Value};
+use rr_core::{PartialStats, RootsResult, SolveError};
+use rr_mp::Int;
+use rr_poly::Poly;
+use std::collections::BTreeMap;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// The server-side additions to the [`rr_core::SolveError::code`]
+/// taxonomy. Like the core codes, these strings are a wire contract.
+pub mod codes {
+    /// Request line was not valid JSON / a valid request object.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Shed by admission control: queue full, or the deadline would
+    /// expire before the estimated queue wait. Carries `retry_after_ms`.
+    pub const OVERLOADED: &str = "overloaded";
+    /// Shed by the caller's per-tenant token bucket. Carries
+    /// `retry_after_ms`.
+    pub const THROTTLED: &str = "throttled";
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The client disconnected while its solve was running; the solve
+    /// was cancelled (this response has nowhere to go and is recorded
+    /// only in metrics).
+    pub const DISCONNECTED: &str = "disconnected";
+}
+
+/// A parsed solve request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed back verbatim.
+    pub id: u64,
+    /// Tenant name for fair-share admission and per-tenant metrics.
+    pub tenant: String,
+    /// The polynomial to solve.
+    pub poly: Poly,
+    /// Output precision in bits.
+    pub mu: u64,
+    /// End-to-end deadline, if the caller set one.
+    pub deadline: Option<Duration>,
+}
+
+fn coeff_from_value(v: &Value) -> Result<Int, String> {
+    match v {
+        Value::Str(s) => Int::from_str(s).map_err(|e| format!("bad coefficient {s:?}: {e:?}")),
+        Value::Num(x) if x.fract() == 0.0 && x.abs() < 9.0e15 => Ok(Int::from(*x as i64)),
+        other => Err(format!("bad coefficient {other:?} (want decimal string or integer)")),
+    }
+}
+
+/// Parses one request line. `max_degree` / `max_mu` bound what a caller
+/// may ask for (resource abuse is an admission concern, not a solver
+/// concern).
+pub fn parse_request(line: &str, max_degree: usize, max_mu: u64) -> Result<Request, String> {
+    let v = from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let coeffs = v["coeffs"]
+        .as_array()
+        .ok_or_else(|| "missing \"coeffs\" array".to_string())?;
+    if coeffs.is_empty() {
+        return Err("empty \"coeffs\"".into());
+    }
+    if coeffs.len() > max_degree + 1 {
+        return Err(format!("degree {} exceeds the limit {max_degree}", coeffs.len() - 1));
+    }
+    let coeffs = coeffs.iter().map(coeff_from_value).collect::<Result<Vec<_>, _>>()?;
+    let poly = Poly::from_coeffs(coeffs);
+    if poly.degree().is_none() {
+        return Err("zero polynomial".into());
+    }
+    let mu = v["mu"].as_u64().unwrap_or(27);
+    if mu == 0 || mu > max_mu {
+        return Err(format!("mu {mu} outside 1..={max_mu}"));
+    }
+    let tenant = v["tenant"].as_str().unwrap_or("anon").to_string();
+    Ok(Request {
+        id: v["id"].as_u64().unwrap_or(0),
+        tenant,
+        poly,
+        mu,
+        deadline: v["deadline_ms"].as_u64().map(Duration::from_millis),
+    })
+}
+
+fn base(id: u64, ok: bool, code: &str) -> BTreeMap<String, Value> {
+    let mut o = BTreeMap::new();
+    o.insert("id".into(), Value::Num(id as f64));
+    o.insert("ok".into(), Value::Bool(ok));
+    o.insert("code".into(), Value::Str(code.into()));
+    o
+}
+
+fn ms(d: Duration) -> Value {
+    Value::Num(d.as_secs_f64() * 1e3)
+}
+
+/// Per-request accounting attached to every response the server built
+/// itself (as opposed to parse failures, which have none).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accounting {
+    /// Time the request spent queued before a solve slot freed up.
+    pub queue_wait: Duration,
+    /// Server-side retries this request consumed.
+    pub retries: u32,
+    /// Breaker state that routed this request (`"closed"`, `"open"`,
+    /// `"half-open"`).
+    pub breaker: &'static str,
+}
+
+fn insert_accounting(o: &mut BTreeMap<String, Value>, acct: &Accounting) {
+    o.insert("queue_wait_ms".into(), ms(acct.queue_wait));
+    o.insert("retries".into(), Value::Num(acct.retries as f64));
+    if !acct.breaker.is_empty() {
+        o.insert("breaker".into(), Value::Str(acct.breaker.into()));
+    }
+}
+
+/// Serializes a successful solve. Roots are exact dyadics (decimal
+/// numerator + µ) so responses are bit-comparable across servers.
+pub fn ok_response(id: u64, r: &RootsResult, acct: &Accounting) -> String {
+    let mut o = base(id, true, "ok");
+    o.insert(
+        "degraded".into(),
+        match r.degraded {
+            Some(d) => Value::Str(d.code().into()),
+            None => Value::Null,
+        },
+    );
+    o.insert("n".into(), Value::Num(r.n as f64));
+    o.insert("n_star".into(), Value::Num(r.n_star as f64));
+    let roots: Vec<Value> = r
+        .roots
+        .iter()
+        .map(|d| {
+            let mut m = BTreeMap::new();
+            m.insert("num".into(), Value::Str(d.num.to_string()));
+            m.insert("mu".into(), Value::Num(d.mu as f64));
+            Value::Object(m)
+        })
+        .collect();
+    o.insert("roots".into(), Value::Array(roots));
+    o.insert(
+        "roots_f64".into(),
+        Value::Array(r.roots.iter().map(|d| Value::Num(d.to_f64())).collect()),
+    );
+    o.insert("wall_ms".into(), ms(r.stats.wall));
+    o.insert("mul_count".into(), Value::Num(r.stats.cost.total().mul_count as f64));
+    insert_accounting(&mut o, acct);
+    Value::Object(o).to_pretty_line()
+}
+
+/// Serializes a breaker-open solve: the Sturm-only baseline found the
+/// roots, so the response is degraded `sturm-baseline` and carries no
+/// pipeline statistics beyond wall time.
+pub fn baseline_response(
+    id: u64,
+    n: usize,
+    roots: &[rr_core::Dyadic],
+    wall: Duration,
+    acct: &Accounting,
+) -> String {
+    let mut o = base(id, true, "ok");
+    o.insert(
+        "degraded".into(),
+        Value::Str(rr_core::Degradation::SturmBaseline.code().into()),
+    );
+    o.insert("n".into(), Value::Num(n as f64));
+    o.insert("n_star".into(), Value::Num(roots.len() as f64));
+    let root_objs: Vec<Value> = roots
+        .iter()
+        .map(|d| {
+            let mut m = BTreeMap::new();
+            m.insert("num".into(), Value::Str(d.num.to_string()));
+            m.insert("mu".into(), Value::Num(d.mu as f64));
+            Value::Object(m)
+        })
+        .collect();
+    o.insert("roots".into(), Value::Array(root_objs));
+    o.insert(
+        "roots_f64".into(),
+        Value::Array(roots.iter().map(|d| Value::Num(d.to_f64())).collect()),
+    );
+    o.insert("wall_ms".into(), ms(wall));
+    insert_accounting(&mut o, acct);
+    Value::Object(o).to_pretty_line()
+}
+
+/// Serializes a solve failure using the stable core taxonomy
+/// ([`SolveError::code`]), carrying the partial accounting of cancelled
+/// solves.
+pub fn solve_error_response(id: u64, e: &SolveError, acct: &Accounting) -> String {
+    let mut o = base(id, false, e.code());
+    o.insert("reason".into(), Value::Str(e.to_string()));
+    if let Some(p) = e.partial_stats() {
+        o.insert("partial_stats".into(), partial_to_json(p));
+    }
+    insert_accounting(&mut o, acct);
+    Value::Object(o).to_pretty_line()
+}
+
+fn partial_to_json(p: &PartialStats) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("wall_ms".into(), ms(p.wall));
+    m.insert("mul_count".into(), Value::Num(p.cost.total().mul_count as f64));
+    if let Some(pool) = &p.pool {
+        m.insert("cancelled_tasks".into(), Value::Num(pool.cancelled_tasks as f64));
+    }
+    Value::Object(m)
+}
+
+/// Serializes a server-side rejection (admission, throttle, drain,
+/// parse failure) with an optional `retry_after_ms` hint.
+pub fn reject_response(id: u64, code: &str, reason: &str, retry_after: Option<Duration>) -> String {
+    let mut o = base(id, false, code);
+    o.insert("reason".into(), Value::Str(reason.into()));
+    if let Some(after) = retry_after {
+        o.insert("retry_after_ms".into(), ms(after));
+    }
+    Value::Object(o).to_pretty_line()
+}
+
+/// One-line (newline-free) serialization for NDJSON framing.
+trait ToLine {
+    fn to_pretty_line(&self) -> String;
+}
+
+impl ToLine for Value {
+    fn to_pretty_line(&self) -> String {
+        // The pretty writer is the only writer; collapse its newlines.
+        let mut out = String::new();
+        for (i, l) in self.to_pretty().lines().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(l.trim_start());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::{Session, SolverConfig};
+
+    #[test]
+    fn request_round_trip() {
+        let line = r#"{"id": 3, "tenant": "t1", "coeffs": ["-6", "11", "-6", "1"], "mu": 8, "deadline_ms": 500}"#;
+        let req = parse_request(line, 64, 512).unwrap();
+        assert_eq!(req.id, 3);
+        assert_eq!(req.tenant, "t1");
+        assert_eq!(req.poly.deg(), 3);
+        assert_eq!(req.mu, 8);
+        assert_eq!(req.deadline, Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn numeric_coefficients_and_defaults() {
+        let req = parse_request(r#"{"coeffs": [-2, 1]}"#, 64, 512).unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.tenant, "anon");
+        assert_eq!(req.mu, 27);
+        assert_eq!(req.deadline, None);
+        assert_eq!(req.poly.deg(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json", 64, 512).is_err());
+        assert!(parse_request(r#"{"coeffs": []}"#, 64, 512).is_err());
+        assert!(parse_request(r#"{"coeffs": ["x"]}"#, 64, 512).is_err());
+        assert!(parse_request(r#"{"coeffs": [1.5, 1]}"#, 64, 512).is_err());
+        assert!(parse_request(r#"{"coeffs": ["0"]}"#, 64, 512).is_err());
+        assert!(parse_request(r#"{"coeffs": [1, 1], "mu": 9999}"#, 64, 512).is_err());
+        // degree cap
+        let big: Vec<String> = (0..70).map(|i| i.to_string()).collect();
+        let line = format!(r#"{{"coeffs": [{}]}}"#, big.join(","));
+        assert!(parse_request(&line, 64, 512).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_lines_with_exact_roots() {
+        let p = Poly::from_roots(&[Int::from(1), Int::from(2)]);
+        let r = Session::new(SolverConfig::sequential(8)).solve(&p).unwrap();
+        let acct = Accounting { breaker: "closed", ..Accounting::default() };
+        let line = ok_response(9, &r, &acct);
+        assert!(!line.contains('\n'));
+        let v = from_str(&line).unwrap();
+        assert_eq!(v["id"].as_u64(), Some(9));
+        assert_eq!(v["ok"], Value::Bool(true));
+        assert_eq!(v["code"].as_str(), Some("ok"));
+        assert_eq!(v["n_star"].as_u64(), Some(2));
+        assert_eq!(v["roots"][0]["num"].as_str(), Some("256"));
+        assert_eq!(v["roots"][0]["mu"].as_u64(), Some(8));
+        assert_eq!(v["roots_f64"][0].as_f64(), Some(1.0));
+        assert_eq!(v["breaker"].as_str(), Some("closed"));
+    }
+
+    #[test]
+    fn rejections_carry_the_retry_hint() {
+        let line = reject_response(4, codes::OVERLOADED, "queue full", Some(Duration::from_millis(12)));
+        let v = from_str(&line).unwrap();
+        assert_eq!(v["ok"], Value::Bool(false));
+        assert_eq!(v["code"].as_str(), Some(codes::OVERLOADED));
+        assert_eq!(v["retry_after_ms"].as_f64(), Some(12.0));
+    }
+}

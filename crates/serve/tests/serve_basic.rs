@@ -1,0 +1,171 @@
+//! End-to-end happy-path suite: wire round trips match direct library
+//! solves bit for bit, the HTTP endpoints answer, deadlines propagate,
+//! throttling is typed, and a drain is graceful.
+
+mod util;
+
+use rr_bench::json::Value;
+use rr_core::{Session, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+use rr_serve::ServeConfig;
+use util::{http_get, poly_request, root_fingerprint, start, Client};
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        threads: 3,
+        solve_threads: 2,
+        max_inflight: 2,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn wire_solve_matches_direct_session_bit_for_bit() {
+    let srv = start(small_cfg());
+    let mut client = Client::connect(srv.addr);
+
+    let p = rr_workload::charpoly_input(8, 1);
+    let resp = client.request(&poly_request(42, "acme", &p, 32, None));
+    assert_eq!(resp["ok"], Value::Bool(true), "{resp:?}");
+    assert_eq!(resp["id"].as_u64(), Some(42));
+    assert_eq!(resp["code"].as_str(), Some("ok"));
+    assert_eq!(resp["degraded"], Value::Null);
+
+    // The same solve through the library: exact dyadic roots must agree.
+    let direct = Session::new(SolverConfig::parallel(32, 2)).solve(&p).unwrap();
+    let wire_roots = root_fingerprint(&resp);
+    assert_eq!(wire_roots.len(), direct.roots.len());
+    for (w, d) in wire_roots.iter().zip(direct.roots.iter()) {
+        assert_eq!(w.0, d.num.to_string());
+        assert_eq!(w.1, d.mu);
+    }
+    assert_eq!(resp["n"].as_u64(), Some(p.deg() as u64));
+
+    let report = srv.stop();
+    assert!(report.served >= 1);
+    assert_eq!(report.cancelled_stragglers, 0);
+    assert!(report.drained_within_deadline);
+    assert!(report.final_metrics.contains("rr_serve_requests_total"));
+}
+
+#[test]
+fn multiple_requests_on_one_connection_are_pipelined_in_order() {
+    let srv = start(small_cfg());
+    let mut client = Client::connect(srv.addr);
+    for id in 0..5u64 {
+        let p = Poly::from_roots(&[Int::from(id as i64), Int::from(id as i64 + 3)]);
+        let resp = client.request(&poly_request(id, "acme", &p, 16, None));
+        assert_eq!(resp["id"].as_u64(), Some(id), "{resp:?}");
+        assert_eq!(resp["ok"], Value::Bool(true));
+        assert_eq!(resp["n_star"].as_u64(), Some(2));
+    }
+}
+
+#[test]
+fn http_endpoints_answer_on_the_same_port() {
+    let srv = start(small_cfg());
+
+    // Generate one request so the per-tenant series exists.
+    let mut client = Client::connect(srv.addr);
+    let p = Poly::from_roots(&[Int::from(2), Int::from(5)]);
+    let resp = client.request(&poly_request(1, "metrics-tenant", &p, 16, None));
+    assert_eq!(resp["ok"], Value::Bool(true));
+
+    let health = http_get(srv.addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    assert!(health.ends_with("ok\n"));
+
+    let ready = http_get(srv.addr, "/readyz");
+    assert!(ready.starts_with("HTTP/1.0 200"), "{ready}");
+
+    let metrics = http_get(srv.addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200"));
+    if rr_obs::metrics::enabled() {
+        assert!(metrics.contains("rr_serve_requests_total"), "{metrics}");
+        assert!(metrics.contains("tenant=\"metrics-tenant\""));
+        assert!(metrics.contains("rr_serve_breaker_state"));
+    }
+
+    let missing = http_get(srv.addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+}
+
+#[test]
+fn bad_requests_get_typed_rejections_and_the_connection_survives() {
+    let srv = start(small_cfg());
+    let mut client = Client::connect(srv.addr);
+
+    let resp = client.request("this is not json");
+    assert_eq!(resp["ok"], Value::Bool(false));
+    assert_eq!(resp["code"].as_str(), Some("bad-request"));
+
+    let resp = client.request(r#"{"coeffs": ["0"]}"#);
+    assert_eq!(resp["code"].as_str(), Some("bad-request"));
+
+    // The connection is still usable after rejections.
+    let p = Poly::from_roots(&[Int::from(7)]);
+    let resp = client.request(&poly_request(3, "acme", &p, 8, None));
+    assert_eq!(resp["ok"], Value::Bool(true));
+}
+
+#[test]
+fn wire_deadline_cancels_a_long_solve_with_partial_accounting() {
+    let srv = start(small_cfg());
+    let mut client = Client::connect(srv.addr);
+
+    // Degree-70 Wilkinson at µ=96 runs well past 2ms; the wire deadline
+    // must cancel it and report the partial work.
+    let roots: Vec<Int> = (1..=70).map(Int::from).collect();
+    let p = Poly::from_roots(&roots);
+    let resp = client.request(&poly_request(9, "acme", &p, 96, Some(2)));
+    assert_eq!(resp["ok"], Value::Bool(false), "{resp:?}");
+    assert_eq!(resp["code"].as_str(), Some("deadline"));
+    assert!(resp["partial_stats"]["wall_ms"].as_f64().is_some());
+}
+
+#[test]
+fn tenant_token_bucket_throttles_with_a_retry_hint() {
+    let srv = start(ServeConfig {
+        tenant_rate: 0.5,
+        tenant_burst: 1.0,
+        ..small_cfg()
+    });
+    let mut client = Client::connect(srv.addr);
+    let p = Poly::from_roots(&[Int::from(1), Int::from(4)]);
+
+    let first = client.request(&poly_request(1, "greedy", &p, 16, None));
+    assert_eq!(first["ok"], Value::Bool(true), "{first:?}");
+
+    let second = client.request(&poly_request(2, "greedy", &p, 16, None));
+    assert_eq!(second["ok"], Value::Bool(false), "{second:?}");
+    assert_eq!(second["code"].as_str(), Some("throttled"));
+    assert!(second["retry_after_ms"].as_f64().unwrap_or(0.0) > 0.0);
+
+    // Another tenant is unaffected: fair share, not a global limiter.
+    let other = client.request(&poly_request(3, "patient", &p, 16, None));
+    assert_eq!(other["ok"], Value::Bool(true), "{other:?}");
+}
+
+#[test]
+fn draining_server_refuses_new_requests_then_reports() {
+    let srv = start(small_cfg());
+    let mut client = Client::connect(srv.addr);
+    let p = Poly::from_roots(&[Int::from(3)]);
+    let resp = client.request(&poly_request(1, "acme", &p, 8, None));
+    assert_eq!(resp["ok"], Value::Bool(true));
+
+    srv.handle.drain();
+    // A request racing the drain either gets the typed shutting-down
+    // code (the handler saw it before noticing the drain) or the
+    // connection closes under it — but it is never solved.
+    client.send(&poly_request(2, "acme", &p, 8, None));
+    if let Some(resp) = client.try_recv() {
+        assert_eq!(resp["code"].as_str(), Some("shutting-down"), "{resp:?}");
+    }
+
+    let report = srv.stop();
+    assert!(report.served >= 1);
+    assert!(report.drained_within_deadline);
+}

@@ -1,0 +1,197 @@
+//! Serve-under-chaos suite: seeded fault injection at the service
+//! boundary. Server-side retries absorb injected panics; with retries
+//! disabled the circuit breaker trips to Sturm-only service and
+//! recovers through half-open probes; handler panics stay at zero; and
+//! every accepted response is bit-identical to a clean solve.
+
+mod util;
+
+use rr_bench::json::Value;
+use rr_core::{Session, SolverConfig};
+use rr_mp::Int;
+use rr_poly::Poly;
+use rr_serve::{BreakerConfig, ChaosConfig, RetryConfig, ServeConfig};
+use std::time::{Duration, Instant};
+use util::{poly_request, root_fingerprint, start, Client};
+
+/// Deep enough (degree 16, parallel) that the seeded panic sites over
+/// task ids 1..8 are always reached.
+fn chaos_poly() -> Poly {
+    Poly::from_roots(&(1..=16).map(Int::from).collect::<Vec<_>>())
+}
+
+const MU: u64 = 24;
+
+fn clean_fingerprint() -> Vec<(String, u64)> {
+    let r = Session::new(SolverConfig::parallel(MU, 3))
+        .solve(&chaos_poly())
+        .expect("clean solve");
+    r.roots.iter().map(|d| (d.num.to_string(), d.mu)).collect()
+}
+
+#[test]
+fn retries_absorb_injected_faults_with_bit_identical_responses() {
+    let srv = start(ServeConfig {
+        threads: 3,
+        solve_threads: 3,
+        max_inflight: 2,
+        queue_cap: 4,
+        retry: RetryConfig { max_retries: 2, ..RetryConfig::default() },
+        // Every solve's first attempt is faulted; retries run clean.
+        chaos: Some(ChaosConfig { seed: 0xC0FFEE, period: 1, limit: 1000 }),
+        ..ServeConfig::default()
+    });
+    let expected = clean_fingerprint();
+    let mut client = Client::connect(srv.addr);
+    let mut total_retries = 0u64;
+    for id in 0..8u64 {
+        let resp = client.request(&poly_request(id, "chaos", &chaos_poly(), MU, None));
+        assert_eq!(resp["ok"], Value::Bool(true), "{resp:?}");
+        assert_eq!(resp["degraded"], Value::Null);
+        assert_eq!(
+            root_fingerprint(&resp),
+            expected,
+            "faulted-then-retried solve must be bit-identical"
+        );
+        total_retries += resp["retries"].as_u64().unwrap_or(0);
+    }
+    assert!(
+        total_retries >= 1,
+        "the seeded faults must actually force server-side retries"
+    );
+
+    let report = srv.stop();
+    // Zero panics escaped to the connection-handler boundary.
+    if rr_obs::metrics::enabled() {
+        assert!(report.final_metrics.contains("rr_serve_retries_total"));
+        let snap = rr_obs::metrics::snapshot();
+        assert_eq!(snap.counter("rr_serve_handler_panics_total").unwrap_or(0), 0);
+        assert!(snap.counter("rr_serve_retries_total").unwrap_or(0) >= 1);
+    }
+}
+
+#[test]
+fn breaker_trips_to_sturm_service_and_recovers_via_probes() {
+    let srv = start(ServeConfig {
+        threads: 3,
+        solve_threads: 3,
+        max_inflight: 2,
+        queue_cap: 4,
+        // No retries: every faulted request fails and feeds the window.
+        retry: RetryConfig { max_retries: 0, ..RetryConfig::default() },
+        breaker: BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            threshold: 0.4,
+            cooldown: Duration::from_millis(250),
+        },
+        // Solve sequence numbers 0..6 are faulted; everything after
+        // runs clean, so probes eventually succeed.
+        chaos: Some(ChaosConfig { seed: 0xBAD5EED, period: 1, limit: 6 }),
+        ..ServeConfig::default()
+    });
+    let expected = clean_fingerprint();
+    let mut client = Client::connect(srv.addr);
+
+    // Phase 1: drive faulted solves until the breaker trips (observed
+    // as a degraded sturm-baseline response from the open breaker).
+    let mut saw_panics = 0;
+    let mut saw_baseline = false;
+    for id in 0..30u64 {
+        let resp = client.request(&poly_request(id, "chaos", &chaos_poly(), MU, None));
+        match resp["code"].as_str() {
+            Some("task-panicked") => saw_panics += 1,
+            Some("ok") if resp["degraded"].as_str() == Some("sturm-baseline") => {
+                // Breaker is open: Sturm-only service, exact same roots.
+                assert_eq!(resp["breaker"].as_str(), Some("open"), "{resp:?}");
+                assert_eq!(root_fingerprint(&resp), expected);
+                saw_baseline = true;
+                break;
+            }
+            // A seeded panic site the solve happened not to reach.
+            Some("ok") => {}
+            other => panic!("unexpected pre-trip response {other:?}: {resp:?}"),
+        }
+    }
+    assert!(saw_panics >= 3, "expected a failure burst, saw {saw_panics}");
+    assert!(saw_baseline, "breaker never tripped to baseline service");
+
+    // Phase 2: keep the service under light load; after the cooldown the
+    // half-open probe eventually lands past the chaos window, succeeds,
+    // and closes the breaker — full native service resumes.
+    let t0 = Instant::now();
+    let mut recovered = false;
+    let mut id = 100u64;
+    while t0.elapsed() < Duration::from_secs(20) {
+        let resp = client.request(&poly_request(id, "chaos", &chaos_poly(), MU, None));
+        id += 1;
+        match (resp["code"].as_str(), resp["degraded"].as_str()) {
+            (Some("ok"), None) => {
+                assert_eq!(root_fingerprint(&resp), expected, "post-recovery solve differs");
+                recovered = true;
+                break;
+            }
+            (Some("ok"), Some("sturm-baseline")) => {
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            // Failed probes while the chaos window drains.
+            (Some("task-panicked"), _) => {}
+            other => panic!("unexpected recovery-phase response {other:?}: {resp:?}"),
+        }
+    }
+    assert!(recovered, "breaker never recovered to full service");
+
+    let report = srv.stop();
+    if rr_obs::metrics::enabled() {
+        let snap = rr_obs::metrics::snapshot();
+        assert_eq!(
+            snap.counter("rr_serve_handler_panics_total").unwrap_or(0),
+            0,
+            "injected faults must be contained below the handler"
+        );
+        assert!(
+            snap.counter("rr_serve_breaker_trips_total").unwrap_or(0) >= 1,
+            "the trip must be visible in metrics"
+        );
+        assert!(report.final_metrics.contains("rr_serve_breaker_trips_total"));
+    }
+}
+
+#[test]
+fn disconnect_mid_solve_cancels_and_server_stays_healthy() {
+    let srv = start(ServeConfig {
+        threads: 3,
+        solve_threads: 3,
+        max_inflight: 1,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    });
+
+    // A slow solve the client abandons immediately.
+    let slow: Vec<Int> = (1..=40).map(Int::from).collect();
+    let slow = Poly::from_roots(&slow);
+    {
+        let mut doomed = Client::connect(srv.addr);
+        doomed.send(&poly_request(1, "quitter", &slow, 96, None));
+        std::thread::sleep(Duration::from_millis(100));
+        // Drop = close: the monitor thread fires the solve's token.
+    }
+
+    // The slot frees up quickly (not after the full slow solve), so a
+    // fresh request gets served promptly.
+    let t0 = Instant::now();
+    let mut client = Client::connect(srv.addr);
+    let p = Poly::from_roots(&[Int::from(2), Int::from(9)]);
+    let resp = client.request(&poly_request(2, "healthy", &p, 16, None));
+    assert_eq!(resp["ok"], Value::Bool(true), "{resp:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "disconnect did not free the slot: {:?}",
+        t0.elapsed()
+    );
+
+    if rr_obs::metrics::enabled() {
+        let snap = rr_obs::metrics::snapshot();
+        assert_eq!(snap.counter("rr_serve_handler_panics_total").unwrap_or(0), 0);
+    }
+}

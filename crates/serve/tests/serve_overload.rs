@@ -1,0 +1,137 @@
+//! Overload-safety suite: the daemon at ≥4× saturation sheds with
+//! typed `overloaded` rejections in bounded time, keeps solving what it
+//! admitted, and never wedges.
+
+mod util;
+
+use rr_bench::json::Value;
+use rr_mp::Int;
+use rr_poly::Poly;
+use rr_serve::ServeConfig;
+use std::time::{Duration, Instant};
+use util::{poly_request, start, Client};
+
+/// A solve slow enough (hundreds of ms at µ=96) that concurrent
+/// arrivals pile up behind the single slot.
+fn slow_poly() -> Poly {
+    let roots: Vec<Int> = (1..=40).map(Int::from).collect();
+    Poly::from_roots(&roots)
+}
+
+#[test]
+fn at_4x_saturation_excess_load_is_shed_with_typed_rejections() {
+    // Capacity: 1 solving + 2 queued = 3; 16 concurrent ≈ 5× saturation.
+    let srv = start(ServeConfig {
+        threads: 3,
+        solve_threads: 3,
+        max_inflight: 1,
+        queue_cap: 2,
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    });
+
+    const CLIENTS: usize = 16;
+    let results: Vec<(Value, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let addr = srv.addr;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let t0 = Instant::now();
+                    let resp =
+                        c.request(&poly_request(i as u64, "flood", &slow_poly(), 96, None));
+                    (resp, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+
+    let mut ok = 0;
+    let mut overloaded = 0;
+    let mut other = 0;
+    for (resp, elapsed) in &results {
+        match resp["code"].as_str() {
+            Some("ok") => ok += 1,
+            Some("overloaded") => {
+                overloaded += 1;
+                assert_eq!(resp["ok"], Value::Bool(false));
+                assert!(
+                    resp["retry_after_ms"].as_f64().unwrap_or(-1.0) >= 0.0,
+                    "overloaded without a retry hint: {resp:?}"
+                );
+                // Shed fast: an overloaded rejection must not wait out
+                // a solve (which takes hundreds of ms here).
+                assert!(
+                    *elapsed < Duration::from_secs(5),
+                    "rejection took {elapsed:?}"
+                );
+            }
+            _ => other += 1,
+        }
+    }
+    // Everyone got exactly one answer; capacity was used; the excess was
+    // shed rather than silently queued.
+    assert_eq!(ok + overloaded + other, CLIENTS);
+    assert!(ok >= 1, "no request was served: {results:?}");
+    assert!(
+        overloaded >= CLIENTS - 8,
+        "expected heavy shedding, got ok={ok} overloaded={overloaded} other={other}"
+    );
+
+    let report = srv.stop();
+    assert!(report.served >= CLIENTS as u64);
+}
+
+#[test]
+fn estimator_sheds_undeliverable_deadlines_before_queueing() {
+    let srv = start(ServeConfig {
+        threads: 3,
+        solve_threads: 3,
+        max_inflight: 1,
+        queue_cap: 8,
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    });
+
+    // Warm the estimator: one completed solve gives it a
+    // tasks-per-solve ratio and the scheduler histogram a p50.
+    let mut warm = Client::connect(srv.addr);
+    let resp = warm.request(&poly_request(0, "warm", &slow_poly(), 96, None));
+    assert_eq!(resp["code"].as_str(), Some("ok"), "{resp:?}");
+
+    // Saturate the single slot with long solves, then ask for a 1 ms
+    // deadline: the estimator must shed it instantly (it cannot even
+    // clear the queue in time), not let it expire in line.
+    let blockers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = srv.addr;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.request(&poly_request(100 + i, "blocker", &slow_poly(), 96, None))
+            })
+        })
+        .collect();
+    // Give the blockers time to occupy the slot and the queue.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut hasty = Client::connect(srv.addr);
+    let t0 = Instant::now();
+    let resp = hasty.request(&poly_request(200, "hasty", &slow_poly(), 96, Some(1)));
+    let elapsed = t0.elapsed();
+    assert_eq!(resp["ok"], Value::Bool(false), "{resp:?}");
+    let code = resp["code"].as_str().unwrap_or("");
+    assert!(
+        code == "overloaded" || code == "deadline",
+        "expected a shed or queue-deadline rejection, got {resp:?}"
+    );
+    assert!(elapsed < Duration::from_secs(2), "rejection took {elapsed:?}");
+
+    for b in blockers {
+        let resp = b.join().expect("blocker");
+        assert!(
+            matches!(resp["code"].as_str(), Some("ok") | Some("overloaded")),
+            "{resp:?}"
+        );
+    }
+}

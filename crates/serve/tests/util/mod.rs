@@ -1,0 +1,150 @@
+//! Shared plumbing for the serve integration suites: an in-process
+//! server on a random port, a line-oriented NDJSON client, and request
+//! builders.
+#![allow(dead_code)]
+
+use rr_bench::json::{from_str, Value};
+use rr_poly::Poly;
+use rr_serve::{DrainReport, ServeConfig, Server, ShutdownHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An in-process daemon serving on a kernel-chosen port.
+pub struct TestServer {
+    /// Bound address to connect clients to.
+    pub addr: SocketAddr,
+    /// Drain trigger.
+    pub handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<DrainReport>>>,
+}
+
+/// Binds and serves `cfg` on a background thread.
+pub fn start(cfg: ServeConfig) -> TestServer {
+    let server = Arc::new(Server::bind(cfg).expect("bind test server"));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.serve());
+    TestServer { addr, handle, thread: Some(thread) }
+}
+
+impl TestServer {
+    /// Drains gracefully and returns the report.
+    pub fn stop(mut self) -> DrainReport {
+        self.handle.drain();
+        self.thread
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("serve thread exits cleanly")
+            .expect("serve returns a report")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.handle.drain();
+            let _ = t.join();
+        }
+    }
+}
+
+/// A blocking NDJSON client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the test server.
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        Client { reader: BufReader::new(stream) }
+    }
+
+    /// Writes one request line.
+    pub fn send(&mut self, line: &str) {
+        let s = self.reader.get_mut();
+        s.write_all(line.as_bytes()).expect("write request");
+        s.write_all(b"\n").expect("write newline");
+        s.flush().expect("flush");
+    }
+
+    /// Reads and parses one response line.
+    pub fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-conversation");
+        from_str(line.trim()).expect("response is valid JSON")
+    }
+
+    /// Reads one response line, or `None` if the server closed the
+    /// connection (a drain racing the request).
+    pub fn try_recv(&mut self) -> Option<Value> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).ok()?;
+        if n == 0 {
+            return None;
+        }
+        from_str(line.trim()).ok()
+    }
+
+    /// Send + receive.
+    pub fn request(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// Builds a request line for `poly` (coefficients as decimal strings,
+/// exact at any size).
+pub fn poly_request(
+    id: u64,
+    tenant: &str,
+    poly: &Poly,
+    mu: u64,
+    deadline_ms: Option<u64>,
+) -> String {
+    let coeffs: Vec<String> = poly.coeffs().iter().map(|c| format!("\"{c}\"")).collect();
+    let deadline = deadline_ms
+        .map(|d| format!(", \"deadline_ms\": {d}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"id\": {id}, \"tenant\": \"{tenant}\", \"coeffs\": [{}], \"mu\": {mu}{deadline}}}",
+        coeffs.join(", ")
+    )
+}
+
+/// One HTTP GET against the daemon's sniffed-HTTP side; returns the
+/// full response (status line + headers + body).
+pub fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+    stream.flush().expect("flush");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// The exact-root fingerprint of a response: `(num, mu)` pairs.
+pub fn root_fingerprint(v: &Value) -> Vec<(String, u64)> {
+    v["roots"]
+        .as_array()
+        .expect("roots array")
+        .iter()
+        .map(|r| {
+            (
+                r["num"].as_str().expect("num").to_string(),
+                r["mu"].as_u64().expect("mu"),
+            )
+        })
+        .collect()
+}

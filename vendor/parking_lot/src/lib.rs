@@ -126,6 +126,20 @@ impl Condvar {
         WaitTimeoutResult(res.timed_out())
     }
 
+    /// Blocks until notified or the absolute `deadline` passes
+    /// (parking_lot's `wait_until`, mapped onto the std timeout wait).
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        if timeout.is_zero() {
+            return WaitTimeoutResult(true);
+        }
+        self.wait_for(guard, timeout)
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();

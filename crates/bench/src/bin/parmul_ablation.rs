@@ -1,0 +1,416 @@
+//! Fork-join multiplication ablation: `RR_PAR_MUL` on/off across worker
+//! counts (DESIGN.md §17).
+//!
+//! Two modes:
+//!
+//! * **grid** (default) — two row families per degree `n`:
+//!
+//!   - `rem_phase` rows: the remainder-sequence phase in isolation (the
+//!     stage the splitter targets — deep in the sequence each iteration
+//!     has few coefficient tasks but 10⁴–10⁵-bit products). One serial
+//!     run with splitting on measures the split products' serial work
+//!     `T₁` and critical path `T_∞` inside the fork-join trees; the
+//!     phase is then re-costed per worker count `P` with
+//!     `max(T₁/P, T_∞)` in their place (Brent's bound, everything else
+//!     held fixed). This is the same measured-durations-replayed
+//!     substitution `speedups`/`speedup_report` use for the paper's
+//!     20-processor host: wall-clock across real threads is only
+//!     faithful up to the host's core count.
+//!   - `solve` rows: full dynamic solves, par-mul off and on, across
+//!     real thread counts — measured walls, the splitter's execution
+//!     counters (products/tasks/steals), and the same Brent-bound sim
+//!     against the whole solve (the biggest splits are the tree
+//!     phase's Kronecker-packed products).
+//!
+//! * **`--sweep`** — calibrates [`rr_mp::nat::parmul::PAR_MUL_THRESHOLD`]:
+//!   the isolated remainder phase per degree across candidate split
+//!   thresholds, reporting measured serial overhead (on/off at one
+//!   worker — the splitting is pure cost there), split coverage
+//!   (`T₁` as a fraction of the phase), available parallelism
+//!   (`T₁/T_∞`), and the simulated 8-worker speedup.
+//!
+//! Backends are pinned to the fast stack (`fast`/`kronecker`/`newton`):
+//! the splitter only engages on the subquadratic kernel, and the
+//! paper-faithful schoolbook arm never splits by design.
+//!
+//! ```sh
+//! cargo run --release -p rr-bench --bin parmul_ablation -- \
+//!     [--max-n 96] [--max-threads 8] [--mu-digits 16] [--reps 3] \
+//!     [--json results/BENCH_parmul.json]
+//! cargo run --release -p rr-bench --bin parmul_ablation -- --sweep
+//! ```
+
+use rr_bench::json::{ToJson, Value};
+use rr_bench::{digits_to_bits, impl_to_json, maybe_write_bench_json, Args};
+use rr_core::{Session, SolverConfig};
+use rr_mp::nat::parmul;
+use rr_mp::{DivBackend, MulBackend, ParMulMode, PolyMulBackend, SolveCtx};
+use rr_poly::remainder::remainder_sequence;
+use rr_poly::Poly;
+use rr_workload::charpoly_input;
+use std::time::Instant;
+
+/// One simulated worker count on the isolated remainder phase.
+struct RemRow {
+    kind: String, // "rem_phase"
+    /// Split threshold the row ran under, as a string so bench-gate row
+    /// keys keep the default and tuned families apart: the shipped
+    /// default (one-worker-neutral) and the sweep-calibrated aggressive
+    /// setting ("t16") that maximizes split coverage.
+    threshold: String,
+    n: usize,
+    threads: usize,
+    /// Best-of-`reps` serial wall with splitting off / on (the on run is
+    /// the sim baseline; on one worker splitting is pure overhead).
+    rem_off_wall_s: f64,
+    rem_wall_s: f64,
+    parmul_products: u64,
+    parmul_tasks: u64,
+    parmul_operand_bits: u64,
+    /// Serial work and critical path of the split products (Cilk-style
+    /// `T₁` / `T_∞` measured inside the fork-join trees).
+    parmul_work_s: f64,
+    parmul_span_s: f64,
+    /// `T₁ / T_∞` — the ceiling no worker count can beat.
+    available_parallelism: f64,
+    /// `rem_wall_s − T₁ + max(T₁/threads, T_∞)`.
+    sim_rem_wall_s: f64,
+    /// `rem_wall_s / sim_rem_wall_s`.
+    sim_speedup_rem: f64,
+}
+impl_to_json!(RemRow {
+    kind,
+    threshold,
+    n,
+    threads,
+    rem_off_wall_s,
+    rem_wall_s,
+    parmul_products,
+    parmul_tasks,
+    parmul_operand_bits,
+    parmul_work_s,
+    parmul_span_s,
+    available_parallelism,
+    sim_rem_wall_s,
+    sim_speedup_rem,
+});
+
+/// One full-solve cell: a (degree, thread count, par-mul mode) combination.
+struct SolveRow {
+    kind: String, // "solve"
+    n: usize,
+    threads: usize,
+    par_mul: String,
+    /// Best-of-`reps` remainder-stage wall (`SolveStats::remainder_wall`).
+    rem_wall_s: f64,
+    /// Best-of-`reps` end-to-end solve wall.
+    solve_wall_s: f64,
+    /// Splitter execution counters from the best-remainder run (all zero
+    /// with par-mul off — asserted).
+    parmul_products: u64,
+    parmul_tasks: u64,
+    parmul_steals: u64,
+    parmul_operand_bits: u64,
+    parmul_work_s: f64,
+    parmul_span_s: f64,
+    /// off / on at the same `(n, threads)` (1.0 on the off rows).
+    /// Measured wall-clock: faithful only up to the host's core count.
+    speedup_rem: f64,
+    speedup_solve: f64,
+    /// Brent-bound sim of the whole solve at this row's thread count,
+    /// from the single-thread on-run's wall/work/span.
+    sim_solve_wall_s: f64,
+    sim_speedup_solve: f64,
+}
+impl_to_json!(SolveRow {
+    kind,
+    n,
+    threads,
+    par_mul,
+    rem_wall_s,
+    solve_wall_s,
+    parmul_products,
+    parmul_tasks,
+    parmul_steals,
+    parmul_operand_bits,
+    parmul_work_s,
+    parmul_span_s,
+    speedup_rem,
+    speedup_solve,
+    sim_solve_wall_s,
+    sim_speedup_solve,
+});
+
+fn fast_ctx(par: ParMulMode) -> SolveCtx {
+    SolveCtx::new(MulBackend::Fast)
+        .with_poly_backend(PolyMulBackend::Kronecker)
+        .with_div_backend(DivBackend::Newton)
+        .with_par_mul(par)
+}
+
+/// Best-of-`reps` isolated remainder phase under a fresh context per
+/// rep (the stats must belong to exactly one run): wall seconds plus
+/// the splitter counters of the best run.
+fn isolated_rem(p: &Poly, par: ParMulMode, reps: usize) -> (f64, rr_mp::ParMulStats) {
+    let mut wall = f64::INFINITY;
+    let mut stats = rr_mp::ParMulStats::default();
+    for _ in 0..reps {
+        let ctx = fast_ctx(par);
+        let t0 = Instant::now();
+        ctx.run(|| remainder_sequence(p)).expect("real-rooted workload");
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < wall {
+            wall = dt;
+            stats = ctx.parmul_stats();
+        }
+    }
+    (wall, stats)
+}
+
+/// `wall − T₁ + max(T₁/procs, T_∞)` — Brent's bound with only the
+/// split products parallelized.
+fn brent(wall: f64, work: f64, span: f64, procs: usize) -> f64 {
+    wall - work + (work / procs as f64).max(span)
+}
+
+fn grid(args: &Args) {
+    let max_n: usize = args.get("max-n").unwrap_or(96);
+    let max_threads: usize = args.get("max-threads").unwrap_or(8);
+    let digits: u64 = args.get("mu-digits").unwrap_or(16);
+    let reps: usize = args.get("reps").unwrap_or(3);
+    let mu = digits_to_bits(digits);
+    let mut rem_rows: Vec<RemRow> = Vec::new();
+    let mut solve_rows: Vec<SolveRow> = Vec::new();
+    let threads_grid = [1usize, 2, 4, 8];
+
+    println!("Fork-join multiplication ablation, µ = {digits} digits ({mu} bits)");
+    println!(
+        "Backends: fast / kronecker / newton; split threshold = {} limbs.",
+        parmul::par_mul_threshold()
+    );
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    println!("Host cores = {cores}: measured walls are faithful up to that worker count;");
+    println!("sim columns replay the measured work/span per Brent's bound (see speedups).\n");
+
+    println!("Isolated remainder phase (serial; sim per worker count)");
+    println!("  n  | thresh  | off        | on         | products | coverage | avail  | sim P=2 | P=4    | P=8");
+    println!(" ----+---------+------------+------------+----------+----------+--------+---------+--------+-------");
+    // Two threshold settings per degree: the shipped default (tuned for
+    // one-worker neutrality) and the sweep's coverage-maximizing 16-limb
+    // setting — the latter is where the splitter's headroom shows.
+    let default_t = parmul::par_mul_threshold();
+    let mut t_grid = vec![(default_t, "default".to_string())];
+    if default_t != 16 {
+        t_grid.push((16, "t16".to_string()));
+    }
+    for n in [48usize, 64, 80, 96].into_iter().filter(|&n| n <= max_n) {
+        let p = charpoly_input(n, 0);
+        for (t_limbs, t_name) in &t_grid {
+            parmul::set_par_mul_threshold(*t_limbs);
+            let (off_wall, off_stats) = isolated_rem(&p, ParMulMode::Off, reps);
+            assert_eq!(
+                off_stats,
+                rr_mp::ParMulStats::default(),
+                "off-mode remainder phase recorded splitter activity at n={n}"
+            );
+            let (on_wall, stats) = isolated_rem(&p, ParMulMode::On, reps);
+            let (work, span) = (stats.work_ns as f64 * 1e-9, stats.span_ns as f64 * 1e-9);
+            let avail = if span > 0.0 { work / span } else { 1.0 };
+            let mut sims = Vec::new();
+            for procs in threads_grid.into_iter().filter(|&t| t <= max_threads) {
+                let sim =
+                    if stats.products > 0 { brent(on_wall, work, span, procs) } else { on_wall };
+                let speedup = on_wall / sim;
+                sims.push(speedup);
+                rem_rows.push(RemRow {
+                    kind: "rem_phase".to_string(),
+                    threshold: t_name.clone(),
+                    n,
+                    threads: procs,
+                    rem_off_wall_s: off_wall,
+                    rem_wall_s: on_wall,
+                    parmul_products: stats.products,
+                    parmul_tasks: stats.tasks,
+                    parmul_operand_bits: stats.operand_bits,
+                    parmul_work_s: work,
+                    parmul_span_s: span,
+                    available_parallelism: avail,
+                    sim_rem_wall_s: sim,
+                    sim_speedup_rem: speedup,
+                });
+            }
+            let coverage = if on_wall > 0.0 { work / on_wall } else { 0.0 };
+            println!(
+                " {n:>3} | {t_name:<7} | {off_wall:>9.4}s | {on_wall:>9.4}s | {:>8} | {:>7.1}% | {avail:>5.1}x | {:>6.2}x | {:>5.2}x | {:>5.2}x",
+                stats.products,
+                coverage * 100.0,
+                sims.get(1).copied().unwrap_or(1.0),
+                sims.get(2).copied().unwrap_or(1.0),
+                sims.get(3).copied().unwrap_or(1.0),
+            );
+        }
+        parmul::set_par_mul_threshold(default_t);
+    }
+
+    println!("\nFull dynamic solves (measured walls; sim vs the whole solve)");
+    println!("  n  | thr | par | rem        | vs off   | solve      | vs off   | sim slv  | products | tasks  | steals");
+    println!(" ----+-----+-----+------------+----------+------------+----------+----------+----------+--------+-------");
+    for n in [48usize, 64, 80, 96].into_iter().filter(|&n| n <= max_n) {
+        let p = charpoly_input(n, 0);
+        let mut off_walls: Vec<(usize, [f64; 2])> = Vec::new();
+        // Sim baseline from the 1-thread on-run: (solve wall, work, span),
+        // timesharing-free because a sequential solve runs everything
+        // (splits included) inline on one worker.
+        let mut sim_base = (0f64, 0f64, 0f64);
+        for threads in threads_grid.into_iter().filter(|&t| t <= max_threads) {
+            for par in [ParMulMode::Off, ParMulMode::On] {
+                let pname = match par {
+                    ParMulMode::Off => "off",
+                    ParMulMode::On => "on",
+                    ParMulMode::Auto => "auto",
+                };
+                let cfg = || {
+                    SolverConfig::parallel(mu, threads)
+                        .with_backend(MulBackend::Fast)
+                        .with_poly_mul(PolyMulBackend::Kronecker)
+                        .with_div(DivBackend::Newton)
+                        .with_par_mul(par)
+                };
+                let mut rem_wall = f64::INFINITY;
+                let mut solve_wall = f64::INFINITY;
+                let mut stats = rr_mp::ParMulStats::default();
+                for _ in 0..reps {
+                    let r = Session::new(cfg()).solve(&p).expect("real-rooted workload");
+                    let rem = r.stats.remainder_wall.as_secs_f64();
+                    if rem < rem_wall {
+                        rem_wall = rem;
+                        stats = r.stats.parmul;
+                    }
+                    solve_wall = solve_wall.min(r.stats.wall.as_secs_f64());
+                }
+                let on = !matches!(par, ParMulMode::Off);
+                if !on {
+                    assert_eq!(
+                        stats,
+                        rr_mp::ParMulStats::default(),
+                        "off-mode solve recorded splitter activity at n={n}"
+                    );
+                }
+                let (work, span) =
+                    (stats.work_ns as f64 * 1e-9, stats.span_ns as f64 * 1e-9);
+                if on && threads == 1 {
+                    sim_base = (solve_wall, work, span);
+                }
+                let (speedup_rem, speedup_solve) = if on {
+                    let off = off_walls
+                        .iter()
+                        .find(|(t, _)| *t == threads)
+                        .expect("off cell runs first")
+                        .1;
+                    (off[0] / rem_wall, off[1] / solve_wall)
+                } else {
+                    off_walls.push((threads, [rem_wall, solve_wall]));
+                    (1.0, 1.0)
+                };
+                let (sim_solve_wall_s, sim_speedup_solve) = {
+                    let (solve1, work1, span1) = sim_base;
+                    if !on || solve1 <= 0.0 || work1 <= 0.0 {
+                        (solve1.max(solve_wall), 1.0)
+                    } else {
+                        let sim = brent(solve1, work1, span1, threads);
+                        (sim, solve1 / sim)
+                    }
+                };
+                println!(
+                    " {n:>3} | {threads:>3} | {pname:<3} | {rem_wall:>9.4}s | {speedup_rem:>7.2}x | {solve_wall:>9.4}s | {speedup_solve:>7.2}x | {sim_speedup_solve:>7.2}x | {:>8} | {:>6} | {:>6}",
+                    stats.products, stats.tasks, stats.steals
+                );
+                solve_rows.push(SolveRow {
+                    kind: "solve".to_string(),
+                    n,
+                    threads,
+                    par_mul: pname.to_string(),
+                    rem_wall_s: rem_wall,
+                    solve_wall_s: solve_wall,
+                    parmul_products: stats.products,
+                    parmul_tasks: stats.tasks,
+                    parmul_steals: stats.steals,
+                    parmul_operand_bits: stats.operand_bits,
+                    parmul_work_s: work,
+                    parmul_span_s: span,
+                    speedup_rem,
+                    speedup_solve,
+                    sim_solve_wall_s,
+                    sim_speedup_solve,
+                });
+            }
+        }
+    }
+    println!("\n(rem_phase rows isolate the stage the splitter targets; coverage is the split");
+    println!(" products' serial time as a fraction of the phase, and the sim columns replace");
+    println!(" it with max(T₁/P, T_∞). On-vs-off measured walls only separate on hosts with");
+    println!(" as many cores as workers — on this one the threads timeshare.)");
+    let series: Vec<Value> = rem_rows
+        .iter()
+        .map(|r| r.to_json())
+        .chain(solve_rows.iter().map(|r| r.to_json()))
+        .collect();
+    maybe_write_bench_json(
+        args.get("json"),
+        "parmul_ablation",
+        &[
+            ("max_n", Value::Num(max_n as f64)),
+            ("max_threads", Value::Num(max_threads as f64)),
+            ("mu_digits", Value::Num(digits as f64)),
+            ("reps", Value::Num(reps as f64)),
+            ("threshold_limbs", Value::Num(parmul::par_mul_threshold() as f64)),
+        ],
+        &Value::Array(series),
+    );
+}
+
+/// Threshold calibration on the isolated remainder phase.
+fn sweep(args: &Args) {
+    let max_n: usize = args.get("max-n").unwrap_or(96);
+    let reps: usize = args.get("reps").unwrap_or(3);
+    println!("Split-threshold sweep on the isolated remainder phase");
+    println!("(overhead = on/off serial walls — splitting is pure cost on one worker;");
+    println!(" coverage = split products' serial work T₁ as a fraction of the phase;");
+    println!(" avail = T₁/T_∞; sim P=8 = Brent-bound speedup on 8 workers)\n");
+    for n in [64usize, 80, 96].into_iter().filter(|&n| n <= max_n) {
+        let p = charpoly_input(n, 0);
+        let (off_wall, _) = isolated_rem(&p, ParMulMode::Off, reps);
+        println!("n = {n} (off: {off_wall:.4}s)");
+        println!("  threshold | on         | overhead | products | coverage | avail  | sim P=8");
+        println!(" -----------+------------+----------+----------+----------+--------+--------");
+        for t in [12usize, 16, 24, 32, 48, 64, 96, 128] {
+            parmul::set_par_mul_threshold(t);
+            let (on_wall, stats) = isolated_rem(&p, ParMulMode::On, reps);
+            let (work, span) = (stats.work_ns as f64 * 1e-9, stats.span_ns as f64 * 1e-9);
+            let avail = if span > 0.0 { work / span } else { 1.0 };
+            let sim8 = if stats.products > 0 {
+                on_wall / brent(on_wall, work, span, 8)
+            } else {
+                1.0
+            };
+            println!(
+                "  {t:>9} | {on_wall:>9.4}s | {:>7.1}% | {:>8} | {:>7.1}% | {avail:>5.1}x | {sim8:>6.2}x",
+                (on_wall / off_wall - 1.0) * 100.0,
+                stats.products,
+                100.0 * work / on_wall.max(f64::MIN_POSITIVE),
+            );
+        }
+        parmul::set_par_mul_threshold(parmul::PAR_MUL_THRESHOLD);
+        println!();
+    }
+    println!("default PAR_MUL_THRESHOLD = {} limbs", parmul::PAR_MUL_THRESHOLD);
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("sweep") {
+        sweep(&args);
+    } else {
+        grid(&args);
+    }
+}

@@ -239,7 +239,7 @@ mod metric_defs {
 
     /// The `rr_solves_total` series for one (config, outcome) cell.
     /// Label values are static enumerations, so the family's
-    /// cardinality is bounded (5 outcomes × 2×2×2 backends × 2).
+    /// cardinality is bounded (5 outcomes × 2×2×2 backends × 2 × 3).
     pub(super) fn outcome_counter(config: &SolverConfig, outcome: &'static str) -> Counter {
         counter_with(
             "rr_solves_total",
@@ -268,6 +268,14 @@ mod metric_defs {
                     },
                 ),
                 ("arena", if config.arena { "on" } else { "off" }),
+                (
+                    "par",
+                    match config.par_mul {
+                        rr_mp::ParMulMode::Off => "off",
+                        rr_mp::ParMulMode::On => "on",
+                        rr_mp::ParMulMode::Auto => "auto",
+                    },
+                ),
             ],
         )
     }
@@ -405,7 +413,8 @@ impl Session {
         let ctx = SolveCtx::new(self.config.backend)
             .with_poly_backend(self.config.poly_mul)
             .with_div_backend(self.config.div)
-            .with_arena(self.config.arena);
+            .with_arena(self.config.arena)
+            .with_par_mul(self.config.par_mul);
         if limits.is_unlimited() && self.fault.is_none() {
             return (ctx, None);
         }

@@ -75,6 +75,14 @@ pub struct SolverConfig {
     /// ([`SolveStats::alloc`]) and wall-clock change. Defaults to the
     /// `RR_ARENA` environment selection (on unless `RR_ARENA=off`).
     pub arena: bool,
+    /// Fork-join splitting of large big-integer products onto this
+    /// solve's pool scope, carried by the session context (see
+    /// [`rr_mp::ParMulMode`]). Only engages with `MulBackend::Fast`.
+    /// Roots and every paper cost-model table are bit-identical across
+    /// modes (asserted by `tests/parmul_diff.rs`); only wall-clock and
+    /// the execution stats ([`SolveStats::parmul`]) change. Defaults to
+    /// the `RR_PAR_MUL` environment selection (auto unless set).
+    pub par_mul: rr_mp::ParMulMode,
     /// Graceful degradation (on by default): when the extended remainder
     /// sequence rejects the input (`NotNormal` / `NotRealRooted`), retry
     /// on its squarefree part and, failing that, fall back to the
@@ -97,6 +105,7 @@ impl SolverConfig {
             poly_mul: rr_mp::poly_mul_backend(),
             div: rr_mp::div_backend(),
             arena: rr_mp::arena_enabled(),
+            par_mul: rr_mp::par_mul_mode(),
             degrade: true,
         }
     }
@@ -117,6 +126,7 @@ impl SolverConfig {
             poly_mul: rr_mp::poly_mul_backend(),
             div: rr_mp::div_backend(),
             arena: rr_mp::arena_enabled(),
+            par_mul: rr_mp::par_mul_mode(),
             degrade: true,
         }
     }
@@ -145,6 +155,13 @@ impl SolverConfig {
     /// (see [`SolverConfig::arena`]).
     pub fn with_arena(mut self, arena: bool) -> SolverConfig {
         self.arena = arena;
+        self
+    }
+
+    /// The same configuration with the given fork-join multiplication
+    /// mode (see [`SolverConfig::par_mul`]).
+    pub fn with_par_mul(mut self, par_mul: rr_mp::ParMulMode) -> SolverConfig {
+        self.par_mul = par_mul;
         self
     }
 
@@ -352,6 +369,13 @@ pub struct SolveStats {
     /// [`SolveStats::cost`]: it is *supposed* to vary with `RR_ARENA`
     /// while `cost` stays bit-identical.
     pub alloc: rr_mp::AllocStats,
+    /// Physical-work counters of the fork-join multiplication splitter
+    /// for this solve: all zero with `RR_PAR_MUL=off` (or outside
+    /// `MulBackend::Fast`). Like `newton_div` and `alloc`, deliberately
+    /// *outside* [`SolveStats::cost`] — the model charge is recorded
+    /// before the kernel runs, so `cost` stays bit-identical across the
+    /// switch while these describe what actually executed.
+    pub parmul: rr_mp::ParMulStats,
 }
 
 impl SolveStats {
@@ -671,6 +695,7 @@ fn solve_inner(
         bound_bits,
         newton_div: ctx.newton_div_stats(),
         alloc: ctx.alloc_stats(),
+        parmul: ctx.parmul_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),
@@ -715,6 +740,7 @@ fn baseline_fallback(
         bound_bits: root_bound_bits(p),
         newton_div: ctx.newton_div_stats(),
         alloc: ctx.alloc_stats(),
+        parmul: ctx.parmul_stats(),
     };
     Ok(RootsResult {
         roots: scaled.into_iter().map(|num| Dyadic::new(num, cfg.mu)).collect(),

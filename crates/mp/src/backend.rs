@@ -246,6 +246,99 @@ pub fn set_arena_enabled(enabled: bool) -> bool {
     ARENA.swap(raw, Ordering::Relaxed) != SCHOOLBOOK
 }
 
+/// Whether large magnitude products fork-join onto the solve's pool
+/// scope ([`crate::nat::parmul`]).
+///
+/// * [`ParMulMode::Off`] — every product runs serially on the calling
+///   thread (the pre-PR-10 behaviour).
+/// * [`ParMulMode::On`] — products above
+///   [`crate::nat::parmul::PAR_MUL_THRESHOLD`] limbs split whenever a
+///   pool scope is reachable from the calling thread (outside one, the
+///   split degrades to inline serial execution — results never depend
+///   on where the caller runs).
+/// * [`ParMulMode::Auto`] (default) — like `On`, but also requires the
+///   scope to report idle capacity ([`rr_sched::current_parallelism`]
+///   above 1): a queue already deep enough to keep every worker busy
+///   gains nothing from splitting single products and would only pay
+///   the publication overhead.
+///
+/// Switching never changes results or what [`crate::metrics`] records:
+/// the parallel kernels compute bit-identical limbs in the same combine
+/// order as the serial ones (held by `tests/parmul_diff.rs`), and every
+/// `Int` op is costed *before* its kernel runs. Physical split activity
+/// is visible separately through [`crate::metrics::ParMulStats`] and the
+/// `"parmul"` spans an installed `rr-obs` recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParMulMode {
+    /// Never split: serial kernels only.
+    Off,
+    /// Split every product above the limb threshold.
+    On,
+    /// Split above the threshold only when the scope has idle capacity.
+    #[default]
+    Auto,
+}
+
+/// `ParMulMode::Auto`'s storage value (0/1 are Off/On, 2 is UNINIT).
+const PM_AUTO: u8 = 3;
+
+static PAR_MUL: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The currently selected process-wide parallel-multiplication mode.
+///
+/// First call reads `RR_PAR_MUL` from the environment (`off`, `on` or
+/// `auto`; unset/unknown means `auto`); later calls return the cached
+/// (or explicitly [set](set_par_mul_mode)) value. Applies only when no
+/// [`crate::SolveCtx`] is installed on the current thread — an installed
+/// context's [`crate::SolveCtx::with_par_mul`] choice always wins.
+#[inline]
+pub fn par_mul_mode() -> ParMulMode {
+    match PAR_MUL.load(Ordering::Relaxed) {
+        SCHOOLBOOK => ParMulMode::Off,
+        FAST => ParMulMode::On,
+        PM_AUTO => ParMulMode::Auto,
+        _ => init_par_mul_from_env(),
+    }
+}
+
+/// Selects the process-wide parallel-multiplication mode, returning the
+/// previous selection. Same caveats as [`set_mul_backend`]: prefer
+/// carrying the choice in a [`crate::SolveCtx`]; this is the no-session
+/// fallback.
+pub fn set_par_mul_mode(mode: ParMulMode) -> ParMulMode {
+    let raw = match mode {
+        ParMulMode::Off => SCHOOLBOOK,
+        ParMulMode::On => FAST,
+        ParMulMode::Auto => PM_AUTO,
+    };
+    match PAR_MUL.swap(raw, Ordering::Relaxed) {
+        SCHOOLBOOK => ParMulMode::Off,
+        FAST => ParMulMode::On,
+        _ => ParMulMode::Auto,
+    }
+}
+
+#[cold]
+fn init_par_mul_from_env() -> ParMulMode {
+    let choice = match std::env::var("RR_PAR_MUL").as_deref() {
+        Ok("off") | Ok("0") => ParMulMode::Off,
+        Ok("on") | Ok("1") => ParMulMode::On,
+        _ => ParMulMode::Auto,
+    };
+    let raw = match choice {
+        ParMulMode::Off => SCHOOLBOOK,
+        ParMulMode::On => FAST,
+        ParMulMode::Auto => PM_AUTO,
+    };
+    // A racing set_par_mul_mode wins: only replace UNINIT.
+    match PAR_MUL.compare_exchange(UNINIT, raw, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => choice,
+        Err(SCHOOLBOOK) => ParMulMode::Off,
+        Err(FAST) => ParMulMode::On,
+        Err(_) => ParMulMode::Auto,
+    }
+}
+
 #[cold]
 fn init_arena_from_env() -> bool {
     let choice = !matches!(std::env::var("RR_ARENA").as_deref(), Ok("off") | Ok("0"));

@@ -77,11 +77,11 @@ mod fmt;
 mod int;
 
 pub use backend::{
-    arena_enabled, div_backend, mul_backend, poly_mul_backend, set_arena_enabled,
-    set_div_backend, set_mul_backend, set_poly_mul_backend, DivBackend, MulBackend,
-    PolyMulBackend,
+    arena_enabled, div_backend, mul_backend, par_mul_mode, poly_mul_backend, set_arena_enabled,
+    set_div_backend, set_mul_backend, set_par_mul_mode, set_poly_mul_backend, DivBackend,
+    MulBackend, ParMulMode, PolyMulBackend,
 };
 pub use divisor::ExactDivisor;
 pub use int::{Int, Sign};
-pub use metrics::{AllocStats, KroneckerStats, MetricsSink, NewtonDivStats, PhaseAlloc};
+pub use metrics::{AllocStats, KroneckerStats, MetricsSink, NewtonDivStats, ParMulStats, PhaseAlloc};
 pub use session::{active_poly_mul_backend, CtxGuard, SolveCtx};

@@ -179,8 +179,10 @@ fn mul_chunked_into(long: &[Limb], short: &[Limb], threshold: usize, out: &mut V
 
 /// Adds `p` into `out` starting `offset` limbs up, propagating the
 /// carry. The caller guarantees the running sum fits in `out` (partial
-/// sums of a product never exceed the full product).
-fn add_at(out: &mut [Limb], offset: usize, p: &[Limb]) {
+/// sums of a product never exceed the full product). Shared with the
+/// fork-join kernels in [`super::parmul`], whose combine step is the
+/// same limb-offset accumulation.
+pub(super) fn add_at(out: &mut [Limb], offset: usize, p: &[Limb]) {
     let mut carry: Limb = 0;
     let mut i = offset;
     for &x in p {
@@ -199,7 +201,7 @@ fn add_at(out: &mut [Limb], offset: usize, p: &[Limb]) {
 
 /// Slice view with trailing zero limbs dropped (split halves of a
 /// normalized magnitude are not themselves normalized).
-fn trimmed(mut a: &[Limb]) -> &[Limb] {
+pub(super) fn trimmed(mut a: &[Limb]) -> &[Limb] {
     while a.last() == Some(&0) {
         a = &a[..a.len() - 1];
     }

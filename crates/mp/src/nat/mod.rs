@@ -17,8 +17,9 @@ pub mod div;
 pub mod kmul;
 pub mod mul;
 pub mod newton_div;
+pub mod parmul;
 
-use crate::backend::{mul_backend, DivBackend, MulBackend};
+use crate::backend::{mul_backend, DivBackend, MulBackend, ParMulMode};
 use crate::limb::{DoubleLimb, Limb, LIMB_BITS};
 use std::cmp::Ordering;
 
@@ -29,13 +30,50 @@ fn active_backend() -> MulBackend {
     crate::session::current_backend().unwrap_or_else(mul_backend)
 }
 
+/// Whether this product should go through the fork-join splitter
+/// ([`parmul`]): enough schoolbook-proxy work (`a.len()·b.len()`, in
+/// limb-pairs) to fund at least one three-way fork at the active split
+/// threshold `t` ([`parmul::par_mul_threshold`], default
+/// [`parmul::PAR_MUL_THRESHOLD`] limbs) — i.e. `work ≥ 3·t²`, so every
+/// subtask carries at least a `t × t` product's worth of work — and the
+/// active [`ParMulMode`] agrees — `On` unconditionally, `Auto` only
+/// when the ambient pool scope reports idle capacity
+/// ([`rr_sched::current_parallelism`] > 1; with no scope or a saturated
+/// queue the split would only add publish/retract overhead). The work
+/// proxy (rather than a min-operand-length gate) lets heavily
+/// unbalanced long×short products — ubiquitous in the Newton division's
+/// truncated-piece arithmetic — engage the tiled decomposition even
+/// when the short side alone is below `t`. Only the `Fast` backend
+/// splits: the decomposition *is* the Karatsuba split, and `Schoolbook`
+/// exists to mirror the paper's quadratic `mp` kernel exactly.
+#[inline]
+fn par_mul_engaged(work: usize) -> bool {
+    let t = parmul::par_mul_threshold();
+    if work < 3 * t * t {
+        return false;
+    }
+    match crate::session::par_mul_active() {
+        ParMulMode::Off => false,
+        ParMulMode::On => true,
+        ParMulMode::Auto => rr_sched::current_parallelism() > 1,
+    }
+}
+
 /// Product of two magnitudes using the active backend (the installed
 /// [`crate::SolveCtx`]'s, else [`crate::backend::mul_backend`]).
 #[inline]
 pub fn mul_auto(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
     match active_backend() {
         MulBackend::Schoolbook => mul::mul(a, b),
-        MulBackend::Fast => kmul::mul(a, b),
+        MulBackend::Fast => {
+            let mut out = Vec::new();
+            if par_mul_engaged(a.len() * b.len()) {
+                parmul::mul_into(a, b, &mut out);
+            } else {
+                kmul::mul_into(a, b, &mut out);
+            }
+            out
+        }
     }
 }
 
@@ -44,7 +82,15 @@ pub fn mul_auto(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
     match active_backend() {
         MulBackend::Schoolbook => mul::square(a),
-        MulBackend::Fast => kmul::square(a),
+        MulBackend::Fast => {
+            let mut out = Vec::new();
+            if par_mul_engaged(a.len() * a.len()) {
+                parmul::square_into(a, &mut out);
+            } else {
+                kmul::square_into(a, &mut out);
+            }
+            out
+        }
     }
 }
 
@@ -59,7 +105,13 @@ pub fn sqr_auto(a: &[Limb]) -> Vec<Limb> {
 pub fn mul_auto_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
     match active_backend() {
         MulBackend::Schoolbook => mul::mul_into(a, b, out),
-        MulBackend::Fast => kmul::mul_into(a, b, out),
+        MulBackend::Fast => {
+            if par_mul_engaged(a.len() * b.len()) {
+                parmul::mul_into(a, b, out);
+            } else {
+                kmul::mul_into(a, b, out);
+            }
+        }
     }
 }
 
@@ -69,7 +121,13 @@ pub fn mul_auto_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
 pub fn sqr_auto_into(a: &[Limb], out: &mut Vec<Limb>) {
     match active_backend() {
         MulBackend::Schoolbook => mul::mul_into(a, a, out),
-        MulBackend::Fast => kmul::square_into(a, out),
+        MulBackend::Fast => {
+            if par_mul_engaged(a.len() * a.len()) {
+                parmul::square_into(a, out);
+            } else {
+                kmul::square_into(a, out);
+            }
+        }
     }
 }
 

@@ -45,7 +45,7 @@
 //! assert_eq!(school.snapshot().total().mul_count, 1);
 //! ```
 
-use crate::backend::{DivBackend, MulBackend, PolyMulBackend};
+use crate::backend::{DivBackend, MulBackend, ParMulMode, PolyMulBackend};
 use crate::metrics::{CostSnapshot, MetricsSink, ThreadCounters};
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -62,6 +62,7 @@ pub struct SolveCtx {
     poly_backend: PolyMulBackend,
     div_backend: DivBackend,
     arena: bool,
+    par_mul: ParMulMode,
     sink: MetricsSink,
     recorder: Option<rr_obs::Recorder>,
     cancel: Option<rr_sched::CancelToken>,
@@ -74,6 +75,7 @@ struct ActiveCtx {
     poly_backend: PolyMulBackend,
     div_backend: DivBackend,
     arena: bool,
+    par_mul: ParMulMode,
     counters: Arc<ThreadCounters>,
 }
 
@@ -94,6 +96,7 @@ impl SolveCtx {
             poly_backend: PolyMulBackend::Schoolbook,
             div_backend: DivBackend::Schoolbook,
             arena: crate::backend::arena_enabled(),
+            par_mul: crate::backend::par_mul_mode(),
             sink: MetricsSink::new(),
             recorder: None,
             cancel: None,
@@ -147,6 +150,21 @@ impl SolveCtx {
     /// Whether this context runs with the scratch arena enabled.
     pub fn arena(&self) -> bool {
         self.arena
+    }
+
+    /// Selects whether large magnitude products fork-join onto the
+    /// solve's pool scope while this context is installed (default: the
+    /// process mode [`crate::par_mul_mode`], seeded from `RR_PAR_MUL`).
+    /// Like the backends, the innermost installed context wins, so
+    /// concurrent solves can run with different split policies.
+    pub fn with_par_mul(mut self, par_mul: ParMulMode) -> SolveCtx {
+        self.par_mul = par_mul;
+        self
+    }
+
+    /// The parallel-multiplication mode carried by this context.
+    pub fn par_mul(&self) -> ParMulMode {
+        self.par_mul
     }
 
     /// Attaches a span recorder: while this context is installed, the
@@ -205,6 +223,14 @@ impl SolveCtx {
         self.sink.newton_div_snapshot()
     }
 
+    /// Parallel-multiplication execution counters recorded under this
+    /// context — what the fork-join splitter actually ran, which the
+    /// `RR_PAR_MUL`-invariant cost model in [`SolveCtx::snapshot`]
+    /// deliberately does not reflect.
+    pub fn parmul_stats(&self) -> crate::metrics::ParMulStats {
+        self.sink.parmul_snapshot()
+    }
+
     /// Physical allocation counters recorded under this context — how
     /// many limb-buffer acquisitions reached the system allocator, per
     /// phase. Varies with the arena setting by design, which is exactly
@@ -248,6 +274,7 @@ impl SolveCtx {
             poly_backend: self.poly_backend,
             div_backend: self.div_backend,
             arena: self.arena,
+            par_mul: self.par_mul,
             counters: self.thread_counters(),
         };
         AMBIENT.with(|stack| stack.borrow_mut().push(active));
@@ -314,6 +341,17 @@ pub fn has_current() -> bool {
 pub(crate) fn arena_active() -> bool {
     AMBIENT.with(|stack| stack.borrow().last().map(|a| a.arena))
         .unwrap_or_else(crate::backend::arena_enabled)
+}
+
+/// The parallel-multiplication mode active on the calling thread: the
+/// innermost installed context's choice, else the process-global
+/// [`crate::par_mul_mode`] (seeded from `RR_PAR_MUL`). This is the
+/// single point the magnitude dispatch ([`crate::nat::parmul`])
+/// consults.
+#[inline]
+pub(crate) fn par_mul_active() -> ParMulMode {
+    AMBIENT.with(|stack| stack.borrow().last().map(|a| a.par_mul))
+        .unwrap_or_else(crate::backend::par_mul_mode)
 }
 
 /// The polynomial multiplication backend the calling thread should
@@ -409,6 +447,31 @@ pub(crate) fn record_session_newton_exact_div(hensel_steps: u64) -> bool {
     AMBIENT.with(|stack| match stack.borrow().last() {
         Some(active) => {
             active.counters.record_newton_exact_div(hensel_steps);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Records one fork-join split of a magnitude product — how many halves
+/// were published, how many of those a thief actually executed, and the
+/// operand size in bits — into the innermost installed context's sink.
+/// Returns false (and records nothing) if no context is installed.
+///
+/// Like the Kronecker and Newton counters, these live *outside* the
+/// paper cost model: they describe what actually ran, not what the
+/// model charges.
+#[inline]
+pub(crate) fn record_session_parmul(
+    tasks: u64,
+    steals: u64,
+    operand_bits: u64,
+    work_ns: u64,
+    span_ns: u64,
+) -> bool {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(active) => {
+            active.counters.record_parmul(tasks, steals, operand_bits, work_ns, span_ns);
             true
         }
         None => false,
